@@ -1,0 +1,116 @@
+// Ablation — LLI anomaly-detection policy (DESIGN.md §5.1/5.2).
+//
+// The paper picks Q3 + 3*IQR over a fixed-size window of verified
+// latencies. This ablation replays one recorded measurement stream
+// (Fig. 9 testbed, out-of-band relay at t=60s) through alternative
+// policies and compares detection and false-positive rates under
+// micro-burst jitter.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "scenario/experiments.hpp"
+#include "stats/latency_window.hpp"
+
+using namespace tmg;
+using namespace tmg::bench;
+using namespace tmg::sim::literals;
+
+namespace {
+
+struct Replay {
+  std::size_t real = 0, real_flagged = 0;
+  std::size_t fake = 0, fake_flagged = 0;
+
+  [[nodiscard]] double fp_rate() const {
+    return real ? static_cast<double>(real_flagged) / real : 0.0;
+  }
+  [[nodiscard]] double detection_rate() const {
+    return fake ? static_cast<double>(fake_flagged) / fake : 0.0;
+  }
+};
+
+/// Policy interface: observe a sample, decide, then calibrate on
+/// accepted samples.
+struct Policy {
+  virtual ~Policy() = default;
+  virtual bool flag(double sample) = 0;   // true = anomalous
+  virtual void accept(double sample) = 0;  // calibrate
+};
+
+struct IqrPolicy final : Policy {
+  stats::LatencyWindow window;
+  explicit IqrPolicy(double k) : window{100, k, 10} {}
+  bool flag(double s) override { return window.is_outlier(s); }
+  void accept(double s) override { window.add(s); }
+};
+
+struct MeanSigmaPolicy final : Policy {
+  std::vector<double> buf;
+  double k;
+  explicit MeanSigmaPolicy(double k_in) : k{k_in} {}
+  bool flag(double s) override {
+    if (buf.size() < 10) return false;
+    const double m = stats::mean(buf);
+    const double sd = stats::stddev(buf);
+    return s > m + k * sd;
+  }
+  void accept(double s) override {
+    buf.push_back(s);
+    if (buf.size() > 100) buf.erase(buf.begin());
+  }
+};
+
+Replay replay(const scenario::LliSeries& series, Policy& policy) {
+  Replay r;
+  for (const auto& p : series.points) {
+    const bool flagged = policy.flag(p.latency_ms);
+    if (p.fake) {
+      ++r.fake;
+      if (flagged) ++r.fake_flagged;
+    } else {
+      ++r.real;
+      if (flagged) ++r.real_flagged;
+    }
+    if (!flagged) policy.accept(p.latency_ms);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation", "LLI outlier policy: IQR fence vs mean+k*sigma");
+
+  scenario::LliExperimentConfig cfg;
+  cfg.benign_window = 60_s;
+  cfg.attack_window = 240_s;
+  const auto series = scenario::run_lli_experiment(cfg);
+  std::printf("replayed stream: %zu measurements (%zu from the fabricated "
+              "link)\n",
+              series.points.size(), series.fake_attempts);
+
+  Table table({"Policy", "Fake flagged", "Detection rate", "Real flagged",
+               "FP rate"});
+  const auto add = [&](const char* name, Policy&& policy) {
+    const Replay r = replay(series, policy);
+    table.add_row({name, fmt_u(r.fake_flagged) + "/" + fmt_u(r.fake),
+                   fmt("%.0f %%", 100.0 * r.detection_rate()),
+                   fmt_u(r.real_flagged) + "/" + fmt_u(r.real),
+                   fmt("%.1f %%", 100.0 * r.fp_rate())});
+  };
+  add("Q3 + 1.5*IQR", IqrPolicy{1.5});
+  add("Q3 + 3*IQR (paper)", IqrPolicy{3.0});
+  add("Q3 + 6*IQR", IqrPolicy{6.0});
+  add("mean + 2*sigma", MeanSigmaPolicy{2.0});
+  add("mean + 3*sigma", MeanSigmaPolicy{3.0});
+  table.print();
+
+  std::printf(
+      "\nExpected shape: the paper's Q3+3*IQR catches every relayed-link\n"
+      "measurement while tolerating micro-bursts better than tight\n"
+      "fences; looser fences trade residual false positives against\n"
+      "margin for slower relays.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation — the 802.3 link-integrity pulse window (DESIGN.md §5.4).
+//
+// Port amnesia needs the switch to *notice* the flap: carrier loss
+// shorter than the detection window never becomes a Port-Down, and the
+// TopoGuard profile survives. This sweeps the flap hold time against
+// the standard 16±8 ms window and reports how often the profile reset
+// succeeds — the physics that lower-bounds in-band per-packet latency
+// (paper Sec. V-A).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "defense/topoguard_plus.hpp"
+#include "scenario/testbed.hpp"
+
+using namespace tmg;
+using namespace tmg::bench;
+using namespace tmg::sim::literals;
+
+namespace {
+
+/// Fraction of flaps (out of n) that produced a Port-Down at the
+/// controller.
+double reset_rate(sim::Duration hold, int n, std::uint64_t seed) {
+  scenario::TestbedOptions opts;
+  opts.seed = seed;
+  scenario::Testbed tb{opts};
+  tb.add_switch(0x1);
+  attack::HostConfig cfg;
+  cfg.mac = net::MacAddress::host(1);
+  cfg.ip = net::Ipv4Address::host(1);
+  attack::Host& host = tb.add_host(0x1, 1, cfg);
+  defense::TopoGuard& tg = defense::install_topoguard(tb.controller());
+  tb.start(1_s);
+
+  for (int i = 0; i < n; ++i) {
+    // Re-arm the profile as HOST, then flap.
+    host.send_arp_request(net::Ipv4Address::host(9));
+    tb.run_for(50_ms);
+    host.flap_interface(hold);
+    tb.run_for(hold + 100_ms);
+  }
+  return static_cast<double>(tg.profile_resets()) / n;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation",
+         "Flap hold vs. link-integrity pulse window (16±8 ms)");
+
+  Table table({"Flap hold (ms)", "Profile resets", "Amnesia reliable"});
+  const std::int64_t holds[] = {2, 4, 8, 12, 16, 20, 24, 30, 48};
+  for (const std::int64_t h : holds) {
+    const double rate = reset_rate(sim::Duration::millis(h), 50, 42);
+    table.add_row({fmt("%.0f", static_cast<double>(h)),
+                   fmt("%.0f %%", 100.0 * rate),
+                   rate >= 0.999 ? "yes" : (rate <= 0.001 ? "never" : "flaky")});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape: holds below 8 ms are invisible (no Port-Down,\n"
+      "amnesia fails); holds above 24 ms always reset; in between the\n"
+      "outcome depends on where the sampled detection delay lands. This\n"
+      "is why the paper's in-band attacker pays >= 16 ms per context\n"
+      "switch, and why our attack default holds 30 ms.\n");
+  return 0;
+}

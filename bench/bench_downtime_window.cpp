@@ -1,0 +1,70 @@
+// Sec. IV-B2 — Downtime window duration vs. usable impersonation time.
+//
+// From server-maintenance hours down to live-migration seconds: how
+// much of the victim's downtime window does the attacker get to own,
+// and does the hijack still win as the window shrinks toward the
+// attack's own end-to-end latency?
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "scenario/experiments.hpp"
+
+using namespace tmg;
+using namespace tmg::bench;
+using namespace tmg::sim::literals;
+
+int main() {
+  banner("Sec. IV-B2", "Downtime window vs. hijack viability");
+
+  struct Row {
+    const char* scenario;
+    sim::Duration downtime;
+    bool nmap;
+  };
+  const Row rows[] = {
+      {"live migration (fast)", sim::Duration::millis(700), false},
+      {"live migration (typical)", 2_s, false},
+      {"live migration (typical), nmap probing", 2_s, true},
+      {"VM restart", 10_s, false},
+      {"server patching", 60_s, false},
+  };
+
+  Table table({"Scenario", "Window", "Hijacks won", "Mean claim (ms)",
+               "Usable impersonation (% of window)"});
+  for (const Row& row : rows) {
+    int won = 0;
+    double claim_sum = 0.0, usable_sum = 0.0;
+    int n = 10, claimed = 0;
+    for (int s = 0; s < n; ++s) {
+      scenario::HijackConfig cfg;
+      cfg.suite = scenario::DefenseSuite::TopoGuardAndSphinx;
+      cfg.seed = 300 + s;
+      cfg.victim_downtime = row.downtime;
+      cfg.nmap_overhead = row.nmap;
+      cfg.confirm_failures = row.nmap ? 2 : 1;
+      const auto out = scenario::run_hijack(cfg);
+      if (out.hijack_succeeded) ++won;
+      if (out.down_to_confirmed_ms) {
+        ++claimed;
+        claim_sum += *out.down_to_confirmed_ms;
+        const double window_ms = row.downtime.to_millis_f();
+        usable_sum +=
+            100.0 * (window_ms - *out.down_to_confirmed_ms) / window_ms;
+      }
+    }
+    table.add_row({row.scenario,
+                   to_string(row.downtime),
+                   fmt_u(won) + "/" + fmt_u(n),
+                   claimed ? fmt("%.0f", claim_sum / claimed) : "-",
+                   claimed ? fmt("%.0f %%", usable_sum / claimed) : "-"});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape (paper Sec. IV-B2/V-B): raw ARP probing claims the\n"
+      "identity in well under 100 ms, leaving >90%% of even a 1-2 s live-\n"
+      "migration window; nmap-engine probing (~0.5 s) still fits typical\n"
+      "windows; for maintenance-scale windows the attack is effectively\n"
+      "instantaneous.\n");
+  return 0;
+}

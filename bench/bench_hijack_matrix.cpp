@@ -1,0 +1,65 @@
+// Sec. IV-B / VI-A — Host-location hijacking vs. every defense suite.
+//
+// Port probing wins the race under every *passive* defense the paper
+// analyzes; the cryptographic identifier binding of Sec. VI-A is the
+// one that stops it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "scenario/experiments.hpp"
+
+using namespace tmg;
+using namespace tmg::bench;
+using scenario::DefenseSuite;
+
+int main() {
+  banner("Sec. IV-B / VI-A", "Hijack outcome per defense suite");
+
+  const DefenseSuite suites[] = {
+      DefenseSuite::None,
+      DefenseSuite::TopoGuard,
+      DefenseSuite::Sphinx,
+      DefenseSuite::TopoGuardAndSphinx,
+      DefenseSuite::TopoGuardPlus,
+      DefenseSuite::SecureBinding,
+  };
+
+  Table table({"Defense", "Hijack won", "Traffic redirected",
+               "Alerts pre-rejoin", "Alerts post-rejoin",
+               "Down->re-bind (ms)"});
+  for (const DefenseSuite suite : suites) {
+    // Aggregate over several seeds for robustness.
+    int won = 0, redirected = 0, runs = 5;
+    std::size_t pre = 0, post = 0;
+    double rebind_sum = 0.0;
+    int rebind_n = 0;
+    for (int s = 0; s < runs; ++s) {
+      scenario::HijackConfig cfg;
+      cfg.suite = suite;
+      cfg.seed = 100 + s;
+      const auto out = scenario::run_hijack(cfg);
+      won += out.hijack_succeeded ? 1 : 0;
+      redirected += out.traffic_redirected ? 1 : 0;
+      pre += out.alerts_before_rejoin;
+      post += out.alerts_after_rejoin;
+      if (out.down_to_confirmed_ms) {
+        rebind_sum += *out.down_to_confirmed_ms;
+        ++rebind_n;
+      }
+    }
+    table.add_row({scenario::to_string(suite),
+                   fmt_u(won) + "/" + fmt_u(runs),
+                   fmt_u(redirected) + "/" + fmt_u(runs), fmt_u(pre),
+                   fmt_u(post),
+                   rebind_n ? fmt("%.1f", rebind_sum / rebind_n) : "-"});
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape: the hijack wins 5/5 with zero pre-rejoin alerts\n"
+      "under None/TopoGuard/SPHINX/both/TOPOGUARD+ (topology checks do\n"
+      "not address identifier races, paper Sec. IV-B); with secure\n"
+      "identifier binding (Sec. VI-A) every attempt is vetoed and the\n"
+      "violation is attributed to the attacker's port.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Sec. V-A — Relay latency of the out-of-band vs. in-band channels.
+//
+// The paper: the out-of-band link costs its propagation delay; the
+// in-band channel must context-switch HOST<->SWITCH around emissions,
+// and "in the worst case, this adds a 16 ms latency to each packet"
+// (the 802.3 link-integrity wait). We measure the actual
+// capture-to-re-emission latency of every relayed LLDP under both
+// modes, and sweep the flap hold to show the context-switch floor.
+#include <cstdio>
+#include <vector>
+
+#include "attack/port_amnesia.hpp"
+#include "bench_util.hpp"
+#include "scenario/fig9_testbed.hpp"
+#include "stats/descriptive.hpp"
+
+using namespace tmg;
+using namespace tmg::bench;
+using namespace tmg::sim::literals;
+
+namespace {
+
+stats::Summary relay_summary(attack::PortAmnesiaAttack::Mode mode,
+                             sim::Duration flap_hold) {
+  scenario::TestbedOptions opts = scenario::fig9_options(42);
+  opts.controller.authenticate_lldp = false;
+  opts.controller.lldp_timestamps = false;
+  scenario::Fig9Testbed f = scenario::make_fig9_testbed(std::move(opts));
+  f.tb->start(2_s);
+  scenario::fig9_warm_hosts(f);
+
+  attack::PortAmnesiaAttack::Config ac;
+  ac.mode = mode;
+  ac.flap_hold = flap_hold;
+  attack::PortAmnesiaAttack attack{
+      f.tb->loop(), *f.attacker_a, *f.attacker_b,
+      mode == attack::PortAmnesiaAttack::Mode::OutOfBand ? f.oob : nullptr,
+      ac};
+  attack.start();
+  f.tb->run_for(150_s);  // ten LLDP rounds
+
+  std::vector<double> ms;
+  for (const auto d : attack.relay_latencies()) {
+    ms.push_back(d.to_millis_f());
+  }
+  return stats::summarize(ms);
+}
+
+}  // namespace
+
+int main() {
+  banner("Sec. V-A", "LLDP relay latency: out-of-band vs. in-band");
+
+  using Mode = attack::PortAmnesiaAttack::Mode;
+  Table table({"Channel", "Flap hold", "Relays", "Latency mean (ms)",
+               "min", "max"});
+  const auto add = [&](const char* label, Mode mode, sim::Duration hold) {
+    const auto s = relay_summary(mode, hold);
+    table.add_row({label, to_string(hold), fmt_u(s.count),
+                   fmt("%.2f", s.mean), fmt("%.2f", s.min),
+                   fmt("%.2f", s.max)});
+  };
+  add("out-of-band (802.11, 10 ms)", Mode::OutOfBand, 30_ms);
+  add("in-band, 17 ms context switch", Mode::InBand, 17_ms);
+  add("in-band, 30 ms context switch (default)", Mode::InBand, 30_ms);
+  add("in-band, 48 ms context switch", Mode::InBand, 48_ms);
+
+  table.print();
+  std::printf(
+      "\nExpected shape: the out-of-band relay costs the channel's ~11 ms\n"
+      "regardless of flapping (resets are prepositioned); the in-band\n"
+      "relay pays covert transport *plus* the >=16 ms context-switch wait\n"
+      "whenever the emitting port must flip HOST->SWITCH, scaling with\n"
+      "the flap hold (paper Sec. V-A).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Sec. V-B2 — Scan detection thresholds.
+//
+// Sweeps scan rates for TCP SYN and ARP liveness probes against the
+// Snort-surrogate IDS. Paper findings: the Proofpoint ET rules detect
+// SYN scans above 2 scans/second; ARP scans remain undetected at every
+// rate tried (the attack uses 1 probe per 50 ms = 20/s).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "scenario/experiments.hpp"
+
+using namespace tmg;
+using namespace tmg::bench;
+using namespace tmg::sim::literals;
+using attack::ProbeType;
+
+int main() {
+  banner("Sec. V-B2", "IDS detection vs. scan rate (30 s per cell)");
+
+  const double rates[] = {0.5, 1.0, 1.9, 2.5, 5.0, 10.0, 20.0};
+
+  Table table({"Probe", "Rate (/s)", "Probes sent", "IDS alerts",
+               "Detected"});
+  for (ProbeType type : {ProbeType::TcpSyn, ProbeType::ArpPing,
+                         ProbeType::IcmpPing}) {
+    for (double rate : rates) {
+      const auto r = scenario::run_scan_detection(type, rate, 30_s, 42);
+      table.add_row({attack::to_string(type), fmt("%.1f", rate),
+                     fmt_u(r.probes_sent), fmt_u(r.ids_alerts),
+                     yes_no(r.detected())});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nExpected shape (paper): SYN detected above 2/s; ARP undetected at\n"
+      "all rates (neither Snort nor Bro ships ARP-scan rules); ICMP floods\n"
+      "detected, making ping probes a poor stealth choice (Table I).\n");
+  return 0;
+}

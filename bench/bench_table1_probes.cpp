@@ -1,0 +1,46 @@
+// Table I — Liveness Probe Options.
+//
+// Reproduces the paper's probe comparison: stealth ranking, requirements
+// and per-scan timing (mean ± stddev over 1000 scans, RTT excluded — the
+// nmap engine overhead), plus the in-sim protocol-exchange time that our
+// simulator measures end-to-end.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "scenario/experiments.hpp"
+
+using namespace tmg;
+using namespace tmg::bench;
+using attack::ProbeType;
+
+int main() {
+  banner("Table I", "Liveness Probe Options");
+  std::printf(
+      "Paper reference (nmap on the authors' testbed):\n"
+      "  ICMP Ping  Low stealth        0.91 ± 0.04 ms\n"
+      "  TCP SYN    Medium, port known 492.3 ± 1.4 ms\n"
+      "  ARP ping   High, same subnet  133.5 ± 1.6 ms\n"
+      "  Idle Scan  Very High, zombie  1.8 ± 0.1 ms\n");
+
+  Table table({"Type", "Stealth", "Requirements", "Tool timing (ms)",
+               "In-sim exchange (ms)", "Detected alive"});
+  const ProbeType types[] = {ProbeType::IcmpPing, ProbeType::TcpSyn,
+                             ProbeType::ArpPing, ProbeType::TcpIdleScan};
+  for (ProbeType type : types) {
+    const auto row = scenario::measure_probe_timing(type, 1000, 42);
+    table.add_row({attack::to_string(type),
+                   attack::to_string(row.stealth), row.requirements,
+                   stats::format_mean_pm(row.tool_overhead_ms, ""),
+                   stats::format_mean_pm(row.end_to_end_ms, "", 3),
+                   fmt_u(row.alive_detected) + "/1000"});
+  }
+  table.print();
+
+  std::printf(
+      "\nNotes: the 'Tool timing' column models the nmap engine cost the\n"
+      "paper measured (calibrated, see DESIGN.md §2); the in-sim exchange\n"
+      "column is the actual protocol round-trip our event simulation\n"
+      "executes (ARP/ICMP/SYN one RTT; the idle scan pays two zombie\n"
+      "round-trips plus a settle window for the side channel).\n");
+  return 0;
+}

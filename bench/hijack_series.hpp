@@ -1,0 +1,63 @@
+// Shared driver for the hijack timing figures (Figs. 5-8): run many
+// seeded hijacks and collect one timeline metric from each.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "scenario/experiments.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+
+namespace tmg::bench {
+
+struct HijackSeries {
+  std::vector<double> values;
+  std::size_t runs = 0;
+  std::size_t succeeded = 0;
+};
+
+/// @param nmap_regime  true: nmap engine overhead + 2-scan confirmation
+///        (the paper's Figs. 5-6 measurement regime); false: raw probe
+///        exchanges with a single 35 ms timeout (Figs. 7-8 regime).
+inline HijackSeries collect_hijack_metric(
+    std::size_t n, bool nmap_regime,
+    const std::function<std::optional<double>(
+        const scenario::HijackOutcome&)>& metric) {
+  HijackSeries series;
+  series.runs = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    scenario::HijackConfig cfg;
+    cfg.suite = scenario::DefenseSuite::TopoGuard;
+    cfg.seed = 1000 + i;
+    cfg.nmap_overhead = nmap_regime;
+    cfg.confirm_failures = nmap_regime ? 2 : 1;
+    const auto out = scenario::run_hijack(cfg);
+    if (out.hijack_succeeded) ++series.succeeded;
+    if (const auto v = metric(out)) series.values.push_back(*v);
+  }
+  return series;
+}
+
+inline void print_series(const HijackSeries& series, const char* unit,
+                         double hist_lo, double hist_hi) {
+  const auto s = stats::summarize(series.values);
+  section("Summary");
+  std::printf("  runs: %zu, hijacks succeeded: %zu, samples: %zu\n",
+              series.runs, series.succeeded, series.values.size());
+  std::printf("  mean:   %.2f %s\n", s.mean, unit);
+  std::printf("  median: %.2f %s\n", s.median, unit);
+  std::printf("  stddev: %.2f %s\n", s.stddev, unit);
+  std::printf("  min:    %.2f %s\n", s.min, unit);
+  std::printf("  max:    %.2f %s\n", s.max, unit);
+  section("Histogram");
+  stats::Histogram hist{hist_lo, hist_hi, 20};
+  hist.add_all(series.values);
+  std::printf("%s", hist.render(48, unit).c_str());
+  section("CSV (bin_lo,bin_hi,count)");
+  std::printf("%s", hist.to_csv().c_str());
+}
+
+}  // namespace tmg::bench

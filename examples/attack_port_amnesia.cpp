@@ -1,0 +1,73 @@
+// Port Amnesia walkthrough (paper Fig. 1, Sec. IV-A, V-A).
+//
+// Three acts on the Fig. 9 evaluation testbed:
+//   1. classic LLDP relay vs TopoGuard      -> detected and blocked;
+//   2. out-of-band port amnesia vs TopoGuard -> link fabricated, MITM
+//      traffic flows, zero alerts;
+//   3. the same attack vs TOPOGUARD+         -> the LLI flags the relay
+//      latency and blocks the link.
+#include <cstdio>
+
+#include "scenario/experiments.hpp"
+
+using namespace tmg;
+using namespace tmg::scenario;
+
+namespace {
+
+void report(const char* act, const LinkAttackOutcome& out) {
+  std::printf("%s\n", act);
+  std::printf("  fabricated link registered: %s\n",
+              out.link_registered ? "YES" : "no");
+  std::printf("  held at end of run:         %s\n",
+              out.link_present_at_end ? "YES" : "no");
+  std::printf("  MITM transit bridged:       %llu packets\n",
+              static_cast<unsigned long long>(out.transit_bridged));
+  std::printf("  amnesia flaps:              %llu\n",
+              static_cast<unsigned long long>(out.flaps));
+  std::printf("  alerts: TopoGuard=%zu SPHINX=%zu CMM=%zu LLI=%zu -> %s\n\n",
+              out.alerts_topoguard, out.alerts_sphinx, out.alerts_cmm,
+              out.alerts_lli,
+              out.detected() ? "DETECTED" : "undetected");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Port Amnesia: link fabrication that survives TopoGuard ==\n\n");
+  std::printf(
+      "Two compromised hosts on switches 0x2 and 0x4 relay the\n"
+      "controller's LLDP probes over a hidden wireless channel,\n"
+      "convincing the controller a direct 0x2<->0x4 link exists. All\n"
+      "traffic between the end hosts then flows through the attackers.\n\n");
+
+  LinkAttackConfig cfg;
+  cfg.seed = 42;
+
+  cfg.kind = LinkAttackKind::ClassicRelay;
+  cfg.suite = DefenseSuite::TopoGuard;
+  report("Act 1 — classic relay vs TopoGuard (the pre-paper baseline):",
+         run_link_attack(cfg));
+
+  cfg.kind = LinkAttackKind::OobAmnesia;
+  cfg.suite = DefenseSuite::TopoGuardAndSphinx;
+  report(
+      "Act 2 — port amnesia vs TopoGuard + SPHINX (paper Sec. V-A):\n"
+      "  one >=16 ms interface flap per port erases the HOST profile\n"
+      "  (Port-Down resets it to ANY) before the relayed LLDP arrives.",
+      run_link_attack(cfg));
+
+  cfg.suite = DefenseSuite::TopoGuardPlus;
+  report(
+      "Act 3 — the same attack vs TOPOGUARD+ (paper Sec. VII):\n"
+      "  the relay adds ~11 ms that the encrypted-timestamp latency\n"
+      "  check cannot be talked out of.",
+      run_link_attack(cfg));
+
+  std::printf(
+      "Also try: the in-band variant (LinkAttackKind::InBandAmnesia),\n"
+      "whose per-round context switches the CMM catches, and the\n"
+      "blackhole variant (cfg.blackhole = true), which SPHINX's flow\n"
+      "counters expose. bench_attack_matrix prints the full grid.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Port Probing walkthrough (paper Fig. 2-3, Sec. IV-B, V-B).
+//
+// The attacker ARP-pings the victim every 50 ms. The instant the victim
+// unplugs to migrate, the attacker rewrites its NIC to the victim's
+// MAC/IP and originates traffic: the Host Tracking Service re-binds the
+// victim to the attacker's port, completing a hijack that violates no
+// TopoGuard or SPHINX policy until the victim resurfaces.
+#include <cstdio>
+
+#include "scenario/experiments.hpp"
+
+using namespace tmg;
+using namespace tmg::scenario;
+
+namespace {
+
+void report(const char* title, const HijackOutcome& out) {
+  std::printf("%s\n", title);
+  const auto ms = [](const std::optional<double>& v) {
+    return v ? *v : -1.0;
+  };
+  std::printf("  hijack succeeded:          %s\n",
+              out.hijack_succeeded ? "YES" : "no");
+  std::printf("  victim-bound traffic redirected to attacker: %s\n",
+              out.traffic_redirected ? "YES" : "no");
+  std::printf("  victim down -> final probe sent:   %8.2f ms\n",
+              ms(out.down_to_final_probe_start_ms));
+  std::printf("  victim down -> probe timeout:      %8.2f ms\n",
+              ms(out.down_to_declared_down_ms));
+  std::printf("  victim down -> attacker iface up:  %8.2f ms\n",
+              ms(out.down_to_iface_up_ms));
+  std::printf("  victim down -> controller re-bind: %8.2f ms\n",
+              ms(out.down_to_confirmed_ms));
+  std::printf("  alerts before victim rejoined: %zu\n",
+              out.alerts_before_rejoin);
+  std::printf("  alerts after victim rejoined:  %zu\n\n",
+              out.alerts_after_rejoin);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Port Probing: hijacking a host in transit ==\n\n");
+  std::printf(
+      "Victim 10.0.0.1 (aa:aa:aa:aa:aa:aa) begins a planned migration\n"
+      "from switch 0x1 port 2 to switch 0x2 port 4 with a ~3 s downtime\n"
+      "window (VM live migration scale). The attacker sits on 0x2:5.\n\n");
+
+  HijackConfig cfg;
+  cfg.seed = 7;
+
+  cfg.suite = DefenseSuite::TopoGuard;
+  report("vs TopoGuard (migration pre/post-conditions):", run_hijack(cfg));
+
+  cfg.suite = DefenseSuite::Sphinx;
+  report("vs SPHINX (identifier-binding anomaly detection):",
+         run_hijack(cfg));
+
+  cfg.suite = DefenseSuite::TopoGuardAndSphinx;
+  report("vs both defenses together (the paper's headline):",
+         run_hijack(cfg));
+
+  std::printf(
+      "Observations (paper Sec. IV-B/V-B): the race is won because the\n"
+      "victim's in-transit identifiers are bound to nothing; both\n"
+      "defenses stay silent until the victim rejoins, and even then the\n"
+      "alerts cannot say which host is the attacker. Use cfg.nmap_overhead\n"
+      "= true for the paper's nmap measurement regime (Figs. 5-6).\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: build a two-switch OpenFlow network, start the controller,
+// watch link discovery and host learning happen, and route a ping.
+//
+//   $ ./quickstart
+//
+// This walks through the public API surface most programs use:
+// scenario::Testbed to wire the network, ctrl::Controller services to
+// inspect state, attack::Host to generate traffic.
+#include <cstdio>
+
+#include "ctrl/host_tracker.hpp"
+#include "ctrl/link_discovery.hpp"
+#include "ctrl/routing.hpp"
+#include "scenario/testbed.hpp"
+#include "trace/tracer.hpp"
+
+using namespace tmg;
+using namespace tmg::sim::literals;
+
+int main() {
+  std::printf("== TopoMirage quickstart ==\n\n");
+
+  // 1. Wire the network: two switches, one inter-switch link, two hosts.
+  scenario::TestbedOptions opts;
+  opts.seed = 7;
+  scenario::Testbed tb{opts};
+  tb.add_switch(0x1);
+  tb.add_switch(0x2);
+  tb.connect_switches(0x1, 10, 0x2, 10);
+
+  attack::HostConfig alice_cfg;
+  alice_cfg.mac = net::MacAddress::host(1);
+  alice_cfg.ip = net::Ipv4Address::host(1);
+  attack::Host& alice = tb.add_host(0x1, 1, alice_cfg);
+
+  attack::HostConfig bob_cfg;
+  bob_cfg.mac = net::MacAddress::host(2);
+  bob_cfg.ip = net::Ipv4Address::host(2);
+  attack::Host& bob = tb.add_host(0x2, 1, bob_cfg);
+
+  // 2. Attach a tracer (optional but invaluable) and start the
+  // controller: LLDP rounds, echo probes, sweeps begin.
+  trace::Tracer tracer;
+  tb.controller().set_tracer(&tracer);
+  tb.start(/*warmup=*/1_s);
+
+  std::printf("After %s of warm-up, link discovery found:\n",
+              to_string(tb.loop().now()).c_str());
+  for (const auto& link : tb.controller().topology().links()) {
+    std::printf("  link %s\n", link.to_string().c_str());
+  }
+
+  // 3. Hosts announce themselves (ARP) and the HTS learns locations.
+  alice.send_arp_request(bob.ip());
+  bob.send_arp_request(alice.ip());
+  tb.run_for(500_ms);
+
+  std::printf("\nHost Tracking Service bindings:\n");
+  for (const auto& [mac, rec] : tb.controller().host_tracker().hosts()) {
+    std::printf("  %s / %-10s at %s\n", mac.to_string().c_str(),
+                rec.ip.to_string().c_str(), rec.loc.to_string().c_str());
+  }
+
+  // 4. Route a ping across the network.
+  alice.send_ping(bob.mac(), bob.ip(), /*ident=*/1, /*seq=*/1);
+  tb.run_for(500_ms);
+
+  bool replied = false;
+  for (const auto& pkt : alice.received()) {
+    if (pkt.icmp() && pkt.icmp()->type == net::IcmpPayload::Type::EchoReply) {
+      replied = true;
+    }
+  }
+  std::printf("\nalice pinged bob across switches: %s\n",
+              replied ? "reply received" : "NO reply");
+  std::printf("paths installed by reactive routing: %llu\n",
+              static_cast<unsigned long long>(
+                  tb.controller().routing().paths_installed()));
+  std::printf("flow rules at 0x1: %zu, at 0x2: %zu\n",
+              tb.get_switch(0x1).flow_table().size(),
+              tb.get_switch(0x2).flow_table().size());
+
+  // 5. The tracer kept the control-plane story.
+  std::printf("\nLast controller events:\n%s",
+              tracer.render(/*last_n=*/8).c_str());
+  std::printf("(%llu control-plane events recorded in total)\n",
+              static_cast<unsigned long long>(tracer.total_recorded()));
+
+  std::printf("\nDone. Next: run attack_port_amnesia / attack_port_probing\n"
+              "to see the paper's attacks against this machinery.\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+#include "attack/alert_flood.hpp"
+
+namespace tmg::attack {
+
+AlertFloodAttack::AlertFloodAttack(sim::EventLoop& loop, sim::Rng rng,
+                                   Host& attacker, Config config)
+    : loop_{loop},
+      rng_{std::move(rng)},
+      host_{attacker},
+      config_{std::move(config)} {}
+
+void AlertFloodAttack::start() {
+  if (running_ || config_.identities.empty()) return;
+  running_ = true;
+  tick();
+}
+
+void AlertFloodAttack::tick() {
+  if (!running_) return;
+  if (config_.budget != 0 && sent_ >= config_.budget) {
+    running_ = false;
+    return;
+  }
+  const SpoofedIdentity& id = config_.identities[next_identity_];
+  next_identity_ = (next_identity_ + 1) % config_.identities.size();
+  // A gratuitous ARP with the spoofed identity: cheap, broadcast, and
+  // guaranteed to reach the Host Tracking Service as a Packet-In.
+  host_.send(net::make_arp_request(id.mac, id.ip, id.ip));
+  ++sent_;
+  loop_.schedule_after(config_.period, [this] { tick(); });
+}
+
+}  // namespace tmg::attack

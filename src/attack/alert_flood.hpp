@@ -1,0 +1,56 @@
+// Alert flood attack (paper Sec. IV-B, "Alert Floods").
+//
+// Passive defenses raise alerts but do not change network state, and the
+// operator must untangle attacker from victim per alert. An attacker
+// exploits this by spoofing many end-host identities from its own port,
+// generating a storm of migration/conflict alerts that buries the one
+// alert belonging to the real hijack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/host.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+
+namespace tmg::attack {
+
+struct SpoofedIdentity {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+};
+
+class AlertFloodAttack {
+ public:
+  struct Config {
+    /// Identities to impersonate (typically every host the attacker has
+    /// enumerated on the subnet).
+    std::vector<SpoofedIdentity> identities;
+    /// Delay between successive spoofed packets.
+    sim::Duration period = sim::Duration::millis(20);
+    /// Total spoofed packets to send (0 = run until stopped).
+    std::uint64_t budget = 0;
+  };
+
+  AlertFloodAttack(sim::EventLoop& loop, sim::Rng rng, Host& attacker,
+                   Config config);
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  void tick();
+
+  sim::EventLoop& loop_;
+  sim::Rng rng_;
+  Host& host_;
+  Config config_;
+  std::size_t next_identity_ = 0;
+  std::uint64_t sent_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace tmg::attack

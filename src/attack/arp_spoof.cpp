@@ -1,0 +1,29 @@
+#include "attack/arp_spoof.hpp"
+
+namespace tmg::attack {
+
+ArpSpoofAttack::ArpSpoofAttack(sim::EventLoop& loop, Host& attacker,
+                               Config config)
+    : loop_{loop}, host_{attacker}, config_{config} {}
+
+void ArpSpoofAttack::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void ArpSpoofAttack::tick() {
+  if (!running_) return;
+  if (config_.budget != 0 && sent_ >= config_.budget) {
+    running_ = false;
+    return;
+  }
+  // Forged reply: "victim_ip is-at <attacker MAC>", unicast to the
+  // target so its cache learns the poisoned mapping.
+  host_.send(net::make_arp_reply(host_.mac(), config_.victim_ip,
+                                 config_.target_mac, config_.target_ip));
+  ++sent_;
+  loop_.schedule_after(config_.period, [this] { tick(); });
+}
+
+}  // namespace tmg::attack

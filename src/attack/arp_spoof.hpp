@@ -1,0 +1,50 @@
+// Classic ARP cache poisoning (paper Sec. III-A.2's point of contrast).
+//
+// The attacker periodically sends forged ARP replies to a target host,
+// claiming the victim's IP maps to the attacker's MAC. This corrupts
+// the *IP-to-MAC* binding in end-host ARP caches — unlike Host Location
+// Hijacking, which corrupts the controller's *MAC-to-port* binding.
+// Conventional defenses (Dynamic ARP Inspection) stop this attack and,
+// as the paper argues, are ineffective against HLH.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/host.hpp"
+#include "sim/event_loop.hpp"
+
+namespace tmg::attack {
+
+class ArpSpoofAttack {
+ public:
+  struct Config {
+    /// The IP whose traffic the attacker wants (the victim's).
+    net::Ipv4Address victim_ip;
+    /// The host whose ARP cache is being poisoned.
+    net::MacAddress target_mac;
+    net::Ipv4Address target_ip;
+    /// Re-poisoning period (caches age out / get corrected by genuine
+    /// replies, so spoofers repeat).
+    sim::Duration period = sim::Duration::millis(500);
+    /// Total forged replies (0 = until stopped).
+    std::uint64_t budget = 0;
+  };
+
+  ArpSpoofAttack(sim::EventLoop& loop, Host& attacker, Config config);
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t forged_replies() const { return sent_; }
+
+ private:
+  void tick();
+
+  sim::EventLoop& loop_;
+  Host& host_;
+  Config config_;
+  std::uint64_t sent_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace tmg::attack

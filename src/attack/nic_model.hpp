@@ -1,0 +1,39 @@
+// NIC reconfiguration latency models.
+//
+// The paper measures `ifconfig` operations on real Linux hosts:
+//   - a bare interface down/up flap: 3.25 ms mean (Sec. V-A),
+//   - a full identity change (down, set MAC+IP, up): 9.94 ms mean with a
+//     heavy tail out to ~160 ms (Sec. V-B, Fig. 4).
+// We substitute calibrated log-normal distributions (see DESIGN.md §2):
+// only the latency distribution matters to the hijack race.
+#pragma once
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace tmg::attack {
+
+/// Log-normal latency model for one NIC management operation.
+class NicOpModel {
+ public:
+  /// @param mu_ns, sigma — parameters of ln(latency in ns)
+  NicOpModel(double mu_ns, double sigma) : mu_ns_{mu_ns}, sigma_{sigma} {}
+
+  [[nodiscard]] sim::Duration sample(sim::Rng& rng) const;
+
+  /// Analytic mean of the distribution.
+  [[nodiscard]] sim::Duration mean() const;
+
+  /// ifconfig down/up flap (paper: 3.25 ms mean).
+  static NicOpModel interface_flap();
+
+  /// ifconfig identity change: down + set MAC/IP + up (paper Fig. 4:
+  /// 9.94 ms mean, occasional trials out to ~160 ms).
+  static NicOpModel identity_change();
+
+ private:
+  double mu_ns_;
+  double sigma_;
+};
+
+}  // namespace tmg::attack

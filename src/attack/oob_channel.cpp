@@ -1,0 +1,35 @@
+#include "attack/oob_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tmg::attack {
+
+OutOfBandChannel::OutOfBandChannel(sim::EventLoop& loop, sim::Rng rng,
+                                   OobChannelConfig config)
+    : loop_{loop}, rng_{std::move(rng)}, config_{config} {}
+
+sim::Duration OutOfBandChannel::sample_delay() {
+  const double ns = rng_.normal(
+      static_cast<double>(
+          (config_.latency + config_.codec_overhead).count_nanos()),
+      static_cast<double>(config_.jitter.count_nanos()));
+  return std::max(sim::Duration::nanos(static_cast<std::int64_t>(ns)),
+                  sim::Duration::micros(10));
+}
+
+void OutOfBandChannel::transfer(net::Packet pkt,
+                                std::function<void(net::Packet)> deliver) {
+  ++transfers_;
+  loop_.schedule_after(
+      sample_delay(),
+      [pkt = std::move(pkt), deliver = std::move(deliver)]() mutable {
+        deliver(std::move(pkt));
+      });
+}
+
+void OutOfBandChannel::signal(std::function<void()> action) {
+  loop_.schedule_after(sample_delay(), std::move(action));
+}
+
+}  // namespace tmg::attack

@@ -1,0 +1,111 @@
+#include "attack/port_probing.hpp"
+
+namespace tmg::attack {
+
+namespace {
+
+LivenessProber::Config prober_config(const PortProbingConfig& cfg) {
+  LivenessProber::Config pc;
+  pc.type = cfg.probe_type;
+  pc.timeout = cfg.probe_timeout;
+  pc.tool_overhead = cfg.nmap_overhead;
+  pc.zombie = cfg.zombie;
+  return pc;
+}
+
+}  // namespace
+
+PortProbingAttack::PortProbingAttack(sim::EventLoop& loop, sim::Rng rng,
+                                     Host& attacker, PortProbingConfig config)
+    : loop_{loop},
+      rng_{std::move(rng)},
+      host_{attacker},
+      config_{config},
+      prober_{loop, rng_.fork(), attacker, prober_config(config)} {
+  // Capture the victim's MAC from the first ARP reply it sends us.
+  host_.add_listener([this](const net::Packet& pkt) {
+    if (victim_mac_) return;
+    const auto* arp = pkt.arp();
+    if (arp && arp->op == net::ArpPayload::Op::Reply &&
+        arp->sender_ip == config_.victim_ip) {
+      victim_mac_ = arp->sender_mac;
+      timeline_.victim_mac_acquired = loop_.now();
+    }
+  });
+}
+
+void PortProbingAttack::start() {
+  timeline_.started = loop_.now();
+  acquire_mac();
+}
+
+void PortProbingAttack::acquire_mac() {
+  if (victim_mac_) {
+    schedule_probe();
+    return;
+  }
+  host_.send_arp_request(config_.victim_ip);
+  // Retry until the victim answers (it is online at attack start).
+  loop_.schedule_after(sim::Duration::millis(100), [this] { acquire_mac(); });
+}
+
+void PortProbingAttack::schedule_probe() {
+  if (hijacking_) return;
+  loop_.schedule_after(config_.probe_period, [this] { run_probe(); });
+}
+
+void PortProbingAttack::run_probe() {
+  if (hijacking_ || prober_.busy()) {
+    schedule_probe();
+    return;
+  }
+  ++probes_run_;
+  ProbeTarget target;
+  target.ip = config_.victim_ip;
+  target.mac = *victim_mac_;
+  target.tcp_port = config_.victim_tcp_port;
+  prober_.probe(target,
+                [this](const ProbeOutcome& outcome) { on_probe(outcome); });
+  schedule_probe();
+}
+
+void PortProbingAttack::on_probe(const ProbeOutcome& outcome) {
+  if (hijacking_) return;
+  if (outcome.alive) {
+    consecutive_failures_ = 0;
+    return;
+  }
+  ++consecutive_failures_;
+  timeline_.final_probe_start = outcome.started;
+  if (consecutive_failures_ < config_.confirm_failures) return;
+  timeline_.victim_declared_down = outcome.finished;
+  hijack();
+}
+
+void PortProbingAttack::hijack() {
+  hijacking_ = true;
+  // "ifconfig can reset a NIC's MAC and IP rapidly enough that spoofing
+  // via packet header rewriting is unnecessary" (paper Sec. IV-B).
+  host_.change_identity_timed(
+      *victim_mac_, config_.victim_ip, config_.ident_model, [this] {
+        timeline_.interface_up_as_victim = loop_.now();
+        // Originate traffic to generate a Packet-In and complete the
+        // victim's "move" in the Host Tracking Service. A gratuitous
+        // ARP is ordinary, expected dataplane traffic.
+        host_.send_arp_request(config_.victim_ip);
+        timeline_.traffic_sent = loop_.now();
+        if (on_claimed_) on_claimed_();
+        if (config_.maintain_period > sim::Duration::zero()) maintain();
+      });
+}
+
+void PortProbingAttack::maintain() {
+  host_.send_arp_request(config_.victim_ip);
+  loop_.schedule_after(config_.maintain_period, [this] { maintain(); });
+}
+
+void PortProbingAttack::mark_hijack_confirmed(sim::SimTime at) {
+  if (!timeline_.hijack_confirmed) timeline_.hijack_confirmed = at;
+}
+
+}  // namespace tmg::attack

@@ -1,0 +1,37 @@
+// HMAC-SHA256 (RFC 2104).
+//
+// TopoGuard authenticates controller-emitted LLDP packets with a keyed
+// MAC so that end-hosts cannot forge LLDP contents (they can still relay
+// intact packets, which is exactly what the port-amnesia attacks exploit).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace tmg::crypto {
+
+/// A symmetric key held by the controller.
+struct Key {
+  std::vector<std::uint8_t> bytes;
+
+  /// Derive a key deterministically from a seed label (test fixtures and
+  /// scenario setup; production code would use a CSPRNG).
+  static Key derive(std::span<const std::uint8_t> seed);
+};
+
+/// HMAC-SHA256 of `data` under `key`.
+Digest256 hmac_sha256(const Key& key, std::span<const std::uint8_t> data);
+
+/// Constant-time comparison of two digests.
+bool digest_equal(const Digest256& a, const Digest256& b);
+
+/// Truncated MAC (first `n` bytes of the HMAC), as carried in the LLDP
+/// authenticator TLV.
+std::vector<std::uint8_t> truncated_mac(const Key& key,
+                                        std::span<const std::uint8_t> data,
+                                        std::size_t n);
+
+}  // namespace tmg::crypto

@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4), implemented from scratch for LLDP authentication.
+//
+// Used by crypto::hmac_sha256 to sign controller-emitted LLDP payloads
+// (TopoGuard's "authenticated LLDP" defense) and to key-verify the
+// encrypted timestamp TLV added by TOPOGUARD+.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tmg::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input.
+  void update(std::span<const std::uint8_t> data);
+
+  /// Finalize and return the digest. The context must not be reused
+  /// afterwards without calling reset().
+  Digest256 finish();
+
+  /// Reset to the initial state.
+  void reset();
+
+  /// One-shot convenience.
+  static Digest256 hash(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Hex-encode a digest (lowercase).
+std::string to_hex(const Digest256& d);
+
+}  // namespace tmg::crypto

@@ -1,0 +1,53 @@
+#include "ctrl/alert_bus.hpp"
+
+#include <algorithm>
+
+namespace tmg::ctrl {
+
+const char* to_string(AlertType t) {
+  switch (t) {
+    case AlertType::LldpFromHostPort: return "LLDP_FROM_HOST_PORT";
+    case AlertType::FirstHopFromSwitchPort: return "FIRST_HOP_FROM_SWITCH_PORT";
+    case AlertType::InvalidLldpSignature: return "INVALID_LLDP_SIGNATURE";
+    case AlertType::HostMigrationPrecondition:
+      return "HOST_MIGRATION_PRECONDITION";
+    case AlertType::HostMigrationPostcondition:
+      return "HOST_MIGRATION_POSTCONDITION";
+    case AlertType::SphinxIdentifierConflict:
+      return "SPHINX_IDENTIFIER_CONFLICT";
+    case AlertType::SphinxFlowInconsistency:
+      return "SPHINX_FLOW_INCONSISTENCY";
+    case AlertType::SphinxWaypointChange: return "SPHINX_WAYPOINT_CHANGE";
+    case AlertType::SphinxLinkAsymmetry: return "SPHINX_LINK_ASYMMETRY";
+    case AlertType::CmmControlMessage: return "CMM_CONTROL_MESSAGE";
+    case AlertType::LliAbnormalLatency: return "LLI_ABNORMAL_LATENCY";
+    case AlertType::LliMissingTimestamp: return "LLI_MISSING_TIMESTAMP";
+    case AlertType::SecureBindingViolation: return "SECURE_BINDING_VIOLATION";
+    case AlertType::ArpInspectionViolation: return "ARP_INSPECTION_VIOLATION";
+    case AlertType::ActiveProbeViolation: return "ACTIVE_PROBE_VIOLATION";
+  }
+  return "UNKNOWN";
+}
+
+void AlertBus::raise(Alert alert) {
+  alerts_.push_back(alert);
+  for (const auto& l : listeners_) l(alerts_.back());
+}
+
+std::size_t AlertBus::count(AlertType t) const {
+  return static_cast<std::size_t>(
+      std::count_if(alerts_.begin(), alerts_.end(),
+                    [&](const Alert& a) { return a.type == t; }));
+}
+
+std::size_t AlertBus::count_from(const std::string& module) const {
+  return static_cast<std::size_t>(
+      std::count_if(alerts_.begin(), alerts_.end(),
+                    [&](const Alert& a) { return a.module == module; }));
+}
+
+void AlertBus::subscribe(Listener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+}  // namespace tmg::ctrl

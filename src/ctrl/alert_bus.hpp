@@ -1,0 +1,79 @@
+// Alert collection.
+//
+// Defenses raise alerts here. Faithfully to the paper (Sec. IV-B "Alert
+// Floods"), raising an alert does NOT alter network state: blocking is a
+// separate, optional decision made by the module that detected the
+// violation.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "of/messages.hpp"
+#include "sim/time.hpp"
+
+namespace tmg::ctrl {
+
+enum class AlertType {
+  // TopoGuard
+  LldpFromHostPort,          // link fabrication: LLDP seen from a HOST port
+  FirstHopFromSwitchPort,    // host traffic from a SWITCH port
+  InvalidLldpSignature,      // authenticator missing/corrupt
+  HostMigrationPrecondition,   // move without prior Port-Down
+  HostMigrationPostcondition,  // old location still reachable after move
+  // SPHINX surrogate
+  SphinxIdentifierConflict,  // same MAC live at two locations
+  SphinxFlowInconsistency,   // per-flow byte counters diverge along path
+  SphinxWaypointChange,      // existing flow path changed unexpectedly
+  SphinxLinkAsymmetry,       // link ingress/egress port counters diverge
+  // TOPOGUARD+
+  CmmControlMessage,         // Port-Up/Down during LLDP propagation
+  LliAbnormalLatency,        // link latency above Q3 + 3*IQR
+  LliMissingTimestamp,       // LLDP arrived without a decryptable timestamp
+  // Secure identifier binding (paper Sec. VI-A / Jero et al. '17)
+  SecureBindingViolation,    // claimed identifiers don't match credential
+  // Dynamic ARP inspection (the conventional ARP-spoofing defense the
+  // paper contrasts with HLH in Sec. III-A.2)
+  ArpInspectionViolation,    // ARP sender fields contradict known binding
+  // Active link verification (prototype of the "active, dynamic
+  // defenses" the paper's conclusion calls for)
+  ActiveProbeViolation,      // challenge probes lost or too slow
+};
+
+/// Human-readable name of an alert type.
+const char* to_string(AlertType t);
+
+struct Alert {
+  sim::SimTime time;
+  std::string module;   // raising defense module
+  AlertType type;
+  std::string message;
+  std::optional<of::Location> location;  // implicated port, if any
+};
+
+class AlertBus {
+ public:
+  using Listener = std::function<void(const Alert&)>;
+
+  void raise(Alert alert);
+
+  [[nodiscard]] const std::vector<Alert>& alerts() const { return alerts_; }
+  [[nodiscard]] std::size_t count() const { return alerts_.size(); }
+  [[nodiscard]] std::size_t count(AlertType t) const;
+  [[nodiscard]] std::size_t count_from(const std::string& module) const;
+  [[nodiscard]] bool any(AlertType t) const { return count(t) > 0; }
+
+  /// Register a listener invoked on every subsequent alert.
+  void subscribe(Listener listener);
+
+  void clear() { alerts_.clear(); }
+
+ private:
+  std::vector<Alert> alerts_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace tmg::ctrl

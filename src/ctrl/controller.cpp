@@ -1,0 +1,286 @@
+#include "ctrl/controller.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "ctrl/host_tracker.hpp"
+#include "ctrl/link_discovery.hpp"
+#include "ctrl/routing.hpp"
+
+namespace tmg::ctrl {
+
+namespace {
+std::vector<std::uint8_t> to_bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+}  // namespace
+
+Controller::Controller(sim::EventLoop& loop, sim::Rng rng,
+                       ControllerConfig config)
+    : loop_{loop},
+      rng_{std::move(rng)},
+      config_{std::move(config)},
+      lldp_key_{crypto::Key::derive(to_bytes(config_.key_seed + "/lldp"))},
+      ts_key_{crypto::XteaKey::derive(to_bytes(config_.key_seed + "/ts"))} {
+  links_ = std::make_unique<LinkDiscoveryService>(*this);
+  hosts_ = std::make_unique<HostTrackingService>(*this);
+  routing_ = std::make_unique<RoutingService>(*this);
+}
+
+Controller::~Controller() = default;
+
+void Controller::connect_switch(of::Dpid dpid, of::ControlChannel& channel,
+                                std::vector<of::PortNo> ports) {
+  auto [it, inserted] = switches_.try_emplace(dpid);
+  if (!inserted) throw std::logic_error("switch already connected");
+  it->second.channel = &channel;
+  it->second.ports = std::move(ports);
+  channel.attach_controller(
+      [this, dpid](const of::SwitchToCtrl& msg) { dispatch(dpid, msg); });
+}
+
+void Controller::start() {
+  if (started_) return;
+  started_ = true;
+  links_->start();
+  echo_tick();
+}
+
+DefenseModule& Controller::add_defense(std::unique_ptr<DefenseModule> module) {
+  assert(module);
+  modules_.push_back(std::move(module));
+  return *modules_.back();
+}
+
+std::vector<of::Dpid> Controller::switch_dpids() const {
+  std::vector<of::Dpid> out;
+  out.reserve(switches_.size());
+  for (const auto& [dpid, _] : switches_) out.push_back(dpid);
+  return out;
+}
+
+const std::vector<of::PortNo>& Controller::switch_ports(of::Dpid dpid) const {
+  return switches_.at(dpid).ports;
+}
+
+std::optional<sim::Duration> Controller::control_rtt(of::Dpid dpid) const {
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end() || it->second.recent_rtts.empty()) {
+    return std::nullopt;
+  }
+  sim::Duration sum = sim::Duration::zero();
+  for (const auto d : it->second.recent_rtts) sum += d;
+  return sum / static_cast<std::int64_t>(it->second.recent_rtts.size());
+}
+
+net::MacAddress Controller::mac() const {
+  return net::MacAddress{{0x02, 0xc0, 0xff, 0xee, 0x00, 0x01}};
+}
+
+net::Ipv4Address Controller::ip() const {
+  return net::Ipv4Address{10, 255, 255, 254};
+}
+
+void Controller::send_packet_out(of::Dpid dpid, of::PortNo out_port,
+                                 net::Packet pkt, of::PortNo in_port) {
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end()) return;
+  it->second.channel->to_switch(
+      of::PacketOut{out_port, in_port, std::move(pkt)});
+}
+
+void Controller::send_flow_mod(of::Dpid dpid, of::FlowMod fm) {
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end()) return;
+  for (const auto& m : modules_) m->on_flow_mod(dpid, fm);
+  if (tracer_) {
+    trace_event(trace::EventKind::FlowMod,
+                (fm.command == of::FlowMod::Command::Add ? "add " : "del ") +
+                    fm.match.to_string(),
+                of::Location{dpid, fm.action.out_port});
+  }
+  it->second.channel->to_switch(std::move(fm));
+}
+
+void Controller::set_tracer(trace::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_) {
+    alerts_.subscribe([this](const Alert& alert) {
+      if (!tracer_) return;
+      trace_event(trace::EventKind::Alert,
+                  alert.module + ": " + alert.message, alert.location);
+    });
+  }
+}
+
+void Controller::trace_event(trace::EventKind kind, std::string detail,
+                             std::optional<of::Location> loc) {
+  if (tracer_) tracer_->record(loop_.now(), kind, std::move(detail), loc);
+}
+
+void Controller::request_flow_stats(of::Dpid dpid) {
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end()) return;
+  static std::uint32_t next_xid = 1;
+  it->second.channel->to_switch(of::FlowStatsRequest{next_xid++});
+}
+
+void Controller::request_port_stats(of::Dpid dpid) {
+  const auto it = switches_.find(dpid);
+  if (it == switches_.end()) return;
+  static std::uint32_t next_xid = 1;
+  it->second.channel->to_switch(of::PortStatsRequest{next_xid++});
+}
+
+void Controller::probe_reachability(of::Location loc, net::MacAddress dst_mac,
+                                    net::Ipv4Address dst_ip,
+                                    std::function<void(bool)> done) {
+  const std::uint16_t ident = next_probe_ident_++;
+  net::Packet probe =
+      net::make_icmp_echo(mac(), ip(), dst_mac, dst_ip, ident, 1);
+  PendingProbe pending;
+  pending.done = std::move(done);
+  pending.timeout =
+      loop_.schedule_after(config_.host_probe_timeout, [this, ident] {
+        auto it = pending_probes_.find(ident);
+        if (it == pending_probes_.end()) return;
+        auto cb = std::move(it->second.done);
+        pending_probes_.erase(it);
+        cb(false);
+      });
+  pending_probes_.emplace(ident, std::move(pending));
+  send_packet_out(loc.dpid, loc.port, std::move(probe));
+}
+
+bool Controller::consume_probe_reply(const of::PacketIn& pi) {
+  const auto* icmp = pi.packet.icmp();
+  if (!icmp || icmp->type != net::IcmpPayload::Type::EchoReply) return false;
+  if (pi.packet.dst_mac != mac()) return false;
+  auto it = pending_probes_.find(icmp->ident);
+  if (it == pending_probes_.end()) return true;  // stale reply: still ours
+  auto cb = std::move(it->second.done);
+  it->second.timeout.cancel();
+  pending_probes_.erase(it);
+  cb(true);
+  return true;
+}
+
+Verdict Controller::notify_host_event(const HostEvent& ev) {
+  Verdict verdict = Verdict::Allow;
+  for (const auto& m : modules_) {
+    if (m->on_host_event(ev) == Verdict::Block) verdict = Verdict::Block;
+  }
+  return verdict;
+}
+
+Verdict Controller::notify_lldp_observation(const LldpObservation& obs) {
+  Verdict verdict = Verdict::Allow;
+  for (const auto& m : modules_) {
+    if (m->on_lldp_observation(obs) == Verdict::Block) {
+      verdict = Verdict::Block;
+    }
+  }
+  return verdict;
+}
+
+void Controller::notify_link_removed(const topo::Link& link) {
+  for (const auto& m : modules_) m->on_link_removed(link);
+}
+
+void Controller::notify_port_status(const of::PortStatus& ps) {
+  for (const auto& m : modules_) m->on_port_status(ps);
+}
+
+void Controller::dispatch(of::Dpid dpid, const of::SwitchToCtrl& msg) {
+  struct Visitor {
+    Controller& c;
+    of::Dpid dpid;
+    void operator()(const of::PacketIn& pi) {
+      if (c.tracer_) {
+        c.trace_event(trace::EventKind::PacketIn, pi.packet.describe(),
+                      of::Location{pi.dpid, pi.in_port});
+      }
+      c.handle_packet_in(pi);
+    }
+    void operator()(const of::PortStatus& ps) {
+      c.trace_event(ps.reason == of::PortStatus::Reason::Down
+                        ? trace::EventKind::PortDown
+                        : trace::EventKind::PortUp,
+                    "", of::Location{ps.dpid, ps.port});
+      c.notify_port_status(ps);
+      if (ps.reason == of::PortStatus::Reason::Down) {
+        c.links_->handle_port_down(of::Location{ps.dpid, ps.port});
+      }
+    }
+    void operator()(const of::EchoReply& er) { c.handle_echo_reply(dpid, er); }
+    void operator()(const of::FlowRemoved&) {
+      // Flow expiry needs no controller action in this model.
+    }
+    void operator()(const of::FlowStatsReply& fsr) {
+      for (const auto& m : c.modules_) m->on_flow_stats(fsr);
+    }
+    void operator()(const of::PortStatsReply& psr) {
+      for (const auto& m : c.modules_) m->on_port_stats(psr);
+    }
+  };
+  std::visit(Visitor{*this, dpid}, msg);
+}
+
+void Controller::handle_packet_in(const of::PacketIn& pi) {
+  // Controller-internal probe replies never reach services or defenses.
+  if (consume_probe_reply(pi)) return;
+  if (pi.in_port == of::kPortController) return;  // bounced LLI probe
+
+  // Answer ARP for the controller's own (virtual) identity, so probed
+  // hosts can resolve the source of reachability pings.
+  if (const auto* arp = pi.packet.arp();
+      arp != nullptr && arp->op == net::ArpPayload::Op::Request &&
+      arp->target_ip == ip()) {
+    send_packet_out(pi.dpid, pi.in_port,
+                    net::make_arp_reply(mac(), ip(), arp->sender_mac,
+                                        arp->sender_ip));
+    return;
+  }
+
+  Verdict verdict = Verdict::Allow;
+  for (const auto& m : modules_) {
+    if (m->on_packet_in(pi) == Verdict::Block) verdict = Verdict::Block;
+  }
+  if (verdict == Verdict::Block) return;
+
+  if (pi.packet.is_lldp()) {
+    links_->handle_lldp_packet_in(pi);
+    return;
+  }
+  hosts_->handle_packet_in(pi);
+  routing_->handle_packet_in(pi);
+}
+
+void Controller::handle_echo_reply(of::Dpid dpid, const of::EchoReply& er) {
+  auto it = switches_.find(dpid);
+  if (it == switches_.end()) return;
+  auto& conn = it->second;
+  const auto sent = conn.pending_echo.find(er.token);
+  if (sent == conn.pending_echo.end()) return;
+  const sim::Duration rtt = loop_.now() - sent->second;
+  conn.pending_echo.erase(sent);
+  conn.recent_rtts.push_back(rtt);
+  // Paper Sec. VI-D: average of the latest three measurements.
+  while (conn.recent_rtts.size() > 3) conn.recent_rtts.pop_front();
+  if (tracer_) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "rtt=%.3fms", rtt.to_millis_f());
+    trace_event(trace::EventKind::EchoRtt, buf, of::Location{dpid, 0});
+  }
+}
+
+void Controller::echo_tick() {
+  for (auto& [dpid, conn] : switches_) {
+    const std::uint64_t token = next_echo_token_++;
+    conn.pending_echo.emplace(token, loop_.now());
+    conn.channel->to_switch(of::EchoRequest{token});
+  }
+  loop_.schedule_after(config_.echo_interval, [this] { echo_tick(); });
+}
+
+}  // namespace tmg::ctrl

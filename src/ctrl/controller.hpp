@@ -1,0 +1,170 @@
+// SDN controller core.
+//
+// Owns the control channels to all switches, the topology view, the
+// defense-module pipeline, and the three Floodlight-style services the
+// paper's attacks target: link discovery, host tracking, and reactive
+// routing. Also tracks per-switch control-link RTT (average of the
+// latest three echo exchanges), which TOPOGUARD+'s LLI subtracts from
+// LLDP propagation time (paper Sec. VI-D).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+#include "crypto/xtea.hpp"
+#include "ctrl/alert_bus.hpp"
+#include "ctrl/defense_module.hpp"
+#include "ctrl/profiles.hpp"
+#include "of/control_channel.hpp"
+#include "of/messages.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+#include "topo/graph.hpp"
+#include "trace/tracer.hpp"
+
+namespace tmg::ctrl {
+
+class LinkDiscoveryService;
+class HostTrackingService;
+class RoutingService;
+
+struct ControllerConfig {
+  ControllerProfile profile = floodlight_profile();
+  /// TopoGuard: HMAC-sign LLDP packets and reject invalid signatures.
+  bool authenticate_lldp = false;
+  /// TOPOGUARD+: embed an encrypted departure timestamp in LLDP.
+  bool lldp_timestamps = false;
+  /// Idle timeout given to installed flow rules.
+  sim::Duration flow_idle_timeout = sim::Duration::seconds(5);
+  /// How long a controller-originated reachability probe waits.
+  sim::Duration host_probe_timeout = sim::Duration::millis(200);
+  /// Period of control-link echo RTT probes (LLI calibration).
+  sim::Duration echo_interval = sim::Duration::seconds(2);
+  /// Period of the link-timeout sweep.
+  sim::Duration link_sweep_interval = sim::Duration::seconds(1);
+  /// Seed label for the controller's keys.
+  std::string key_seed = "topomirage-controller-key";
+};
+
+class Controller {
+ public:
+  Controller(sim::EventLoop& loop, sim::Rng rng, ControllerConfig config);
+  ~Controller();
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Register a switch reachable over `channel`. `ports` lists the
+  /// switch's dataplane ports (LLDP is emitted to each).
+  void connect_switch(of::Dpid dpid, of::ControlChannel& channel,
+                      std::vector<of::PortNo> ports);
+
+  /// Begin periodic work: LLDP rounds, echo probes, link sweeps.
+  void start();
+
+  /// Install a defense module; runs after previously added modules.
+  DefenseModule& add_defense(std::unique_ptr<DefenseModule> module);
+
+  // --- State accessors ---
+  [[nodiscard]] AlertBus& alerts() { return alerts_; }
+  [[nodiscard]] const AlertBus& alerts() const { return alerts_; }
+  [[nodiscard]] topo::TopologyGraph& topology() { return topology_; }
+  [[nodiscard]] const topo::TopologyGraph& topology() const {
+    return topology_;
+  }
+  [[nodiscard]] LinkDiscoveryService& link_discovery() { return *links_; }
+  [[nodiscard]] HostTrackingService& host_tracker() { return *hosts_; }
+  [[nodiscard]] RoutingService& routing() { return *routing_; }
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+  [[nodiscard]] std::vector<of::Dpid> switch_dpids() const;
+  [[nodiscard]] const std::vector<of::PortNo>& switch_ports(
+      of::Dpid dpid) const;
+
+  /// Average of the latest three control-link RTTs; nullopt until the
+  /// first echo completes.
+  [[nodiscard]] std::optional<sim::Duration> control_rtt(of::Dpid dpid) const;
+
+  // --- Controller identity (used for reachability probes) ---
+  [[nodiscard]] net::MacAddress mac() const;
+  [[nodiscard]] net::Ipv4Address ip() const;
+  [[nodiscard]] const crypto::Key& lldp_key() const { return lldp_key_; }
+  [[nodiscard]] const crypto::XteaKey& ts_key() const { return ts_key_; }
+
+  // --- Transport (services and defenses send through these) ---
+  void send_packet_out(of::Dpid dpid, of::PortNo out_port, net::Packet pkt,
+                       of::PortNo in_port = of::kPortNone);
+  void send_flow_mod(of::Dpid dpid, of::FlowMod fm);
+  void request_flow_stats(of::Dpid dpid);
+  void request_port_stats(of::Dpid dpid);
+
+  /// Send an ICMP echo out (dpid, port) and report whether a reply came
+  /// back within config().host_probe_timeout. Probe replies are consumed
+  /// before the defense pipeline (they are controller-internal traffic).
+  void probe_reachability(of::Location loc, net::MacAddress dst_mac,
+                          net::Ipv4Address dst_ip,
+                          std::function<void(bool reachable)> done);
+
+  // --- Tracing ---
+
+  /// Attach an event tracer (optional; nullptr detaches). Alerts raised
+  /// after attachment are mirrored into it.
+  void set_tracer(trace::Tracer* tracer);
+  [[nodiscard]] trace::Tracer* tracer() { return tracer_; }
+
+  /// Record a trace event if a tracer is attached (used by the services;
+  /// cheap no-op otherwise).
+  void trace_event(trace::EventKind kind, std::string detail,
+                   std::optional<of::Location> loc = std::nullopt);
+
+  // --- Service-internal notification fan-out ---
+  Verdict notify_host_event(const HostEvent& ev);
+  Verdict notify_lldp_observation(const LldpObservation& obs);
+  void notify_link_removed(const topo::Link& link);
+  void notify_port_status(const of::PortStatus& ps);
+
+ private:
+  struct SwitchConn {
+    of::ControlChannel* channel = nullptr;
+    std::vector<of::PortNo> ports;
+    std::deque<sim::Duration> recent_rtts;  // latest 3
+    std::map<std::uint64_t, sim::SimTime> pending_echo;  // token -> sent
+  };
+  struct PendingProbe {
+    std::function<void(bool)> done;
+    sim::TimerHandle timeout;
+  };
+
+  void dispatch(of::Dpid dpid, const of::SwitchToCtrl& msg);
+  void handle_packet_in(const of::PacketIn& pi);
+  void handle_echo_reply(of::Dpid dpid, const of::EchoReply& er);
+  void echo_tick();
+  /// True if the packet-in was a reply to a controller probe (consumed).
+  bool consume_probe_reply(const of::PacketIn& pi);
+
+  sim::EventLoop& loop_;
+  sim::Rng rng_;
+  ControllerConfig config_;
+  AlertBus alerts_;
+  topo::TopologyGraph topology_;
+  std::map<of::Dpid, SwitchConn> switches_;
+  std::vector<std::unique_ptr<DefenseModule>> modules_;
+  std::unique_ptr<LinkDiscoveryService> links_;
+  std::unique_ptr<HostTrackingService> hosts_;
+  std::unique_ptr<RoutingService> routing_;
+  crypto::Key lldp_key_;
+  crypto::XteaKey ts_key_;
+  std::uint64_t next_echo_token_ = 1;
+  std::uint16_t next_probe_ident_ = 1;
+  std::map<std::uint16_t, PendingProbe> pending_probes_;
+  trace::Tracer* tracer_ = nullptr;
+  bool started_ = false;
+};
+
+}  // namespace tmg::ctrl

@@ -1,0 +1,97 @@
+#include "ctrl/host_tracker.hpp"
+
+#include "ctrl/controller.hpp"
+#include "ctrl/routing.hpp"
+
+namespace tmg::ctrl {
+
+HostTrackingService::HostTrackingService(Controller& ctrl) : ctrl_{ctrl} {}
+
+net::Ipv4Address HostTrackingService::source_ip_of(const net::Packet& pkt) {
+  if (const auto* arp = pkt.arp()) return arp->sender_ip;
+  if (pkt.ip) return pkt.ip->src;
+  return net::Ipv4Address::any();
+}
+
+void HostTrackingService::handle_packet_in(const of::PacketIn& pi) {
+  const net::Packet& pkt = pi.packet;
+  if (pkt.is_lldp()) return;
+  if (pkt.src_mac.is_multicast()) return;
+  const of::Location loc{pi.dpid, pi.in_port};
+  // Traffic on switch-internal ports is transit, not first-hop: it never
+  // (re)binds a host. Floodlight's DeviceManager does the same.
+  if (ctrl_.topology().is_switch_port(loc)) return;
+
+  const sim::SimTime now = ctrl_.loop().now();
+  const net::Ipv4Address src_ip = source_ip_of(pkt);
+
+  auto it = hosts_.find(pkt.src_mac);
+  if (it == hosts_.end()) {
+    HostEvent ev;
+    ev.kind = HostEvent::Kind::New;
+    ev.mac = pkt.src_mac;
+    ev.ip = src_ip;
+    ev.new_loc = loc;
+    if (ctrl_.notify_host_event(ev) == Verdict::Block) {
+      ++blocked_;
+      ctrl_.trace_event(trace::EventKind::HostBlocked,
+                        pkt.src_mac.to_string(), loc);
+      return;
+    }
+    hosts_.emplace(pkt.src_mac,
+                   HostRecord{pkt.src_mac, src_ip, loc, now, now});
+    ctrl_.trace_event(trace::EventKind::HostNew,
+                      pkt.src_mac.to_string() + " / " + src_ip.to_string(),
+                      loc);
+    return;
+  }
+
+  HostRecord& rec = it->second;
+  if (rec.loc == loc) {
+    rec.last_seen = now;
+    if (src_ip != net::Ipv4Address::any()) rec.ip = src_ip;
+    return;
+  }
+
+  // Location change: a migration (legitimate or hijack — the controller
+  // cannot tell; that ambiguity is the attack surface).
+  HostEvent ev;
+  ev.kind = HostEvent::Kind::Moved;
+  ev.mac = pkt.src_mac;
+  ev.ip = src_ip != net::Ipv4Address::any() ? src_ip : rec.ip;
+  ev.old_loc = rec.loc;
+  ev.new_loc = loc;
+  ev.old_last_seen = rec.last_seen;
+  if (ctrl_.notify_host_event(ev) == Verdict::Block) {
+    ++blocked_;
+    ctrl_.trace_event(trace::EventKind::HostBlocked,
+                      pkt.src_mac.to_string(), loc);
+    return;
+  }
+  ctrl_.trace_event(trace::EventKind::HostMoved,
+                    pkt.src_mac.to_string() + " " + rec.loc.to_string() +
+                        " -> " + loc.to_string(),
+                    loc);
+  rec.loc = loc;
+  rec.last_seen = now;
+  if (src_ip != net::Ipv4Address::any()) rec.ip = src_ip;
+  ++migrations_;
+  ctrl_.routing().on_host_moved(ev);
+}
+
+std::optional<HostRecord> HostTrackingService::find(
+    net::MacAddress mac) const {
+  const auto it = hosts_.find(mac);
+  if (it == hosts_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<HostRecord> HostTrackingService::find_by_ip(
+    net::Ipv4Address ip) const {
+  for (const auto& [_, rec] : hosts_) {
+    if (rec.ip == ip) return rec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tmg::ctrl

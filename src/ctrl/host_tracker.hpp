@@ -1,0 +1,59 @@
+// Host Tracking Service (Floodlight DeviceManager analogue).
+//
+// Learns MAC/IP -> (switch, port) bindings from Packet-In source fields,
+// exactly the mechanism Host Location Hijacking corrupts (paper Sec.
+// III-A.2): whoever originates traffic with the victim's identifiers
+// first, from anywhere, owns the binding.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "net/ipv4_address.hpp"
+#include "net/mac_address.hpp"
+#include "of/messages.hpp"
+#include "sim/time.hpp"
+
+namespace tmg::ctrl {
+
+class Controller;
+
+struct HostRecord {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+  of::Location loc;
+  sim::SimTime first_seen;
+  sim::SimTime last_seen;
+};
+
+class HostTrackingService {
+ public:
+  explicit HostTrackingService(Controller& ctrl);
+
+  /// Learn from a (non-LLDP) Packet-In. Ignores multicast sources and
+  /// packets arriving on known switch-internal ports.
+  void handle_packet_in(const of::PacketIn& pi);
+
+  [[nodiscard]] std::optional<HostRecord> find(net::MacAddress mac) const;
+  [[nodiscard]] std::optional<HostRecord> find_by_ip(
+      net::Ipv4Address ip) const;
+  [[nodiscard]] const std::unordered_map<net::MacAddress, HostRecord>& hosts()
+      const {
+    return hosts_;
+  }
+
+  /// Number of accepted migrations since start (for experiment logs).
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  /// Number of host events suppressed by a defense verdict.
+  [[nodiscard]] std::uint64_t blocked_events() const { return blocked_; }
+
+ private:
+  static net::Ipv4Address source_ip_of(const net::Packet& pkt);
+
+  Controller& ctrl_;
+  std::unordered_map<net::MacAddress, HostRecord> hosts_;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
+}  // namespace tmg::ctrl

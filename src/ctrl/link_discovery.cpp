@@ -1,0 +1,164 @@
+#include "ctrl/link_discovery.hpp"
+
+#include "ctrl/controller.hpp"
+
+namespace tmg::ctrl {
+
+LinkDiscoveryService::LinkDiscoveryService(Controller& ctrl) : ctrl_{ctrl} {}
+
+void LinkDiscoveryService::start() {
+  emit_round();
+  sweep();
+}
+
+net::LldpPacket LinkDiscoveryService::construct_lldp(
+    of::Dpid dpid, of::PortNo port, std::uint64_t nonce,
+    sim::SimTime departure) const {
+  net::LldpPacket lldp{dpid, port};
+  if (ctrl_.config().lldp_timestamps) {
+    lldp.set_encrypted_timestamp(ctrl_.ts_key(), nonce, departure);
+  }
+  if (ctrl_.config().authenticate_lldp) {
+    lldp.sign(ctrl_.lldp_key());
+  }
+  return lldp;
+}
+
+void LinkDiscoveryService::emit_round() {
+  const sim::SimTime now = ctrl_.loop().now();
+  for (const of::Dpid dpid : ctrl_.switch_dpids()) {
+    for (const of::PortNo port : ctrl_.switch_ports(dpid)) {
+      const std::uint64_t nonce = next_nonce_++;
+      net::LldpPacket lldp = construct_lldp(dpid, port, nonce, now);
+      outstanding_[of::Location{dpid, port}] = Emission{nonce, now};
+      ++emissions_;
+      ctrl_.send_packet_out(
+          dpid, port,
+          net::make_lldp_frame(net::MacAddress::lldp_multicast(),
+                               std::move(lldp)));
+    }
+  }
+  ctrl_.loop().schedule_after(ctrl_.config().profile.lldp_interval,
+                              [this] { emit_round(); });
+}
+
+std::optional<sim::Duration> LinkDiscoveryService::estimate_link_latency(
+    const net::LldpPacket& lldp, of::Dpid src_dpid, of::Dpid dst_dpid,
+    sim::SimTime received_at) const {
+  const auto departure = lldp.decrypt_timestamp(ctrl_.ts_key());
+  if (!departure) return std::nullopt;
+  const auto rtt_src = ctrl_.control_rtt(src_dpid);
+  const auto rtt_dst = ctrl_.control_rtt(dst_dpid);
+  // T_link = T_LLDP - T_SW1 - T_SW2 (paper Sec. VI-D). The control-link
+  // delays are one-way estimates: half the measured echo RTT. Until the
+  // first echo completes we conservatively subtract nothing, which only
+  // overestimates latency during bootstrap (visible as the Fig. 11
+  // startup burst).
+  sim::Duration t = received_at - *departure;
+  if (rtt_src) t -= *rtt_src / 2;
+  if (rtt_dst) t -= *rtt_dst / 2;
+  if (t.is_negative()) t = sim::Duration::zero();
+  return t;
+}
+
+void LinkDiscoveryService::handle_lldp_packet_in(const of::PacketIn& pi) {
+  const net::LldpPacket* lldp = pi.packet.lldp();
+  if (!lldp) return;
+  ++receptions_;
+  const sim::SimTime now = ctrl_.loop().now();
+
+  const of::Location src{lldp->chassis_id(), lldp->port_id()};
+  const of::Location dst{pi.dpid, pi.in_port};
+  if (src == dst) return;  // reflection; ignore
+
+  LldpObservation obs;
+  obs.src = src;
+  obs.dst = dst;
+  obs.received_at = now;
+
+  // Signature check (TopoGuard "authenticated LLDP").
+  obs.signature_valid =
+      !ctrl_.config().authenticate_lldp || lldp->verify(ctrl_.lldp_key());
+  if (!obs.signature_valid) {
+    ctrl_.alerts().raise(Alert{now, "LinkDiscovery",
+                               AlertType::InvalidLldpSignature,
+                               "LLDP authenticator missing or invalid from " +
+                                   dst.to_string(),
+                               dst});
+    return;  // forged LLDP never reaches topology
+  }
+
+  // Match against the last emission for the advertised port.
+  const auto em = outstanding_.find(src);
+  if (em != outstanding_.end()) {
+    obs.emitted_at = em->second.sent_at;
+  } else {
+    obs.emitted_at = now;  // unsolicited (e.g. fully forged chassis/port)
+  }
+
+  if (ctrl_.config().lldp_timestamps) {
+    obs.timestamp_present = lldp->has_timestamp();
+    obs.link_latency =
+        estimate_link_latency(*lldp, src.dpid, dst.dpid, now);
+  }
+
+  const topo::Link link{src, dst};
+  const auto existing = links_.find(link);
+  obs.is_new_link = existing == links_.end();
+
+  if (ctrl_.notify_lldp_observation(obs) == Verdict::Block) return;
+
+  if (obs.is_new_link) {
+    links_.emplace(link, LinkState{link, now, now});
+    ctrl_.topology().add_link(src, dst);
+    ctrl_.trace_event(trace::EventKind::LinkAdded, link.to_string(), dst);
+  } else {
+    existing->second.last_verified = now;
+  }
+}
+
+void LinkDiscoveryService::handle_port_down(of::Location loc) {
+  auto it = links_.begin();
+  while (it != links_.end()) {
+    if (it->first.a == loc || it->first.b == loc) {
+      const topo::Link link = it->first;
+      it = links_.erase(it);
+      ctrl_.topology().remove_link(link.a, link.b);
+      ctrl_.trace_event(trace::EventKind::LinkRemoved,
+                        link.to_string() + " (port down)", loc);
+      ctrl_.notify_link_removed(link);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LinkDiscoveryService::sweep() {
+  const sim::SimTime now = ctrl_.loop().now();
+  const sim::Duration timeout = ctrl_.config().profile.link_timeout;
+  auto it = links_.begin();
+  while (it != links_.end()) {
+    if (now - it->second.last_verified >= timeout) {
+      const topo::Link link = it->first;
+      it = links_.erase(it);
+      ctrl_.topology().remove_link(link.a, link.b);
+      ctrl_.trace_event(trace::EventKind::LinkRemoved,
+                        link.to_string() + " (timeout)", link.a);
+      ctrl_.notify_link_removed(link);
+    } else {
+      ++it;
+    }
+  }
+  ctrl_.loop().schedule_after(ctrl_.config().link_sweep_interval,
+                              [this] { sweep(); });
+}
+
+std::vector<LinkDiscoveryService::LinkState>
+LinkDiscoveryService::link_states() const {
+  std::vector<LinkState> out;
+  out.reserve(links_.size());
+  for (const auto& [_, state] : links_) out.push_back(state);
+  return out;
+}
+
+}  // namespace tmg::ctrl

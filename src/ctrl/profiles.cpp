@@ -1,0 +1,23 @@
+#include "ctrl/profiles.hpp"
+
+namespace tmg::ctrl {
+
+using sim::Duration;
+
+ControllerProfile floodlight_profile() {
+  return {"Floodlight", Duration::seconds(15), Duration::seconds(35)};
+}
+
+ControllerProfile pox_profile() {
+  return {"POX", Duration::seconds(5), Duration::seconds(10)};
+}
+
+ControllerProfile opendaylight_profile() {
+  return {"OpenDaylight", Duration::seconds(5), Duration::seconds(15)};
+}
+
+std::vector<ControllerProfile> all_profiles() {
+  return {floodlight_profile(), pox_profile(), opendaylight_profile()};
+}
+
+}  // namespace tmg::ctrl

@@ -1,0 +1,29 @@
+// Per-controller discovery timing profiles (paper Table III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tmg::ctrl {
+
+struct ControllerProfile {
+  std::string name;
+  /// Period between LLDP emission rounds.
+  sim::Duration lldp_interval;
+  /// A link is dropped from the topology if not re-verified within this.
+  sim::Duration link_timeout;
+};
+
+/// Floodlight: 15s discovery, 35s timeout.
+ControllerProfile floodlight_profile();
+/// POX: 5s discovery, 10s timeout.
+ControllerProfile pox_profile();
+/// OpenDaylight: 5s discovery, 15s timeout.
+ControllerProfile opendaylight_profile();
+
+/// All Table III rows, in the paper's order.
+std::vector<ControllerProfile> all_profiles();
+
+}  // namespace tmg::ctrl

@@ -1,0 +1,130 @@
+#include "ctrl/routing.hpp"
+
+#include "ctrl/controller.hpp"
+#include "ctrl/host_tracker.hpp"
+
+namespace tmg::ctrl {
+
+namespace {
+constexpr std::size_t kDedupCapacity = 65536;
+}
+
+RoutingService::RoutingService(Controller& ctrl) : ctrl_{ctrl} {}
+
+void RoutingService::remember(std::unordered_set<std::uint64_t>& set,
+                              std::deque<std::uint64_t>& order,
+                              std::uint64_t id) {
+  set.insert(id);
+  order.push_back(id);
+  while (order.size() > kDedupCapacity) {
+    set.erase(order.front());
+    order.pop_front();
+  }
+}
+
+void RoutingService::handle_packet_in(const of::PacketIn& pi) {
+  const net::Packet& pkt = pi.packet;
+
+  // Bridge-filtered group addresses (EAPOL, STP, ...) are link-local:
+  // consumed at the controller, never forwarded.
+  if (pkt.dst_mac.is_link_local_group()) return;
+
+  if (pkt.dst_mac.is_broadcast() || pkt.dst_mac.is_multicast()) {
+    flood(pi);
+    return;
+  }
+
+  const auto dst = ctrl_.host_tracker().find(pkt.dst_mac);
+  if (!dst) {
+    flood(pi);
+    return;
+  }
+
+  if (routed_.contains(pkt.trace_id)) {
+    // The packet outran its Flow-Mods (control-channel race): forward it
+    // statelessly along the already-computed direction.
+    const auto path = ctrl_.topology().path(pi.dpid, dst->loc.dpid);
+    if (path && !path->empty()) {
+      ctrl_.send_packet_out(pi.dpid, path->front().from.port, pkt);
+    } else if (pi.dpid == dst->loc.dpid) {
+      ctrl_.send_packet_out(pi.dpid, dst->loc.port, pkt);
+    }
+    return;
+  }
+
+  if (!route(pi, dst->loc)) flood(pi);
+}
+
+bool RoutingService::route(const of::PacketIn& pi, const of::Location& dst) {
+  const net::Packet& pkt = pi.packet;
+  of::FlowMatch match;
+  match.dst_mac = pkt.dst_mac;
+
+  const auto make_mod = [&](of::FlowAction action) {
+    of::FlowMod fm;
+    fm.command = of::FlowMod::Command::Add;
+    fm.cookie = next_cookie_++;
+    fm.match = match;
+    fm.action = action;
+    fm.idle_timeout = ctrl_.config().flow_idle_timeout;
+    return fm;
+  };
+
+  if (pi.dpid == dst.dpid) {
+    ctrl_.send_flow_mod(pi.dpid, make_mod(of::FlowAction::output(dst.port)));
+    ctrl_.send_packet_out(pi.dpid, dst.port, pkt);
+    remember(routed_, routed_order_, pkt.trace_id);
+    ++paths_;
+    return true;
+  }
+
+  const auto path = ctrl_.topology().path(pi.dpid, dst.dpid);
+  if (!path || path->empty()) return false;
+
+  // Install from the destination backwards (Floodlight's order, to
+  // minimize in-flight misses), then release the packet at the ingress.
+  ctrl_.send_flow_mod(dst.dpid, make_mod(of::FlowAction::output(dst.port)));
+  for (auto it = path->rbegin(); it != path->rend(); ++it) {
+    ctrl_.send_flow_mod(it->from.dpid,
+                        make_mod(of::FlowAction::output(it->from.port)));
+  }
+  ctrl_.send_packet_out(pi.dpid, path->front().from.port, pkt);
+  remember(routed_, routed_order_, pkt.trace_id);
+  ++paths_;
+  return true;
+}
+
+void RoutingService::flood(const of::PacketIn& pi) {
+  const std::uint64_t id = pi.packet.trace_id;
+  auto [it, fresh] = flood_state_.try_emplace(id);
+  if (fresh) {
+    flooded_order_.push_back(id);
+    while (flooded_order_.size() > kDedupCapacity) {
+      flood_state_.erase(flooded_order_.front());
+      flooded_order_.pop_front();
+    }
+    ++floods_;
+  }
+  // Storm suppression: each switch forwards a given packet once. The
+  // flood then propagates hop-by-hop over real links, paying real
+  // dataplane latency (copies arriving at already-flooded switches die
+  // here).
+  if (it->second.contains(pi.dpid)) return;
+  it->second.insert(pi.dpid);
+  ctrl_.send_packet_out(pi.dpid, of::kPortFlood, pi.packet, pi.in_port);
+}
+
+void RoutingService::on_host_moved(const HostEvent& ev) {
+  // Purge stale delivery rules so traffic for this MAC re-routes through
+  // the new binding on the next packet.
+  of::FlowMatch match;
+  match.dst_mac = ev.mac;
+  for (const of::Dpid dpid : ctrl_.switch_dpids()) {
+    of::FlowMod fm;
+    fm.command = of::FlowMod::Command::DeleteMatching;
+    fm.match = match;
+    ctrl_.send_flow_mod(dpid, fm);
+  }
+}
+
+}  // namespace tmg::ctrl

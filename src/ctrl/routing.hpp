@@ -1,0 +1,60 @@
+// Reactive routing (Floodlight Forwarding analogue).
+//
+// Table-miss Packet-Ins trigger shortest-path computation over the
+// (possibly poisoned) topology, Flow-Mod installation along the path,
+// and a Packet-Out of the triggering packet. Broadcast and
+// unknown-unicast are flooded with controller-side duplicate
+// suppression (standing in for Floodlight's broadcast tree).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "of/messages.hpp"
+
+namespace tmg::ctrl {
+
+class Controller;
+struct HostEvent;
+
+class RoutingService {
+ public:
+  explicit RoutingService(Controller& ctrl);
+
+  /// Route or flood a (non-LLDP) Packet-In.
+  void handle_packet_in(const of::PacketIn& pi);
+
+  /// Purge rules delivering to a host that moved, so traffic follows the
+  /// new binding immediately (Floodlight does the same on device move).
+  void on_host_moved(const HostEvent& ev);
+
+  [[nodiscard]] std::uint64_t paths_installed() const { return paths_; }
+  [[nodiscard]] std::uint64_t floods() const { return floods_; }
+
+ private:
+  /// Hop-by-hop dataplane flooding with per-switch storm suppression:
+  /// each switch floods a given packet at most once, so broadcasts
+  /// propagate over real links (and pay real link latency) without
+  /// looping.
+  void flood(const of::PacketIn& pi);
+  /// Install per-hop rules toward dst and forward the packet. Returns
+  /// false if no path exists.
+  bool route(const of::PacketIn& pi, const of::Location& dst_loc);
+  void remember(std::unordered_set<std::uint64_t>& set,
+                std::deque<std::uint64_t>& order, std::uint64_t id);
+
+  Controller& ctrl_;
+  /// trace_id -> switches that already flooded it.
+  std::unordered_map<std::uint64_t, std::unordered_set<of::Dpid>>
+      flood_state_;
+  std::deque<std::uint64_t> flooded_order_;
+  std::unordered_set<std::uint64_t> routed_;
+  std::deque<std::uint64_t> routed_order_;
+  std::uint64_t next_cookie_ = 1;
+  std::uint64_t paths_ = 0;
+  std::uint64_t floods_ = 0;
+};
+
+}  // namespace tmg::ctrl

@@ -1,0 +1,54 @@
+#include "defense/cmm.hpp"
+
+#include <algorithm>
+
+namespace tmg::defense {
+
+using ctrl::Alert;
+using ctrl::AlertType;
+using ctrl::Verdict;
+
+Cmm::Cmm(ctrl::Controller& ctrl, CmmConfig config)
+    : ctrl_{ctrl}, config_{config} {}
+
+void Cmm::on_port_status(const of::PortStatus& ps) {
+  const sim::SimTime now = ctrl_.loop().now();
+  events_.push_back(
+      PortEvent{of::Location{ps.dpid, ps.port}, now, ps.reason});
+  prune(now);
+}
+
+void Cmm::prune(sim::SimTime now) {
+  while (!events_.empty() && now - events_.front().at > config_.history) {
+    events_.pop_front();
+  }
+}
+
+bool Cmm::port_event_in_window(of::Location loc, sim::SimTime from,
+                               sim::SimTime to) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [&](const PortEvent& e) {
+                       return e.loc == loc && e.at >= from && e.at <= to;
+                     });
+}
+
+Verdict Cmm::on_lldp_observation(const ctrl::LldpObservation& obs) {
+  // Retroactive check over the propagation window, applied to both the
+  // advertised (sender) and receiving port (paper Sec. VI-C: the
+  // receiver is not known in advance, so events are logged and checked
+  // on receipt).
+  const bool hit =
+      port_event_in_window(obs.src, obs.emitted_at, obs.received_at) ||
+      port_event_in_window(obs.dst, obs.emitted_at, obs.received_at);
+  if (!hit) return Verdict::Allow;
+
+  ++detections_;
+  ctrl_.alerts().raise(Alert{
+      ctrl_.loop().now(), name(), AlertType::CmmControlMessage,
+      "Port-Up/Down during LLDP propagation " + obs.src.to_string() + " -> " +
+          obs.dst.to_string() + " (suspected in-band port amnesia)",
+      obs.dst});
+  return config_.block ? Verdict::Block : Verdict::Allow;
+}
+
+}  // namespace tmg::defense

@@ -1,0 +1,41 @@
+// TOPOGUARD+ — the paper's defense contribution (Sec. VI).
+//
+// TOPOGUARD+ = TopoGuard + Control Message Monitor + Link Latency
+// Inspector. This header provides a one-call installer that wires all
+// three modules into a controller and returns typed handles to each.
+// The controller must have been configured with `authenticate_lldp` and
+// `lldp_timestamps` enabled (the scenario builders do this).
+#pragma once
+
+#include "defense/cmm.hpp"
+#include "defense/lli.hpp"
+#include "defense/sphinx.hpp"
+#include "defense/topoguard.hpp"
+
+namespace tmg::defense {
+
+struct TopoGuardPlusConfig {
+  TopoGuardConfig topoguard;
+  CmmConfig cmm;
+  LliConfig lli;
+};
+
+/// Handles to the installed modules (owned by the controller).
+struct TopoGuardPlus {
+  TopoGuard* topoguard = nullptr;
+  Cmm* cmm = nullptr;
+  Lli* lli = nullptr;
+};
+
+/// Install TopoGuard, CMM and LLI on `ctrl` (in that order).
+TopoGuardPlus install_topoguard_plus(ctrl::Controller& ctrl,
+                                     TopoGuardPlusConfig config = {});
+
+/// Install only the original TopoGuard.
+TopoGuard& install_topoguard(ctrl::Controller& ctrl,
+                             TopoGuardConfig config = {});
+
+/// Install and start the SPHINX surrogate.
+Sphinx& install_sphinx(ctrl::Controller& ctrl, SphinxConfig config = {});
+
+}  // namespace tmg::defense

@@ -1,0 +1,39 @@
+#include "ids/ids.hpp"
+
+#include <algorithm>
+
+namespace tmg::ids {
+
+Ids::Ids(sim::EventLoop& loop) : loop_{loop} {}
+
+void Ids::install_default_rules() {
+  add_rule(std::make_unique<TcpSynScanRule>());
+  add_rule(std::make_unique<IcmpSweepRule>());
+  add_rule(std::make_unique<ArpDiscoveryFloodRule>());
+}
+
+void Ids::add_rule(std::unique_ptr<Rule> rule) {
+  rules_.push_back(std::move(rule));
+}
+
+void Ids::monitor(of::DataLink& link) {
+  link.set_tap([this](const net::Packet& pkt, of::Side) { observe(pkt); });
+}
+
+void Ids::observe(const net::Packet& pkt) {
+  ++inspected_;
+  const auto sink = [this](IdsAlert alert) {
+    alerts_.push_back(std::move(alert));
+  };
+  for (const auto& rule : rules_) {
+    rule->on_packet(loop_.now(), pkt, sink);
+  }
+}
+
+std::size_t Ids::alert_count(const std::string& rule) const {
+  return static_cast<std::size_t>(
+      std::count_if(alerts_.begin(), alerts_.end(),
+                    [&](const IdsAlert& a) { return a.rule == rule; }));
+}
+
+}  // namespace tmg::ids

@@ -1,0 +1,49 @@
+// Network IDS (Snort surrogate).
+//
+// Monitors one or more data links through passive taps, feeds every
+// observed packet to its rule set, and records alerts. Used to
+// reproduce the paper's scan-stealth findings (Table I "Stealth" column
+// and Sec. V-B2's 2-scans-per-second SYN threshold).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ids/rules.hpp"
+#include "of/data_link.hpp"
+#include "sim/event_loop.hpp"
+
+namespace tmg::ids {
+
+class Ids {
+ public:
+  explicit Ids(sim::EventLoop& loop);
+
+  /// Install the paper's rule set (SYN-rate, ICMP-rate, ARP discovery).
+  void install_default_rules();
+
+  void add_rule(std::unique_ptr<Rule> rule);
+
+  /// Tap a link: every packet delivered over it is inspected.
+  void monitor(of::DataLink& link);
+
+  /// Feed one packet directly (unit tests, offline traces).
+  void observe(const net::Packet& pkt);
+
+  [[nodiscard]] const std::vector<IdsAlert>& alerts() const {
+    return alerts_;
+  }
+  [[nodiscard]] std::size_t alert_count() const { return alerts_.size(); }
+  [[nodiscard]] std::size_t alert_count(const std::string& rule) const;
+  [[nodiscard]] std::uint64_t packets_inspected() const { return inspected_; }
+
+  void clear_alerts() { alerts_.clear(); }
+
+ private:
+  sim::EventLoop& loop_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<IdsAlert> alerts_;
+  std::uint64_t inspected_ = 0;
+};
+
+}  // namespace tmg::ids

@@ -1,0 +1,91 @@
+#include "ids/rules.hpp"
+
+namespace tmg::ids {
+
+namespace {
+
+/// Push `now` into a per-source deque, prune entries older than
+/// `window`, and return the surviving count.
+std::size_t rate_update(std::deque<sim::SimTime>& q, sim::SimTime now,
+                        sim::Duration window) {
+  q.push_back(now);
+  // Half-open window: an event exactly `window` old has rotated out, so
+  // a steady rate of exactly max_per_second never alerts ("above 2
+  // scans per second", paper Sec. V-B2).
+  while (!q.empty() && now - q.front() >= window) q.pop_front();
+  return q.size();
+}
+
+}  // namespace
+
+TcpSynScanRule::TcpSynScanRule(double max_per_second, sim::Duration window)
+    : max_per_second_{max_per_second}, window_{window} {}
+
+void TcpSynScanRule::on_packet(sim::SimTime now, const net::Packet& pkt,
+                               const AlertSink& sink) {
+  const auto* tcp = pkt.tcp();
+  if (!tcp || !pkt.ip) return;
+  // Zero-data SYN probes are the scan signature; SYNs that carry decoy
+  // data (nmap's evasion mode) do not match the rule.
+  if (!(tcp->flags.syn && !tcp->flags.ack) || tcp->data_len > 0) return;
+  auto& q = history_[pkt.ip->src];
+  const std::size_t n = rate_update(q, now, window_);
+  const double allowed = max_per_second_ * window_.to_seconds_f();
+  if (static_cast<double>(n) > allowed) {
+    sink(IdsAlert{now, name(),
+                  "zero-data SYN rate above " +
+                      std::to_string(max_per_second_) + "/s from " +
+                      pkt.ip->src.to_string(),
+                  pkt.ip->src});
+    q.clear();  // re-arm after alert
+  }
+}
+
+IcmpSweepRule::IcmpSweepRule(double max_per_second, sim::Duration window)
+    : max_per_second_{max_per_second}, window_{window} {}
+
+void IcmpSweepRule::on_packet(sim::SimTime now, const net::Packet& pkt,
+                              const AlertSink& sink) {
+  const auto* icmp = pkt.icmp();
+  if (!icmp || !pkt.ip) return;
+  if (icmp->type != net::IcmpPayload::Type::EchoRequest) return;
+  auto& q = history_[pkt.ip->src];
+  const std::size_t n = rate_update(q, now, window_);
+  const double allowed = max_per_second_ * window_.to_seconds_f();
+  if (static_cast<double>(n) > allowed) {
+    sink(IdsAlert{now, name(),
+                  "ICMP echo-request rate above " +
+                      std::to_string(max_per_second_) + "/s from " +
+                      pkt.ip->src.to_string(),
+                  pkt.ip->src});
+    q.clear();
+  }
+}
+
+ArpDiscoveryFloodRule::ArpDiscoveryFloodRule(std::size_t max_distinct_targets,
+                                             sim::Duration window)
+    : max_distinct_{max_distinct_targets}, window_{window} {}
+
+void ArpDiscoveryFloodRule::on_packet(sim::SimTime now,
+                                      const net::Packet& pkt,
+                                      const AlertSink& sink) {
+  const auto* arp = pkt.arp();
+  if (!arp || arp->op != net::ArpPayload::Op::Request) return;
+  auto& state = history_[arp->sender_ip];
+  state.recent.emplace_back(now, arp->target_ip);
+  while (!state.recent.empty() &&
+         now - state.recent.front().first > window_) {
+    state.recent.pop_front();
+  }
+  std::unordered_set<net::Ipv4Address> distinct;
+  for (const auto& [_, target] : state.recent) distinct.insert(target);
+  if (distinct.size() > max_distinct_) {
+    sink(IdsAlert{now, name(),
+                  "ARP discovery flood (" + std::to_string(distinct.size()) +
+                      " distinct targets) from " + arp->sender_ip.to_string(),
+                  arp->sender_ip});
+    state.recent.clear();
+  }
+}
+
+}  // namespace tmg::ids

@@ -1,0 +1,54 @@
+#include "net/ipv4_address.hpp"
+
+#include <cstdio>
+
+namespace tmg::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view s) {
+  std::uint32_t parts[4];
+  std::size_t idx = 0;
+  std::uint32_t cur = 0;
+  bool have_digit = false;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint32_t>(c - '0');
+      if (cur > 255) return std::nullopt;
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || idx >= 3) return std::nullopt;
+      parts[idx++] = cur;
+      cur = 0;
+      have_digit = false;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit || idx != 3) return std::nullopt;
+  parts[3] = cur;
+  return Ipv4Address{static_cast<std::uint8_t>(parts[0]),
+                     static_cast<std::uint8_t>(parts[1]),
+                     static_cast<std::uint8_t>(parts[2]),
+                     static_cast<std::uint8_t>(parts[3])};
+}
+
+Ipv4Address Ipv4Address::host(std::uint32_t index) {
+  return Ipv4Address{10, 0, static_cast<std::uint8_t>(index >> 8),
+                     static_cast<std::uint8_t>(index)};
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+bool Ipv4Address::same_subnet(Ipv4Address other,
+                              std::uint32_t prefix_len) const {
+  if (prefix_len == 0) return true;
+  const std::uint32_t mask =
+      prefix_len >= 32 ? 0xffffffffu : ~((1u << (32 - prefix_len)) - 1);
+  return (value_ & mask) == (other.value_ & mask);
+}
+
+}  // namespace tmg::net

@@ -1,0 +1,51 @@
+// IPv4 addresses.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tmg::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t v) : value_{v} {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_{(static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) |
+               static_cast<std::uint32_t>(d)} {}
+
+  /// Parse dotted-quad. Returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view s);
+
+  /// Deterministic 10.0.0.x address for host index i (1-based host byte),
+  /// matching the paper's figures (10.0.0.1, 10.0.0.2, ...).
+  static Ipv4Address host(std::uint32_t index);
+
+  static constexpr Ipv4Address any() { return Ipv4Address{0}; }
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool same_subnet(Ipv4Address other,
+                                 std::uint32_t prefix_len = 24) const;
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace tmg::net
+
+template <>
+struct std::hash<tmg::net::Ipv4Address> {
+  std::size_t operator()(const tmg::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

@@ -1,0 +1,200 @@
+#include "net/lldp.hpp"
+
+#include <cstring>
+
+namespace tmg::net {
+
+namespace {
+
+// TLV type codes (loosely modeled on 802.1AB: type 1 chassis, 2 port,
+// 3 TTL, 127 org-specific with a one-byte subtype).
+constexpr std::uint8_t kTlvChassis = 1;
+constexpr std::uint8_t kTlvPort = 2;
+constexpr std::uint8_t kTlvTtl = 3;
+constexpr std::uint8_t kTlvOrg = 127;
+constexpr std::uint8_t kSubAuth = 0x01;
+constexpr std::uint8_t kSubTimestamp = 0x02;
+
+constexpr std::size_t kAuthLen = 16;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_tlv(std::vector<std::uint8_t>& out, std::uint8_t type,
+             std::span<const std::uint8_t> value) {
+  out.push_back(type);
+  out.push_back(static_cast<std::uint8_t>(value.size()));
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+struct Reader {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= data.size(); }
+
+  bool read_tlv(std::uint8_t& type, std::span<const std::uint8_t>& value) {
+    if (pos + 2 > data.size()) return false;
+    type = data[pos];
+    const std::size_t len = data[pos + 1];
+    if (pos + 2 + len > data.size()) return false;
+    value = data.subspan(pos + 2, len);
+    pos += 2 + len;
+    return true;
+  }
+};
+
+std::uint16_t get_u16(std::span<const std::uint8_t> v) {
+  return static_cast<std::uint16_t>((v[0] << 8) | v[1]);
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> v) {
+  std::uint64_t x = 0;
+  for (int i = 0; i < 8; ++i) x = (x << 8) | v[static_cast<std::size_t>(i)];
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> LldpPacket::core_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(24);
+  {
+    std::vector<std::uint8_t> v;
+    put_u64(v, chassis_);
+    put_tlv(out, kTlvChassis, v);
+  }
+  {
+    std::vector<std::uint8_t> v;
+    put_u16(v, port_);
+    put_tlv(out, kTlvPort, v);
+  }
+  {
+    std::vector<std::uint8_t> v;
+    put_u16(v, ttl_);
+    put_tlv(out, kTlvTtl, v);
+  }
+  return out;
+}
+
+void LldpPacket::sign(const crypto::Key& key) {
+  auth_ = crypto::truncated_mac(key, core_bytes(), kAuthLen);
+}
+
+bool LldpPacket::verify(const crypto::Key& key) const {
+  if (auth_.size() != kAuthLen) return false;
+  const auto expect = crypto::truncated_mac(key, core_bytes(), kAuthLen);
+  // Constant-time compare.
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < kAuthLen; ++i) diff |= auth_[i] ^ expect[i];
+  return diff == 0;
+}
+
+void LldpPacket::tamper_authenticator() {
+  if (auth_.empty()) auth_.assign(kAuthLen, 0);
+  auth_[0] ^= 0xff;
+}
+
+void LldpPacket::set_encrypted_timestamp(const crypto::XteaKey& key,
+                                         std::uint64_t nonce,
+                                         sim::SimTime departure) {
+  ts_nonce_ = nonce;
+  sealed_ts_ = crypto::seal_u64(
+      key, nonce, static_cast<std::uint64_t>(departure.count_nanos()));
+}
+
+std::optional<sim::SimTime> LldpPacket::decrypt_timestamp(
+    const crypto::XteaKey& key) const {
+  if (sealed_ts_.empty()) return std::nullopt;
+  std::uint64_t v = 0;
+  if (!crypto::open_u64(key, ts_nonce_, sealed_ts_, v)) return std::nullopt;
+  return sim::SimTime::from_nanos(static_cast<std::int64_t>(v));
+}
+
+void LldpPacket::tamper_timestamp() {
+  if (sealed_ts_.empty()) sealed_ts_.assign(8, 0);
+  sealed_ts_[0] ^= 0xff;
+}
+
+std::vector<std::uint8_t> LldpPacket::serialize() const {
+  std::vector<std::uint8_t> out = core_bytes();
+  if (!auth_.empty()) {
+    std::vector<std::uint8_t> v;
+    v.push_back(kSubAuth);
+    v.insert(v.end(), auth_.begin(), auth_.end());
+    put_tlv(out, kTlvOrg, v);
+  }
+  if (!sealed_ts_.empty()) {
+    std::vector<std::uint8_t> v;
+    v.push_back(kSubTimestamp);
+    put_u64(v, ts_nonce_);
+    v.insert(v.end(), sealed_ts_.begin(), sealed_ts_.end());
+    put_tlv(out, kTlvOrg, v);
+  }
+  // End-of-LLDPDU marker.
+  out.push_back(0);
+  out.push_back(0);
+  return out;
+}
+
+std::optional<LldpPacket> LldpPacket::parse(
+    std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  LldpPacket pkt;
+  bool have_chassis = false, have_port = false, have_ttl = false;
+  while (!r.done()) {
+    std::uint8_t type = 0;
+    std::span<const std::uint8_t> value;
+    if (!r.read_tlv(type, value)) return std::nullopt;
+    switch (type) {
+      case 0:
+        // End of LLDPDU.
+        if (!(have_chassis && have_port && have_ttl)) return std::nullopt;
+        return pkt;
+      case kTlvChassis:
+        if (value.size() != 8) return std::nullopt;
+        pkt.chassis_ = get_u64(value);
+        have_chassis = true;
+        break;
+      case kTlvPort:
+        if (value.size() != 2) return std::nullopt;
+        pkt.port_ = get_u16(value);
+        have_port = true;
+        break;
+      case kTlvTtl:
+        if (value.size() != 2) return std::nullopt;
+        pkt.ttl_ = get_u16(value);
+        have_ttl = true;
+        break;
+      case kTlvOrg: {
+        if (value.empty()) return std::nullopt;
+        const std::uint8_t sub = value[0];
+        const auto body = value.subspan(1);
+        if (sub == kSubAuth) {
+          if (body.size() != kAuthLen) return std::nullopt;
+          pkt.auth_.assign(body.begin(), body.end());
+        } else if (sub == kSubTimestamp) {
+          if (body.size() != 16) return std::nullopt;
+          pkt.ts_nonce_ = get_u64(body.first(8));
+          pkt.sealed_ts_.assign(body.begin() + 8, body.end());
+        }
+        // Unknown subtypes are skipped (forward compatibility).
+        break;
+      }
+      default:
+        // Unknown TLV types are skipped.
+        break;
+    }
+  }
+  return std::nullopt;  // missing end marker
+}
+
+}  // namespace tmg::net

@@ -1,0 +1,53 @@
+#include "net/mac_address.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace tmg::net {
+
+namespace {
+std::optional<int> hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(std::string_view s) {
+  // Expect exactly "xx:xx:xx:xx:xx:xx" (17 chars).
+  if (s.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> b{};
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t off = static_cast<std::size_t>(i) * 3;
+    const auto hi = hex_digit(s[off]);
+    const auto lo = hex_digit(s[off + 1]);
+    if (!hi || !lo) return std::nullopt;
+    if (i < 5 && s[off + 2] != ':') return std::nullopt;
+    b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(*hi << 4 | *lo);
+  }
+  return MacAddress{b};
+}
+
+MacAddress MacAddress::host(std::uint32_t index) {
+  return MacAddress{{0x02, 0x00,
+                     static_cast<std::uint8_t>(index >> 24),
+                     static_cast<std::uint8_t>(index >> 16),
+                     static_cast<std::uint8_t>(index >> 8),
+                     static_cast<std::uint8_t>(index)}};
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+std::uint64_t MacAddress::to_u64() const {
+  std::uint64_t v = 0;
+  for (std::uint8_t b : bytes_) v = (v << 8) | b;
+  return v;
+}
+
+}  // namespace tmg::net

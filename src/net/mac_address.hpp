@@ -1,0 +1,71 @@
+// Ethernet MAC addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tmg::net {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(std::array<std::uint8_t, 6> b) : bytes_{b} {}
+
+  /// Parse "aa:bb:cc:dd:ee:ff" (case-insensitive). Returns nullopt on
+  /// malformed input.
+  static std::optional<MacAddress> parse(std::string_view s);
+
+  /// Deterministic address for host index i (locally administered range
+  /// 02:00:00:..) — used by scenario builders.
+  static MacAddress host(std::uint32_t index);
+
+  /// ff:ff:ff:ff:ff:ff
+  static constexpr MacAddress broadcast() {
+    return MacAddress{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}};
+  }
+
+  /// 01:80:c2:00:00:0e — the LLDP nearest-bridge multicast address.
+  static constexpr MacAddress lldp_multicast() {
+    return MacAddress{{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}};
+  }
+
+  /// 01:80:c2:00:00:03 — the 802.1x PAE group address (EAPOL).
+  static constexpr MacAddress pae_group() {
+    return MacAddress{{0x01, 0x80, 0xc2, 0x00, 0x00, 0x03}};
+  }
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] bool is_broadcast() const { return *this == broadcast(); }
+  [[nodiscard]] bool is_multicast() const { return (bytes_[0] & 0x01) != 0; }
+
+  /// 01:80:c2:00:00:0X — the bridge-filtered (link-local) group range;
+  /// 802.1D bridges never forward these (LLDP, EAPOL, STP, ...).
+  [[nodiscard]] bool is_link_local_group() const {
+    return bytes_[0] == 0x01 && bytes_[1] == 0x80 && bytes_[2] == 0xc2 &&
+           bytes_[3] == 0x00 && bytes_[4] == 0x00 && (bytes_[5] & 0xf0) == 0;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> bytes_{};
+};
+
+}  // namespace tmg::net
+
+template <>
+struct std::hash<tmg::net::MacAddress> {
+  std::size_t operator()(const tmg::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};

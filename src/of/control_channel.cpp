@@ -1,0 +1,43 @@
+#include "of/control_channel.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace tmg::of {
+
+ControlChannel::ControlChannel(sim::EventLoop& loop, sim::Rng rng,
+                               std::unique_ptr<sim::LatencyModel> latency)
+    : loop_{loop}, rng_{std::move(rng)}, latency_{std::move(latency)} {
+  assert(latency_);
+}
+
+void ControlChannel::attach_switch(SwitchHandler handler) {
+  switch_handler_ = std::move(handler);
+}
+
+void ControlChannel::attach_controller(CtrlHandler handler) {
+  ctrl_handler_ = std::move(handler);
+}
+
+void ControlChannel::to_switch(CtrlToSwitch msg) {
+  ++n_down_;
+  // The channel is a TCP session: per-message jitter must not reorder.
+  sim::SimTime at = loop_.now() + latency_->sample(rng_);
+  if (at < last_down_delivery_) at = last_down_delivery_;
+  last_down_delivery_ = at;
+  loop_.schedule_at(at, [this, msg = std::move(msg)]() {
+    if (switch_handler_) switch_handler_(msg);
+  });
+}
+
+void ControlChannel::to_controller(SwitchToCtrl msg) {
+  ++n_up_;
+  sim::SimTime at = loop_.now() + latency_->sample(rng_);
+  if (at < last_up_delivery_) at = last_up_delivery_;
+  last_up_delivery_ = at;
+  loop_.schedule_at(at, [this, msg = std::move(msg)]() {
+    if (ctrl_handler_) ctrl_handler_(msg);
+  });
+}
+
+}  // namespace tmg::of

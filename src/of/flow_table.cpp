@@ -1,0 +1,70 @@
+#include "of/flow_table.hpp"
+
+#include <algorithm>
+
+namespace tmg::of {
+
+void FlowTable::add(FlowEntry entry, sim::SimTime now) {
+  entry.installed_at = now;
+  entry.last_matched_at = now;
+  // Replace an existing identical (match, priority) rule, as OpenFlow does.
+  for (auto& e : entries_) {
+    if (e.priority == entry.priority && e.match == entry.match) {
+      e = entry;
+      return;
+    }
+  }
+  const auto pos = std::find_if(
+      entries_.begin(), entries_.end(),
+      [&](const FlowEntry& e) { return e.priority < entry.priority; });
+  entries_.insert(pos, std::move(entry));
+}
+
+std::vector<FlowEntry> FlowTable::remove_matching(const FlowMatch& match) {
+  std::vector<FlowEntry> removed;
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    if (it->match == match) {
+      removed.push_back(*it);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+FlowEntry* FlowTable::lookup(const net::Packet& pkt, PortNo in_port,
+                             sim::SimTime now) {
+  for (auto& e : entries_) {
+    if (e.match.matches(pkt, in_port)) {
+      ++e.packet_count;
+      e.byte_count += pkt.wire_size();
+      e.last_matched_at = now;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<ExpiredEntry> FlowTable::expire(sim::SimTime now) {
+  std::vector<ExpiredEntry> expired;
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    bool hard = it->hard_timeout > sim::Duration::zero() &&
+                now - it->installed_at >= it->hard_timeout;
+    bool idle = it->idle_timeout > sim::Duration::zero() &&
+                now - it->last_matched_at >= it->idle_timeout;
+    if (hard || idle) {
+      expired.push_back(ExpiredEntry{
+          *it, hard ? FlowRemoved::Reason::HardTimeout
+                    : FlowRemoved::Reason::IdleTimeout});
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+}  // namespace tmg::of

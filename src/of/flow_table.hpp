@@ -1,0 +1,63 @@
+// Switch flow table: priority-ordered rules with counters and timeouts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "of/messages.hpp"
+#include "sim/time.hpp"
+
+namespace tmg::of {
+
+struct FlowEntry {
+  std::uint64_t cookie = 0;
+  FlowMatch match;
+  FlowAction action;
+  std::uint16_t priority = 100;
+  sim::Duration idle_timeout = sim::Duration::zero();
+  sim::Duration hard_timeout = sim::Duration::zero();
+  bool notify_on_removal = true;
+
+  // Counters / bookkeeping.
+  std::uint64_t packet_count = 0;
+  std::uint64_t byte_count = 0;
+  sim::SimTime installed_at;
+  sim::SimTime last_matched_at;
+};
+
+/// Reason a sweep removed an entry.
+struct ExpiredEntry {
+  FlowEntry entry;
+  FlowRemoved::Reason reason = FlowRemoved::Reason::IdleTimeout;
+};
+
+class FlowTable {
+ public:
+  /// Install (or replace an identical-match, identical-priority) entry.
+  void add(FlowEntry entry, sim::SimTime now);
+
+  /// Remove all entries whose match equals `match` exactly. Returns the
+  /// removed entries.
+  std::vector<FlowEntry> remove_matching(const FlowMatch& match);
+
+  /// Find the highest-priority entry matching the packet; updates its
+  /// counters and last-match time. Returns nullptr on table miss.
+  FlowEntry* lookup(const net::Packet& pkt, PortNo in_port, sim::SimTime now);
+
+  /// Remove and return entries whose idle/hard timeout elapsed at `now`.
+  std::vector<ExpiredEntry> expire(sim::SimTime now);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<FlowEntry>& entries() const {
+    return entries_;
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  // Kept sorted by descending priority (stable for equal priorities).
+  std::vector<FlowEntry> entries_;
+};
+
+}  // namespace tmg::of

@@ -1,0 +1,49 @@
+#include "of/messages.hpp"
+
+#include <cstdio>
+
+namespace tmg::of {
+
+std::string Location::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "0x%llx:%u",
+                static_cast<unsigned long long>(dpid), port);
+  return buf;
+}
+
+bool FlowMatch::matches(const net::Packet& pkt, PortNo in) const {
+  if (in_port && *in_port != in) return false;
+  if (src_mac && *src_mac != pkt.src_mac) return false;
+  if (dst_mac && *dst_mac != pkt.dst_mac) return false;
+  if (ethertype && *ethertype != pkt.ethertype) return false;
+  if (src_ip) {
+    if (!pkt.ip || pkt.ip->src != *src_ip) return false;
+  }
+  if (dst_ip) {
+    if (!pkt.ip || pkt.ip->dst != *dst_ip) return false;
+  }
+  return true;
+}
+
+std::string FlowMatch::to_string() const {
+  std::string s = "{";
+  char buf[64];
+  if (in_port) {
+    std::snprintf(buf, sizeof buf, "in=%u ", *in_port);
+    s += buf;
+  }
+  if (src_mac) s += "smac=" + src_mac->to_string() + " ";
+  if (dst_mac) s += "dmac=" + dst_mac->to_string() + " ";
+  if (ethertype) {
+    std::snprintf(buf, sizeof buf, "eth=0x%04x ",
+                  static_cast<unsigned>(*ethertype));
+    s += buf;
+  }
+  if (src_ip) s += "sip=" + src_ip->to_string() + " ";
+  if (dst_ip) s += "dip=" + dst_ip->to_string() + " ";
+  if (s.size() > 1 && s.back() == ' ') s.pop_back();
+  s += "}";
+  return s;
+}
+
+}  // namespace tmg::of

@@ -1,0 +1,236 @@
+#include "of/switch.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tmg::of {
+
+Switch::Switch(sim::EventLoop& loop, sim::Rng rng, Config config,
+               ControlChannel& channel)
+    : loop_{loop}, rng_{std::move(rng)}, config_{config}, channel_{channel} {
+  channel_.attach_switch([this](const CtrlToSwitch& msg) { handle_ctrl(msg); });
+  loop_.schedule_after(config_.expiry_sweep, [this] { sweep_expired(); });
+}
+
+void Switch::attach_link(PortNo port, DataLink& link, Side side) {
+  assert(port != 0 && port < kPortFlood);
+  auto [it, inserted] = ports_.try_emplace(port);
+  if (!inserted) throw std::logic_error("port already attached");
+  Port& p = it->second;
+  p.link = &link;
+  p.side = side;
+  p.peer_carrier_up = link.carrier(other(side));
+  p.oper_up = p.peer_carrier_up;
+  link.attach(side,
+              DataLink::Peer{
+                  [this, port](const net::Packet& pkt) { on_rx(port, pkt); },
+                  [this, port](bool up) { on_peer_carrier(port, up); },
+              });
+}
+
+bool Switch::port_oper_up(PortNo port) const {
+  const auto it = ports_.find(port);
+  return it != ports_.end() && it->second.oper_up;
+}
+
+const PortStats& Switch::port_stats(PortNo port) const {
+  return ports_.at(port).stats;
+}
+
+std::vector<PortNo> Switch::ports() const {
+  std::vector<PortNo> out;
+  out.reserve(ports_.size());
+  for (const auto& [no, _] : ports_) out.push_back(no);
+  return out;
+}
+
+void Switch::handle_ctrl(const CtrlToSwitch& msg) {
+  struct Visitor {
+    Switch& sw;
+    void operator()(const PacketOut& po) { sw.handle_packet_out(po); }
+    void operator()(const FlowMod& fm) { sw.handle_flow_mod(fm); }
+    void operator()(const EchoRequest& er) {
+      sw.channel_.to_controller(EchoReply{sw.dpid(), er.token});
+    }
+    void operator()(const FlowStatsRequest& req) {
+      FlowStatsReply reply;
+      reply.dpid = sw.dpid();
+      reply.xid = req.xid;
+      for (const auto& e : sw.table_.entries()) {
+        reply.entries.push_back(
+            FlowStatsEntry{e.cookie, e.match, e.packet_count, e.byte_count});
+      }
+      sw.channel_.to_controller(std::move(reply));
+    }
+    void operator()(const PortStatsRequest& req) {
+      PortStatsReply reply;
+      reply.dpid = sw.dpid();
+      reply.xid = req.xid;
+      for (const auto& [no, port] : sw.ports_) {
+        reply.entries.push_back(PortStatsEntry{
+            no, port.stats.rx_packets, port.stats.tx_packets,
+            port.stats.rx_bytes, port.stats.tx_bytes});
+      }
+      sw.channel_.to_controller(std::move(reply));
+    }
+  };
+  std::visit(Visitor{*this}, msg);
+}
+
+void Switch::handle_packet_out(const PacketOut& po) {
+  if (po.out_port == kPortController) {
+    // Bounce straight back as Packet-In: the TOPOGUARD+ control-link RTT
+    // probe (paper Sec. VI-D, "Control Link Latency").
+    send_packet_in(kPortController, po.packet, PacketIn::Reason::Action);
+    return;
+  }
+  if (po.out_port == kPortFlood) {
+    flood(po.packet, po.in_port);
+    return;
+  }
+  forward(po.packet, po.out_port);
+}
+
+void Switch::handle_flow_mod(const FlowMod& fm) {
+  if (fm.command == FlowMod::Command::Add) {
+    FlowEntry e;
+    e.cookie = fm.cookie;
+    e.match = fm.match;
+    e.action = fm.action;
+    e.priority = fm.priority;
+    e.idle_timeout = fm.idle_timeout;
+    e.hard_timeout = fm.hard_timeout;
+    e.notify_on_removal = fm.notify_on_removal;
+    table_.add(std::move(e), loop_.now());
+    return;
+  }
+  for (const auto& removed : table_.remove_matching(fm.match)) {
+    if (removed.notify_on_removal) {
+      channel_.to_controller(FlowRemoved{config_.dpid, removed.cookie,
+                                         FlowRemoved::Reason::Delete,
+                                         removed.packet_count,
+                                         removed.byte_count});
+    }
+  }
+}
+
+void Switch::on_rx(PortNo port, const net::Packet& pkt) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return;
+  Port& p = it->second;
+  // A port the switch considers down does not accept frames (e.g. during
+  // the brief up-detect window after carrier restoration).
+  if (!p.oper_up) return;
+  ++p.stats.rx_packets;
+  p.stats.rx_bytes += pkt.wire_size();
+
+  // LLDP always goes to the controller (Floodlight pre-installs this
+  // punt rule as part of link discovery).
+  if (pkt.is_lldp()) {
+    send_packet_in(port, pkt, PacketIn::Reason::Action);
+    return;
+  }
+
+  if (FlowEntry* entry = table_.lookup(pkt, port, loop_.now())) {
+    apply_action(pkt, port, entry->action);
+    return;
+  }
+  send_packet_in(port, pkt, PacketIn::Reason::TableMiss);
+}
+
+void Switch::apply_action(const net::Packet& pkt, PortNo in_port,
+                          const FlowAction& action) {
+  switch (action.kind) {
+    case FlowAction::Kind::Output:
+      forward(pkt, action.out_port);
+      break;
+    case FlowAction::Kind::Flood:
+      flood(pkt, in_port);
+      break;
+    case FlowAction::Kind::ToController:
+      send_packet_in(in_port, pkt, PacketIn::Reason::Action);
+      break;
+    case FlowAction::Kind::Drop:
+      break;
+  }
+}
+
+void Switch::forward(const net::Packet& pkt, PortNo out_port) {
+  auto it = ports_.find(out_port);
+  if (it == ports_.end()) return;
+  Port& p = it->second;
+  if (!p.oper_up) return;
+  ++p.stats.tx_packets;
+  p.stats.tx_bytes += pkt.wire_size();
+  DataLink* link = p.link;
+  const Side side = p.side;
+  loop_.schedule_after(config_.forward_delay,
+                       [link, side, pkt] { link->send(side, pkt); });
+}
+
+void Switch::flood(const net::Packet& pkt, PortNo except_port) {
+  for (auto& [no, p] : ports_) {
+    if (no == except_port || !p.oper_up) continue;
+    forward(pkt, no);
+  }
+}
+
+void Switch::send_packet_in(PortNo in_port, const net::Packet& pkt,
+                            PacketIn::Reason reason) {
+  channel_.to_controller(PacketIn{config_.dpid, in_port, reason, pkt});
+}
+
+void Switch::on_peer_carrier(PortNo port, bool up) {
+  auto it = ports_.find(port);
+  if (it == ports_.end()) return;
+  Port& p = it->second;
+  p.peer_carrier_up = up;
+  ++p.epoch;
+  const std::uint64_t epoch = p.epoch;
+
+  if (!up && p.oper_up) {
+    // Carrier lost: only a sustained loss (>= link-integrity window)
+    // becomes an operational Port-Down.
+    const auto lo = config_.detect_min.count_nanos();
+    const auto hi = config_.detect_max.count_nanos();
+    const auto delay =
+        sim::Duration::nanos(rng_.uniform_int(lo, hi > lo ? hi : lo));
+    loop_.schedule_after(delay, [this, port, epoch] {
+      auto pit = ports_.find(port);
+      if (pit == ports_.end()) return;
+      Port& pp = pit->second;
+      // A newer carrier change supersedes this check (fast flap).
+      if (pp.epoch != epoch) return;
+      if (!pp.peer_carrier_up && pp.oper_up) {
+        pp.oper_up = false;
+        channel_.to_controller(
+            PortStatus{config_.dpid, port, PortStatus::Reason::Down});
+      }
+    });
+  } else if (up && !p.oper_up) {
+    loop_.schedule_after(config_.up_detect, [this, port, epoch] {
+      auto pit = ports_.find(port);
+      if (pit == ports_.end()) return;
+      Port& pp = pit->second;
+      if (pp.epoch != epoch) return;
+      if (pp.peer_carrier_up && !pp.oper_up) {
+        pp.oper_up = true;
+        channel_.to_controller(
+            PortStatus{config_.dpid, port, PortStatus::Reason::Up});
+      }
+    });
+  }
+}
+
+void Switch::sweep_expired() {
+  for (const auto& expired : table_.expire(loop_.now())) {
+    if (expired.entry.notify_on_removal) {
+      channel_.to_controller(
+          FlowRemoved{config_.dpid, expired.entry.cookie, expired.reason,
+                      expired.entry.packet_count, expired.entry.byte_count});
+    }
+  }
+  loop_.schedule_after(config_.expiry_sweep, [this] { sweep_expired(); });
+}
+
+}  // namespace tmg::of

@@ -1,0 +1,95 @@
+// OpenFlow switch model.
+//
+// Forwards dataplane packets per its flow table, punts table misses and
+// all LLDP to the controller as Packet-In, honors Packet-Out / Flow-Mod,
+// and reports port state transitions. Carrier loss is detected through
+// the IEEE 802.3 link-integrity pulse window (16±8 ms by default): a
+// flap shorter than the sampled detection delay produces *no* Port-Down,
+// which is the physical fact the in-band port-amnesia attack must respect
+// (paper Sec. V-A).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "of/control_channel.hpp"
+#include "of/data_link.hpp"
+#include "of/flow_table.hpp"
+#include "of/messages.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+
+namespace tmg::of {
+
+struct PortStats {
+  std::uint64_t rx_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t rx_bytes = 0;
+  std::uint64_t tx_bytes = 0;
+};
+
+class Switch {
+ public:
+  struct Config {
+    Dpid dpid = 0;
+    /// Link-integrity pulse window: carrier loss shorter than a delay
+    /// sampled uniformly from [detect_min, detect_max] goes unnoticed.
+    sim::Duration detect_min = sim::Duration::millis(8);
+    sim::Duration detect_max = sim::Duration::millis(24);
+    /// Delay from carrier restoration to operational Port-Up.
+    sim::Duration up_detect = sim::Duration::millis(1);
+    /// Period of the flow-expiry sweep.
+    sim::Duration expiry_sweep = sim::Duration::seconds(1);
+    /// Dataplane forwarding latency within the switch.
+    sim::Duration forward_delay = sim::Duration::micros(10);
+  };
+
+  Switch(sim::EventLoop& loop, sim::Rng rng, Config config,
+         ControlChannel& channel);
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  /// Attach one side of a data link as port `port`. Port numbers are
+  /// switch-local and must be unique.
+  void attach_link(PortNo port, DataLink& link, Side side);
+
+  [[nodiscard]] Dpid dpid() const { return config_.dpid; }
+  [[nodiscard]] bool port_oper_up(PortNo port) const;
+  [[nodiscard]] const PortStats& port_stats(PortNo port) const;
+  [[nodiscard]] const FlowTable& flow_table() const { return table_; }
+  [[nodiscard]] std::vector<PortNo> ports() const;
+
+ private:
+  struct Port {
+    DataLink* link = nullptr;
+    Side side = Side::A;
+    bool peer_carrier_up = true;  // last raw signal from the far end
+    bool oper_up = true;          // state as reported to the controller
+    std::uint64_t epoch = 0;      // invalidates in-flight detection checks
+    PortStats stats;
+  };
+
+  void handle_ctrl(const CtrlToSwitch& msg);
+  void handle_packet_out(const PacketOut& po);
+  void handle_flow_mod(const FlowMod& fm);
+  void on_rx(PortNo port, const net::Packet& pkt);
+  void on_peer_carrier(PortNo port, bool up);
+  void forward(const net::Packet& pkt, PortNo out_port);
+  void flood(const net::Packet& pkt, PortNo except_port);
+  void apply_action(const net::Packet& pkt, PortNo in_port,
+                    const FlowAction& action);
+  void send_packet_in(PortNo in_port, const net::Packet& pkt,
+                      PacketIn::Reason reason);
+  void sweep_expired();
+
+  sim::EventLoop& loop_;
+  sim::Rng rng_;
+  Config config_;
+  ControlChannel& channel_;
+  std::map<PortNo, Port> ports_;
+  FlowTable table_;
+};
+
+}  // namespace tmg::of

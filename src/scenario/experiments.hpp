@@ -1,0 +1,197 @@
+// Experiment drivers shared by the benchmarks, integration tests, and
+// examples. Each driver builds a canned testbed, runs one experiment
+// from the paper's evaluation, and returns a plain result struct.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/oob_channel.hpp"
+#include "attack/port_probing.hpp"
+#include "attack/probes.hpp"
+#include "defense/secure_binding.hpp"
+#include "defense/topoguard_plus.hpp"
+#include "scenario/fig1_testbed.hpp"
+#include "scenario/fig2_testbed.hpp"
+#include "scenario/fig9_testbed.hpp"
+#include "stats/descriptive.hpp"
+
+namespace tmg::scenario {
+
+// ---------------------------------------------------------------------
+// Defense suites
+// ---------------------------------------------------------------------
+
+enum class DefenseSuite {
+  None,
+  TopoGuard,
+  Sphinx,
+  TopoGuardAndSphinx,
+  TopoGuardPlus,
+  /// TopoGuard + cryptographic identifier binding (paper Sec. VI-A).
+  SecureBinding,
+};
+const char* to_string(DefenseSuite s);
+
+struct DefenseHandles {
+  defense::TopoGuard* topoguard = nullptr;
+  defense::Sphinx* sphinx = nullptr;
+  defense::Cmm* cmm = nullptr;
+  defense::Lli* lli = nullptr;
+  defense::SecureBinding* secure_binding = nullptr;
+};
+
+/// Controller options required by a suite (LLDP auth / timestamps).
+TestbedOptions suite_options(DefenseSuite suite, std::uint64_t seed);
+
+/// Install the suite's modules on a controller (before Testbed::start).
+/// `enrollment` provides the credential registry for SecureBinding
+/// (ignored by the other suites).
+DefenseHandles install_suite(
+    ctrl::Controller& ctrl, DefenseSuite suite,
+    const defense::SecureBindingConfig* enrollment = nullptr);
+
+// ---------------------------------------------------------------------
+// Link fabrication / port amnesia (paper Sec. V-A, Figs. 10-13)
+// ---------------------------------------------------------------------
+
+enum class LinkAttackKind {
+  ClassicRelay,     // plain LLDP relay, no amnesia (pre-paper baseline)
+  OobAmnesia,       // out-of-band, prepositioned flap (CMM-evasive)
+  OobAmnesiaNaive,  // out-of-band, flap during propagation (Fig. 1 flow)
+  InBandAmnesia,    // covert in-band relay with context switching
+};
+const char* to_string(LinkAttackKind k);
+
+struct LinkAttackOutcome {
+  bool link_registered = false;      // fabricated link entered topology
+  bool link_present_at_end = false;  // still poisoned at the end
+  bool mitm_traffic = false;         // h1<->h2 flow crossed the attackers
+  std::uint64_t lldp_relayed = 0;
+  std::uint64_t transit_bridged = 0;
+  std::uint64_t flaps = 0;
+  std::size_t alerts_before_attack = 0;  // false positives during benign run
+  std::size_t alerts_total = 0;
+  std::size_t alerts_topoguard = 0;
+  std::size_t alerts_sphinx = 0;
+  std::size_t alerts_cmm = 0;
+  std::size_t alerts_lli = 0;
+  [[nodiscard]] bool detected() const {
+    return alerts_total > alerts_before_attack;
+  }
+};
+
+struct LinkAttackConfig {
+  LinkAttackKind kind = LinkAttackKind::OobAmnesia;
+  DefenseSuite suite = DefenseSuite::TopoGuard;
+  std::uint64_t seed = 42;
+  /// Benign run before the attack starts (paper: 1 minute).
+  sim::Duration benign_window = sim::Duration::seconds(60);
+  /// Attack phase duration (covers several LLDP rounds).
+  sim::Duration attack_window = sim::Duration::seconds(60);
+  /// Drop MITM transit instead of bridging it (SPHINX-visible DoS).
+  bool blackhole = false;
+};
+
+LinkAttackOutcome run_link_attack(const LinkAttackConfig& config);
+
+// ---------------------------------------------------------------------
+// Port probing / host-location hijack (paper Sec. V-B, Figs. 3-8)
+// ---------------------------------------------------------------------
+
+struct HijackConfig {
+  DefenseSuite suite = DefenseSuite::TopoGuard;
+  std::uint64_t seed = 42;
+  attack::ProbeType probe_type = attack::ProbeType::ArpPing;
+  sim::Duration probe_period = sim::Duration::millis(50);
+  sim::Duration probe_timeout = sim::Duration::millis(35);
+  int confirm_failures = 1;
+  bool nmap_overhead = false;
+  /// Victim downtime window (VM live migration: seconds).
+  sim::Duration victim_downtime = sim::Duration::seconds(3);
+  bool victim_rejoins = true;
+};
+
+struct HijackOutcome {
+  bool hijack_succeeded = false;  // HTS re-bound victim's MAC to attacker
+  bool traffic_redirected = false;  // peer's victim-bound ping hit attacker
+  // All durations in ms, measured from the instant the victim unplugged.
+  std::optional<double> down_to_final_probe_start_ms;  // Fig. 7
+  std::optional<double> down_to_declared_down_ms;      // Fig. 8
+  std::optional<double> down_to_iface_up_ms;           // Fig. 5
+  std::optional<double> down_to_confirmed_ms;          // Fig. 6
+  std::optional<double> ident_change_ms;               // Fig. 4 component
+  std::size_t alerts_before_rejoin = 0;
+  std::size_t alerts_after_rejoin = 0;
+  /// Full alert log (diagnostics and the alert-flood experiment).
+  std::vector<ctrl::Alert> alerts;
+};
+
+HijackOutcome run_hijack(const HijackConfig& config);
+
+// ---------------------------------------------------------------------
+// LLI latency series (paper Figs. 10-11, 13)
+// ---------------------------------------------------------------------
+
+struct LliSeries {
+  struct Point {
+    double t_s = 0.0;
+    std::string link;
+    double latency_ms = 0.0;
+    std::optional<double> threshold_ms;
+    bool flagged = false;
+    bool fake = false;  // measurement belongs to the fabricated link
+  };
+  std::vector<Point> points;
+  std::size_t fake_attempts = 0;
+  std::size_t fake_detections = 0;
+  bool fake_link_ever_registered = false;
+  /// Fig. 10: per-real-link latency summaries.
+  std::vector<std::pair<std::string, stats::Summary>> per_link;
+};
+
+struct LliExperimentConfig {
+  std::uint64_t seed = 42;
+  sim::Duration benign_window = sim::Duration::seconds(60);
+  sim::Duration attack_window = sim::Duration::seconds(120);
+  bool launch_attack = true;
+  /// Out-of-band relay channel parameters (ablation: how fast must the
+  /// attacker's side channel be before the LLI stops seeing it? The
+  /// paper scopes out "point-to-point laser" hardware relays).
+  attack::OobChannelConfig channel;
+};
+
+LliSeries run_lli_experiment(const LliExperimentConfig& config);
+
+// ---------------------------------------------------------------------
+// Probe timing & scan detection (paper Table I, Sec. V-B2)
+// ---------------------------------------------------------------------
+
+struct ProbeTimingRow {
+  attack::ProbeType type;
+  attack::Stealth stealth;
+  const char* requirements = "";
+  stats::Summary tool_overhead_ms;  // Table I "Timing" column model
+  stats::Summary end_to_end_ms;     // full in-sim exchange incl. RTT
+  std::size_t alive_detected = 0;   // sanity: probes that saw the target
+};
+
+ProbeTimingRow measure_probe_timing(attack::ProbeType type, std::size_t n,
+                                    std::uint64_t seed);
+
+struct ScanDetectionResult {
+  attack::ProbeType type;
+  double rate_per_s = 0.0;
+  std::uint64_t probes_sent = 0;
+  std::size_t ids_alerts = 0;
+  [[nodiscard]] bool detected() const { return ids_alerts > 0; }
+};
+
+ScanDetectionResult run_scan_detection(attack::ProbeType type,
+                                       double rate_per_s,
+                                       sim::Duration window,
+                                       std::uint64_t seed);
+
+}  // namespace tmg::scenario

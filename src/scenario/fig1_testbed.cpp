@@ -1,0 +1,48 @@
+#include "scenario/fig1_testbed.hpp"
+
+namespace tmg::scenario {
+
+Fig1Testbed make_fig1_testbed(TestbedOptions options) {
+  Fig1Testbed f;
+  f.tb = std::make_unique<Testbed>(std::move(options));
+  Testbed& tb = *f.tb;
+
+  tb.add_switch(0x1);
+  tb.add_switch(0x2);
+  tb.connect_switches(0x1, 10, 0x2, 10);
+
+  attack::HostConfig a_cfg;
+  a_cfg.mac = net::MacAddress::host(0xA);
+  a_cfg.ip = net::Ipv4Address::host(10);
+  f.attacker_a = &tb.add_host(0x1, 1, a_cfg);
+
+  attack::HostConfig b_cfg;
+  b_cfg.mac = net::MacAddress::host(0xB);
+  b_cfg.ip = net::Ipv4Address::host(11);
+  f.attacker_b = &tb.add_host(0x2, 1, b_cfg);
+
+  attack::HostConfig h1_cfg;
+  h1_cfg.mac = net::MacAddress::host(1);
+  h1_cfg.ip = net::Ipv4Address::host(1);
+  f.h1 = &tb.add_host(0x1, 2, h1_cfg);
+
+  attack::HostConfig h2_cfg;
+  h2_cfg.mac = net::MacAddress::host(2);
+  h2_cfg.ip = net::Ipv4Address::host(2);
+  f.h2 = &tb.add_host(0x2, 2, h2_cfg);
+
+  f.oob = &tb.add_oob_channel();
+  return f;
+}
+
+void fig1_warm_hosts(Fig1Testbed& f) {
+  // Everyone originates a little traffic: the HTS learns locations and
+  // TopoGuard marks the access ports HOST.
+  f.h1->send_arp_request(f.h2->ip());
+  f.h2->send_arp_request(f.h1->ip());
+  f.attacker_a->send_arp_request(f.h1->ip());
+  f.attacker_b->send_arp_request(f.h2->ip());
+  f.tb->run_for(sim::Duration::millis(500));
+}
+
+}  // namespace tmg::scenario

@@ -1,0 +1,46 @@
+// Paper Fig. 1 topology: two switches joined by a real link, a benign
+// host and an attacker host on each, and an out-of-band (wireless)
+// channel between the attackers who fabricate a link between
+// (0x1, port 1) and (0x2, port 1).
+#pragma once
+
+#include <memory>
+
+#include "scenario/testbed.hpp"
+
+namespace tmg::scenario {
+
+struct Fig1Testbed {
+  std::unique_ptr<Testbed> tb;
+  attack::Host* attacker_a = nullptr;  // on (0x1, 1)
+  attack::Host* attacker_b = nullptr;  // on (0x2, 1)
+  attack::Host* h1 = nullptr;          // benign, on (0x1, 2)
+  attack::Host* h2 = nullptr;          // benign, on (0x2, 2)
+  attack::OutOfBandChannel* oob = nullptr;
+
+  of::Location a_loc{0x1, 1};
+  of::Location b_loc{0x2, 1};
+  of::Location h1_loc{0x1, 2};
+  of::Location h2_loc{0x2, 2};
+  /// The real inter-switch link's endpoints.
+  of::Location real_a{0x1, 10};
+  of::Location real_b{0x2, 10};
+
+  /// The link the attackers try to fabricate.
+  [[nodiscard]] topo::Link fabricated_link() const {
+    return topo::Link{a_loc, b_loc};
+  }
+  [[nodiscard]] bool fabricated_link_present() const {
+    return tb->controller().topology().has_link(a_loc, b_loc);
+  }
+};
+
+/// Build (but do not start) the Fig. 1 testbed: install defenses on
+/// `result.tb->controller()` first, then call `result.tb->start()`.
+Fig1Testbed make_fig1_testbed(TestbedOptions options = {});
+
+/// Have the benign hosts exchange a few packets so they register as
+/// HOSTs in every profiler (call after start()).
+void fig1_warm_hosts(Fig1Testbed& f);
+
+}  // namespace tmg::scenario

@@ -1,0 +1,51 @@
+#include "scenario/fig2_testbed.hpp"
+
+namespace tmg::scenario {
+
+Fig2Testbed make_fig2_testbed(TestbedOptions options) {
+  Fig2Testbed f;
+  f.tb = std::make_unique<Testbed>(std::move(options));
+  Testbed& tb = *f.tb;
+
+  tb.add_switch(0x1);
+  tb.add_switch(0x2);
+  tb.connect_switches(0x1, 10, 0x2, 10);
+
+  attack::HostConfig victim_cfg;
+  victim_cfg.mac = *net::MacAddress::parse("aa:aa:aa:aa:aa:aa");
+  victim_cfg.ip = *net::Ipv4Address::parse("10.0.0.1");
+  victim_cfg.open_tcp_ports = {80};
+  victim_cfg.auth_token = Fig2Testbed::kVictimToken;
+  f.victim = &tb.add_host(0x1, 2, victim_cfg);
+  f.victim_mac = victim_cfg.mac;
+  f.victim_ip = victim_cfg.ip;
+
+  attack::HostConfig attacker_cfg;
+  // The paper's figure uses BB:BB:...; that address has the multicast
+  // bit set (0xBB is odd) and a real device manager would ignore it, so
+  // we flip to the nearest unicast equivalent.
+  attacker_cfg.mac = *net::MacAddress::parse("ba:bb:bb:bb:bb:bb");
+  attacker_cfg.ip = *net::Ipv4Address::parse("10.0.0.2");
+  // The attacker is a legitimately enrolled device (it has *a*
+  // credential — just not the victim's).
+  attacker_cfg.auth_token = Fig2Testbed::kAttackerToken;
+  f.attacker = &tb.add_host(0x2, 5, attacker_cfg);
+
+  attack::HostConfig peer_cfg;
+  peer_cfg.mac = net::MacAddress::host(3);
+  peer_cfg.ip = *net::Ipv4Address::parse("10.0.0.3");
+  peer_cfg.auth_token = Fig2Testbed::kPeerToken;
+  f.peer = &tb.add_host(0x1, 3, peer_cfg);
+
+  f.migration_target = &tb.add_access_link(0x2, 4);
+  return f;
+}
+
+void fig2_warm_hosts(Fig2Testbed& f) {
+  f.victim->send_arp_request(f.peer->ip());
+  f.attacker->send_arp_request(f.victim->ip());
+  f.peer->send_arp_request(f.victim->ip());
+  f.tb->run_for(sim::Duration::millis(500));
+}
+
+}  // namespace tmg::scenario

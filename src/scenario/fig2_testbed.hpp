@@ -1,0 +1,39 @@
+// Paper Fig. 2 topology (host-location hijacking): victim 10.0.0.1 on
+// (0x1, 2), attacker 10.0.0.2 on (0x2, 5), and an empty access port
+// (0x2, 4) the victim intends to migrate to.
+#pragma once
+
+#include <memory>
+
+#include "scenario/testbed.hpp"
+
+namespace tmg::scenario {
+
+struct Fig2Testbed {
+  std::unique_ptr<Testbed> tb;
+  attack::Host* victim = nullptr;    // 10.0.0.1 on (0x1, 2)
+  attack::Host* attacker = nullptr;  // 10.0.0.2 on (0x2, 5)
+  attack::Host* peer = nullptr;      // a client that talks to the victim
+  of::DataLink* migration_target = nullptr;  // access link at (0x2, 4)
+
+  of::Location victim_loc{0x1, 2};
+  of::Location attacker_loc{0x2, 5};
+  of::Location new_victim_loc{0x2, 4};
+  of::Location peer_loc{0x1, 3};
+
+  net::MacAddress victim_mac;
+  net::Ipv4Address victim_ip;
+
+  /// 802.1x-style credentials, for the SecureBinding defense.
+  static constexpr std::uint64_t kVictimToken = 0xA11CE;
+  static constexpr std::uint64_t kAttackerToken = 0xBADC0DE;
+  static constexpr std::uint64_t kPeerToken = 0x9EE9;
+};
+
+/// Build (but do not start) the Fig. 2 testbed.
+Fig2Testbed make_fig2_testbed(TestbedOptions options = {});
+
+/// Register everyone with the HTS (call after start()).
+void fig2_warm_hosts(Fig2Testbed& f);
+
+}  // namespace tmg::scenario

@@ -1,0 +1,59 @@
+#include "scenario/fig9_testbed.hpp"
+
+namespace tmg::scenario {
+
+TestbedOptions fig9_options(std::uint64_t seed) {
+  TestbedOptions opts;
+  opts.seed = seed;
+  opts.controller.profile = ctrl::floodlight_profile();
+  opts.controller.authenticate_lldp = true;
+  opts.controller.lldp_timestamps = true;
+  return opts;
+}
+
+Fig9Testbed make_fig9_testbed(TestbedOptions options) {
+  Fig9Testbed f;
+  f.tb = std::make_unique<Testbed>(std::move(options));
+  Testbed& tb = *f.tb;
+
+  for (of::Dpid dpid = 0x1; dpid <= 0x5; ++dpid) tb.add_switch(dpid);
+  // Four switch-internal links in a chain (Fig. 10 measures all four).
+  for (of::Dpid dpid = 0x1; dpid <= 0x4; ++dpid) {
+    tb.connect_switches(dpid, 10, dpid + 1, 11);
+    f.real_links.emplace_back(of::Location{dpid, 10},
+                              of::Location{dpid + 1, 11});
+  }
+
+  attack::HostConfig h1_cfg;
+  h1_cfg.mac = net::MacAddress::host(1);
+  h1_cfg.ip = net::Ipv4Address::host(1);
+  f.h1 = &tb.add_host(0x1, 1, h1_cfg);
+
+  attack::HostConfig h2_cfg;
+  h2_cfg.mac = net::MacAddress::host(2);
+  h2_cfg.ip = net::Ipv4Address::host(2);
+  f.h2 = &tb.add_host(0x5, 1, h2_cfg);
+
+  attack::HostConfig a_cfg;
+  a_cfg.mac = net::MacAddress::host(0xA);
+  a_cfg.ip = net::Ipv4Address::host(10);
+  f.attacker_a = &tb.add_host(0x2, 1, a_cfg);
+
+  attack::HostConfig b_cfg;
+  b_cfg.mac = net::MacAddress::host(0xB);
+  b_cfg.ip = net::Ipv4Address::host(11);
+  f.attacker_b = &tb.add_host(0x4, 1, b_cfg);
+
+  f.oob = &tb.add_oob_channel();  // 10 ms wireless hop
+  return f;
+}
+
+void fig9_warm_hosts(Fig9Testbed& f) {
+  f.h1->send_arp_request(f.h2->ip());
+  f.h2->send_arp_request(f.h1->ip());
+  f.attacker_a->send_arp_request(f.h1->ip());
+  f.attacker_b->send_arp_request(f.h2->ip());
+  f.tb->run_for(sim::Duration::millis(500));
+}
+
+}  // namespace tmg::scenario

@@ -1,0 +1,48 @@
+// Paper Fig. 9 evaluation testbed: a chain of switches with four
+// switch-internal links (5 ms each, with micro-bursts), end hosts, two
+// attacker-compromised hosts, and a 10 ms out-of-band channel between
+// the attackers. Used for the TOPOGUARD+ evaluation (Figs. 10-13).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "scenario/testbed.hpp"
+
+namespace tmg::scenario {
+
+struct Fig9Testbed {
+  std::unique_ptr<Testbed> tb;
+  attack::Host* h1 = nullptr;          // on (0x1, 1)
+  attack::Host* h2 = nullptr;          // on (0x5, 1)
+  attack::Host* attacker_a = nullptr;  // on (0x2, 1)
+  attack::Host* attacker_b = nullptr;  // on (0x4, 1)
+  attack::OutOfBandChannel* oob = nullptr;
+
+  of::Location a_loc{0x2, 1};
+  of::Location b_loc{0x4, 1};
+
+  /// The four genuine switch-internal links.
+  std::vector<topo::Link> real_links;
+
+  [[nodiscard]] topo::Link fabricated_link() const {
+    return topo::Link{a_loc, b_loc};
+  }
+  [[nodiscard]] bool fabricated_link_present() const {
+    return tb->controller().topology().has_link(a_loc, b_loc);
+  }
+};
+
+/// Default options matching the paper's setup (Floodlight profile, 5 ms
+/// dataplane links, 10 ms out-of-band channel, LLDP auth + timestamps).
+TestbedOptions fig9_options(std::uint64_t seed = 42);
+
+/// Build (but do not start) the Fig. 9 testbed. Defaults configure the
+/// controller for TOPOGUARD+ (authenticated LLDP + timestamps); pass
+/// custom options to override.
+Fig9Testbed make_fig9_testbed(TestbedOptions options = fig9_options());
+
+/// Register the benign hosts (call after start()).
+void fig9_warm_hosts(Fig9Testbed& f);
+
+}  // namespace tmg::scenario

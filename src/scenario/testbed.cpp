@@ -1,0 +1,122 @@
+#include "scenario/testbed.hpp"
+
+#include <stdexcept>
+
+namespace tmg::scenario {
+
+Testbed::Testbed(TestbedOptions options)
+    : options_{std::move(options)}, rng_{options_.seed} {
+  controller_ = std::make_unique<ctrl::Controller>(loop_, rng_.fork(),
+                                                   options_.controller);
+}
+
+std::unique_ptr<sim::LatencyModel> Testbed::dataplane_model() {
+  return sim::make_microburst(options_.dataplane_latency,
+                              options_.dataplane_jitter,
+                              options_.microburst_p, options_.microburst_mean);
+}
+
+std::unique_ptr<sim::LatencyModel> Testbed::access_model() {
+  return sim::make_normal(options_.access_latency, options_.access_jitter);
+}
+
+std::unique_ptr<sim::LatencyModel> Testbed::control_model() {
+  return sim::make_normal(options_.control_latency, options_.control_jitter);
+}
+
+of::Switch& Testbed::add_switch(of::Dpid dpid) {
+  if (started_) throw std::logic_error("testbed already started");
+  auto [it, inserted] = switches_.try_emplace(dpid);
+  if (!inserted) throw std::logic_error("duplicate dpid");
+  SwitchEntry& entry = it->second;
+  entry.channel = std::make_unique<of::ControlChannel>(loop_, rng_.fork(),
+                                                       control_model());
+  of::Switch::Config cfg = options_.switch_template;
+  cfg.dpid = dpid;
+  entry.sw =
+      std::make_unique<of::Switch>(loop_, rng_.fork(), cfg, *entry.channel);
+  return *entry.sw;
+}
+
+of::Switch& Testbed::get_switch(of::Dpid dpid) {
+  return *switches_.at(dpid).sw;
+}
+
+of::DataLink& Testbed::connect_switches(of::Dpid a, of::PortNo pa, of::Dpid b,
+                                        of::PortNo pb) {
+  auto link =
+      std::make_unique<of::DataLink>(loop_, rng_.fork(), dataplane_model());
+  switches_.at(a).sw->attach_link(pa, *link, of::Side::A);
+  switches_.at(a).ports.push_back(pa);
+  switches_.at(b).sw->attach_link(pb, *link, of::Side::B);
+  switches_.at(b).ports.push_back(pb);
+  links_.push_back(std::move(link));
+  return *links_.back();
+}
+
+of::DataLink& Testbed::add_access_link(of::Dpid dpid, of::PortNo port) {
+  auto link =
+      std::make_unique<of::DataLink>(loop_, rng_.fork(), access_model());
+  // No host yet: the far side has no carrier until someone plugs in.
+  link->set_carrier(of::Side::B, false);
+  switches_.at(dpid).sw->attach_link(port, *link, of::Side::A);
+  switches_.at(dpid).ports.push_back(port);
+  links_.push_back(std::move(link));
+  return *links_.back();
+}
+
+attack::Host& Testbed::add_host(of::Dpid dpid, of::PortNo port,
+                                attack::HostConfig config) {
+  auto link =
+      std::make_unique<of::DataLink>(loop_, rng_.fork(), access_model());
+  switches_.at(dpid).sw->attach_link(port, *link, of::Side::A);
+  switches_.at(dpid).ports.push_back(port);
+  auto host =
+      std::make_unique<attack::Host>(loop_, rng_.fork(), std::move(config));
+  host->attach_link(*link, of::Side::B);
+  links_.push_back(std::move(link));
+  hosts_.push_back(std::move(host));
+  return *hosts_.back();
+}
+
+attack::Host& Testbed::add_host_on(of::DataLink& link,
+                                   attack::HostConfig config) {
+  auto host =
+      std::make_unique<attack::Host>(loop_, rng_.fork(), std::move(config));
+  host->attach_link(link, of::Side::B);
+  hosts_.push_back(std::move(host));
+  return *hosts_.back();
+}
+
+attack::OutOfBandChannel& Testbed::add_oob_channel(
+    attack::OobChannelConfig config) {
+  oobs_.push_back(std::make_unique<attack::OutOfBandChannel>(
+      loop_, rng_.fork(), config));
+  return *oobs_.back();
+}
+
+void Testbed::start(sim::Duration warmup) {
+  if (started_) return;
+  started_ = true;
+  for (auto& [dpid, entry] : switches_) {
+    controller_->connect_switch(dpid, *entry.channel, entry.ports);
+  }
+  controller_->start();
+  run_for(warmup);
+}
+
+void Testbed::run_for(sim::Duration d) {
+  loop_.run_until(loop_.now() + d);
+}
+
+void Testbed::run_until(sim::SimTime t) { loop_.run_until(t); }
+
+void migrate_host(Testbed& tb, attack::Host& host, of::DataLink& target,
+                  sim::Duration downtime) {
+  host.detach_link();
+  tb.loop().schedule_after(downtime, [&host, &target] {
+    host.attach_link(target, of::Side::B);
+  });
+}
+
+}  // namespace tmg::scenario

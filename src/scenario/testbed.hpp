@@ -1,0 +1,109 @@
+// Testbed builder: wires switches, links, hosts, control channels and a
+// controller into one simulated network. The canned paper topologies
+// (Figs. 1, 2, 9) are built on top of this.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "attack/host.hpp"
+#include "attack/oob_channel.hpp"
+#include "ctrl/controller.hpp"
+#include "of/control_channel.hpp"
+#include "of/data_link.hpp"
+#include "of/switch.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+
+namespace tmg::scenario {
+
+struct TestbedOptions {
+  std::uint64_t seed = 42;
+  ctrl::ControllerConfig controller;
+  /// Dataplane link latency model (paper Fig. 9: 5 ms links with
+  /// occasional micro-bursts to ~12 ms, Fig. 10).
+  sim::Duration dataplane_latency = sim::Duration::millis(5);
+  sim::Duration dataplane_jitter = sim::Duration::micros(300);
+  double microburst_p = 0.03;
+  sim::Duration microburst_mean = sim::Duration::from_millis_f(2.5);
+  /// Host access links are short patch cables.
+  sim::Duration access_latency = sim::Duration::micros(200);
+  sim::Duration access_jitter = sim::Duration::micros(20);
+  /// Control channel (switch <-> controller).
+  sim::Duration control_latency = sim::Duration::millis(1);
+  sim::Duration control_jitter = sim::Duration::micros(100);
+  /// Template for switch behavior (dpid is overridden per switch).
+  of::Switch::Config switch_template;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedOptions options = {});
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  [[nodiscard]] sim::EventLoop& loop() { return loop_; }
+  [[nodiscard]] ctrl::Controller& controller() { return *controller_; }
+  [[nodiscard]] const TestbedOptions& options() const { return options_; }
+  sim::Rng fork_rng() { return rng_.fork(); }
+
+  of::Switch& add_switch(of::Dpid dpid);
+  [[nodiscard]] of::Switch& get_switch(of::Dpid dpid);
+
+  /// Inter-switch wire using the dataplane (micro-burst) latency model.
+  of::DataLink& connect_switches(of::Dpid a, of::PortNo pa, of::Dpid b,
+                                 of::PortNo pb);
+
+  /// Access link on (dpid, port) with no host yet (migration target).
+  /// The switch is side A; a host attaches on side B.
+  of::DataLink& add_access_link(of::Dpid dpid, of::PortNo port);
+
+  /// Create a host and cable it to (dpid, port).
+  attack::Host& add_host(of::Dpid dpid, of::PortNo port,
+                         attack::HostConfig config);
+
+  /// Create a host on an existing access link (side B).
+  attack::Host& add_host_on(of::DataLink& link, attack::HostConfig config);
+
+  attack::OutOfBandChannel& add_oob_channel(
+      attack::OobChannelConfig config = {});
+
+  /// Register all switches with the controller, start its services, and
+  /// run the given warm-up (default: long enough for link discovery and
+  /// the first control-RTT echoes).
+  void start(sim::Duration warmup = sim::Duration::seconds(1));
+
+  void run_for(sim::Duration d);
+  void run_until(sim::SimTime t);
+
+  [[nodiscard]] bool started() const { return started_; }
+
+ private:
+  std::unique_ptr<sim::LatencyModel> dataplane_model();
+  std::unique_ptr<sim::LatencyModel> access_model();
+  std::unique_ptr<sim::LatencyModel> control_model();
+
+  struct SwitchEntry {
+    std::unique_ptr<of::ControlChannel> channel;
+    std::unique_ptr<of::Switch> sw;
+    std::vector<of::PortNo> ports;
+  };
+
+  TestbedOptions options_;
+  sim::EventLoop loop_;
+  sim::Rng rng_;
+  std::unique_ptr<ctrl::Controller> controller_;
+  std::map<of::Dpid, SwitchEntry> switches_;
+  std::vector<std::unique_ptr<of::DataLink>> links_;
+  std::vector<std::unique_ptr<attack::Host>> hosts_;
+  std::vector<std::unique_ptr<attack::OutOfBandChannel>> oobs_;
+  bool started_ = false;
+};
+
+/// Unplug `host` from its link, and plug it into `target` (side B) after
+/// `downtime`. Models maintenance reboots and VM live migration.
+void migrate_host(Testbed& tb, attack::Host& host, of::DataLink& target,
+                  sim::Duration downtime);
+
+}  // namespace tmg::scenario

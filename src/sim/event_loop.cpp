@@ -1,0 +1,65 @@
+#include "sim/event_loop.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <utility>
+
+namespace tmg::sim {
+
+void TimerHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool TimerHandle::pending() const {
+  return cancelled_ && !*cancelled_;
+}
+
+TimerHandle EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
+  assert(fn);
+  if (at < now_) at = now_;
+  auto flag = std::make_shared<bool>(false);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), flag});
+  return TimerHandle{std::move(flag)};
+}
+
+TimerHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay.is_negative()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; we must copy-out before pop.
+    // Move via const_cast is the standard idiom but fragile; entries are
+    // popped once, so copy the shared_ptr and move the function instead.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (*entry.cancelled) continue;
+    *entry.cancelled = true;  // mark fired so TimerHandle::pending() is false
+    now_ = entry.at;
+    ++executed_;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing the clock.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace tmg::sim

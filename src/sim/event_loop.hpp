@@ -1,0 +1,92 @@
+// Discrete-event simulation loop.
+//
+// A single-threaded priority-queue scheduler. Events at equal timestamps
+// fire in insertion order, which (together with the deterministic Rng)
+// makes every experiment bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace tmg::sim {
+
+/// Handle to a scheduled event; allows cancellation. Default-constructed
+/// handles are inert. Cancelling an already-fired event is a no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  /// Prevent the event from firing. Safe to call repeatedly.
+  void cancel();
+
+  /// True if the event has neither fired nor been cancelled.
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class EventLoop;
+  explicit TimerHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_{std::move(cancelled)} {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// The simulation clock plus the pending-event queue.
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now()).
+  TimerHandle schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` from now. Negative delays are clamped
+  /// to zero (models "immediately, after the current event").
+  TimerHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Run events until the queue drains or the clock passes `deadline`.
+  /// Events stamped exactly at `deadline` do run.
+  void run_until(SimTime deadline);
+
+  /// Run until the queue is empty. Only safe for workloads without
+  /// self-perpetuating periodic timers.
+  void run();
+
+  /// Execute the single earliest pending event. Returns false if the
+  /// queue was empty (clock unchanged).
+  bool step();
+
+  /// Number of events waiting (including cancelled-but-unpopped ones).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed since construction (excludes cancelled).
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: insertion order
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace tmg::sim

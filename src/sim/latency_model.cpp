@@ -1,0 +1,73 @@
+#include "sim/latency_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace tmg::sim {
+
+NormalLatency::NormalLatency(Duration mean, Duration stddev, Duration floor)
+    : mean_{mean}, stddev_{stddev}, floor_{floor} {}
+
+Duration NormalLatency::sample(Rng& rng) {
+  const double ns = rng.normal(static_cast<double>(mean_.count_nanos()),
+                               static_cast<double>(stddev_.count_nanos()));
+  const auto d = Duration::nanos(static_cast<std::int64_t>(ns));
+  return std::max(d, floor_);
+}
+
+MicroburstLatency::MicroburstLatency(Duration base, Duration jitter_sd,
+                                     double burst_p, Duration burst_mean)
+    : base_{base}, jitter_sd_{jitter_sd}, burst_p_{burst_p},
+      burst_mean_{burst_mean} {}
+
+Duration MicroburstLatency::sample(Rng& rng) {
+  double ns = rng.normal(static_cast<double>(base_.count_nanos()),
+                         static_cast<double>(jitter_sd_.count_nanos()));
+  if (rng.chance(burst_p_)) {
+    ns += rng.exponential(static_cast<double>(burst_mean_.count_nanos()));
+  }
+  const auto d = Duration::nanos(static_cast<std::int64_t>(ns));
+  return std::max(d, Duration::micros(1));
+}
+
+std::unique_ptr<LatencyModel> make_fixed(Duration d) {
+  return std::make_unique<FixedLatency>(d);
+}
+
+std::unique_ptr<LatencyModel> make_normal(Duration mean, Duration stddev) {
+  return std::make_unique<NormalLatency>(mean, stddev);
+}
+
+std::unique_ptr<LatencyModel> make_microburst(Duration base, Duration jitter_sd,
+                                              double burst_p,
+                                              Duration burst_mean) {
+  return std::make_unique<MicroburstLatency>(base, jitter_sd, burst_p,
+                                             burst_mean);
+}
+
+// ---- time.hpp helpers (kept here to avoid a one-function TU) ----
+
+std::string to_string(Duration d) {
+  char buf[64];
+  const std::int64_t ns = d.count_nanos();
+  const std::int64_t abs_ns = ns < 0 ? -ns : ns;
+  if (abs_ns < 1'000) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  } else if (abs_ns < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.2fus", static_cast<double>(ns) / 1e3);
+  } else if (abs_ns < 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+std::string to_string(SimTime t) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3fs", t.to_seconds_f());
+  return buf;
+}
+
+}  // namespace tmg::sim

@@ -1,0 +1,79 @@
+// Link latency models.
+//
+// Dataplane and control links draw their per-packet delay from a
+// LatencyModel. The evaluation testbed (paper Fig. 9 / Fig. 10) uses a
+// fixed base latency with occasional micro-bursts; wide-area models use a
+// normal RTT distribution (paper Sec. V-B1 models N(20ms, 5ms)).
+#pragma once
+
+#include <memory>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace tmg::sim {
+
+/// Strategy interface: sample a one-way per-packet delay.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// One-way delay for the next packet. Never negative.
+  virtual Duration sample(Rng& rng) = 0;
+  /// The nominal (central) latency, for reporting/calibration.
+  [[nodiscard]] virtual Duration nominal() const = 0;
+};
+
+/// Constant delay.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(Duration d) : d_{d} {}
+  Duration sample(Rng&) override { return d_; }
+  [[nodiscard]] Duration nominal() const override { return d_; }
+
+ private:
+  Duration d_;
+};
+
+/// Normal(mean, stddev) delay, truncated at a floor (default 1us).
+class NormalLatency final : public LatencyModel {
+ public:
+  NormalLatency(Duration mean, Duration stddev,
+                Duration floor = Duration::micros(1));
+  Duration sample(Rng& rng) override;
+  [[nodiscard]] Duration nominal() const override { return mean_; }
+
+ private:
+  Duration mean_;
+  Duration stddev_;
+  Duration floor_;
+};
+
+/// Base delay plus occasional exponential micro-bursts, reproducing the
+/// jitter pattern of paper Fig. 10 (≈5ms links with bursts to ~12ms).
+class MicroburstLatency final : public LatencyModel {
+ public:
+  /// @param base       nominal one-way delay
+  /// @param jitter_sd  gaussian jitter stddev applied to every packet
+  /// @param burst_p    probability a packet rides a micro-burst
+  /// @param burst_mean mean extra delay during a burst (exponential)
+  MicroburstLatency(Duration base, Duration jitter_sd, double burst_p,
+                    Duration burst_mean);
+  Duration sample(Rng& rng) override;
+  [[nodiscard]] Duration nominal() const override { return base_; }
+
+ private:
+  Duration base_;
+  Duration jitter_sd_;
+  double burst_p_;
+  Duration burst_mean_;
+};
+
+/// Convenience factories.
+std::unique_ptr<LatencyModel> make_fixed(Duration d);
+std::unique_ptr<LatencyModel> make_normal(Duration mean, Duration stddev);
+std::unique_ptr<LatencyModel> make_microburst(Duration base,
+                                              Duration jitter_sd,
+                                              double burst_p,
+                                              Duration burst_mean);
+
+}  // namespace tmg::sim

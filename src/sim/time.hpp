@@ -1,0 +1,96 @@
+// Simulated time primitives.
+//
+// All simulation time is kept as a signed 64-bit nanosecond count wrapped
+// in a strong type so that durations and absolute instants cannot be
+// mixed accidentally and so that raw integers never leak through module
+// interfaces (Core Guidelines I.4: make interfaces precisely and strongly
+// typed).
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace tmg::sim {
+
+/// A span of simulated time, nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration nanos(std::int64_t n) { return Duration{n}; }
+  constexpr static Duration micros(std::int64_t us) { return Duration{us * 1'000}; }
+  constexpr static Duration millis(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  constexpr static Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  /// Fractional constructors for model parameters expressed in ms/s.
+  constexpr static Duration from_millis_f(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e6)};
+  }
+  constexpr static Duration from_seconds_f(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e9)};
+  }
+  constexpr static Duration zero() { return Duration{0}; }
+  constexpr static Duration max() { return Duration{INT64_MAX}; }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_micros_f() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double to_millis_f() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulated clock (ns since simulation start).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr static SimTime from_nanos(std::int64_t n) { return SimTime{n}; }
+  constexpr static SimTime zero() { return SimTime{0}; }
+  constexpr static SimTime max() { return SimTime{INT64_MAX}; }
+
+  [[nodiscard]] constexpr std::int64_t count_nanos() const { return ns_; }
+  [[nodiscard]] constexpr double to_millis_f() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double to_seconds_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(Duration d) const { return SimTime{ns_ + d.count_nanos()}; }
+  constexpr SimTime operator-(Duration d) const { return SimTime{ns_ - d.count_nanos()}; }
+  constexpr Duration operator-(SimTime o) const { return Duration::nanos(ns_ - o.ns_); }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+/// Render a duration as a compact human-readable string ("3.25ms").
+std::string to_string(Duration d);
+/// Render an instant as seconds with millisecond precision ("12.345s").
+std::string to_string(SimTime t);
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long n) {
+  return Duration::nanos(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_us(unsigned long long n) {
+  return Duration::micros(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_ms(unsigned long long n) {
+  return Duration::millis(static_cast<std::int64_t>(n));
+}
+constexpr Duration operator""_s(unsigned long long n) {
+  return Duration::seconds(static_cast<std::int64_t>(n));
+}
+}  // namespace literals
+
+}  // namespace tmg::sim

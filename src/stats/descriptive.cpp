@@ -1,0 +1,68 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "stats/quantile.hpp"
+
+namespace tmg::stats {
+
+double mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+double stddev(std::span<const double> samples) {
+  if (samples.size() < 2) return 0.0;
+  const double m = mean(samples);
+  double ss = 0.0;
+  for (double x : samples) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(samples.size() - 1));
+}
+
+Summary summarize(std::span<const double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = samples.size();
+  s.mean = mean(samples);
+  s.stddev = stddev(samples);
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string format_mean_pm(const Summary& s, const char* unit, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%.*f ± %.*f %s", precision, s.mean,
+                precision, s.stddev, unit);
+  return buf;
+}
+
+}  // namespace tmg::stats

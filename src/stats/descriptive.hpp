@@ -1,0 +1,59 @@
+// Descriptive statistics over samples.
+//
+// Used throughout the benches to report the mean ± stddev rows the paper
+// prints (Table I, Figs. 4-8) and by the defenses for calibration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tmg::stats {
+
+/// Summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute all summary fields. Empty input yields a zeroed Summary.
+Summary summarize(std::span<const double> samples);
+
+/// Mean of the samples (0 for empty input).
+double mean(std::span<const double> samples);
+
+/// Sample standard deviation (n-1 denominator; 0 for n < 2).
+double stddev(std::span<const double> samples);
+
+/// Streaming mean/variance accumulator (Welford). Constant memory; used
+/// by long-running components that cannot buffer all samples.
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Format "mean ± stddev" with the given unit suffix, e.g. "0.91 ± 0.04 ms".
+std::string format_mean_pm(const Summary& s, const char* unit,
+                           int precision = 2);
+
+}  // namespace tmg::stats

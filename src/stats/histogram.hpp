@@ -1,0 +1,43 @@
+// Fixed-bin histogram with ASCII rendering.
+//
+// The benches use this to regenerate the distribution figures (paper
+// Figs. 4-8, 10, 11) as text histograms plus CSV series.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tmg::stats {
+
+class Histogram {
+ public:
+  /// Bins span [lo, hi) uniformly; values outside are clamped into the
+  /// first/last bin so no sample is dropped silently.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+
+  /// Multi-line ASCII rendering: one row per bin, bar scaled to `width`.
+  [[nodiscard]] std::string render(std::size_t width = 50,
+                                   const char* unit = "") const;
+
+  /// CSV rows "bin_lo,bin_hi,count" (no header).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace tmg::stats

@@ -1,0 +1,52 @@
+#include "stats/latency_window.hpp"
+
+#include <cassert>
+
+namespace tmg::stats {
+
+LatencyWindow::LatencyWindow(std::size_t capacity, double k,
+                             std::size_t min_samples)
+    : capacity_{capacity}, k_{k}, min_samples_{min_samples} {
+  assert(capacity_ > 0);
+  assert(min_samples_ > 0);
+  buf_.reserve(capacity_);
+}
+
+void LatencyWindow::add(double sample) {
+  if (!full_) {
+    buf_.push_back(sample);
+    if (buf_.size() == capacity_) full_ = true;
+    return;
+  }
+  buf_[head_] = sample;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::optional<double> LatencyWindow::threshold() const {
+  if (!warmed_up()) return std::nullopt;
+  const Iqr iqr = compute_iqr(buf_);
+  return iqr.upper_fence(k_);
+}
+
+bool LatencyWindow::is_outlier(double sample) const {
+  const auto t = threshold();
+  return t.has_value() && sample > *t;
+}
+
+std::vector<double> LatencyWindow::samples() const {
+  if (!full_) return buf_;
+  std::vector<double> out;
+  out.reserve(buf_.size());
+  for (std::size_t i = 0; i < buf_.size(); ++i) {
+    out.push_back(buf_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+void LatencyWindow::clear() {
+  buf_.clear();
+  head_ = 0;
+  full_ = false;
+}
+
+}  // namespace tmg::stats

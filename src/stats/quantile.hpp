@@ -1,0 +1,51 @@
+// Quantiles, IQR, and the normal quantile function.
+//
+// Section V-B1 of the paper: the attacker derives the probe timeout for a
+// desired false-positive rate by "computing the quantile distribution
+// function for the observed measurements". Both the empirical quantile
+// (for measured RTTs) and the analytic normal quantile (for the modeled
+// N(20ms, 5ms) delay) are provided.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tmg::stats {
+
+/// Linear-interpolation quantile of a *sorted* sample (type-7, the R/numpy
+/// default). q in [0,1]. Requires a non-empty input.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Quantile of an unsorted sample (copies and sorts).
+double quantile(std::span<const double> samples, double q);
+
+/// Interquartile statistics of a sample.
+struct Iqr {
+  double q1 = 0.0;
+  double q3 = 0.0;
+  [[nodiscard]] double range() const { return q3 - q1; }
+  /// Tukey-style upper fence with multiplier k. TOPOGUARD+'s LLI uses
+  /// k = 3 (paper Sec. VI-D: threshold = Q3 + 3*IQR).
+  [[nodiscard]] double upper_fence(double k = 3.0) const {
+    return q3 + k * range();
+  }
+};
+
+/// Compute Q1/Q3 of a sample. Requires a non-empty input.
+Iqr compute_iqr(std::span<const double> samples);
+
+/// Inverse CDF of the standard normal (Acklam's rational approximation,
+/// |relative error| < 1.15e-9). p in (0,1).
+double normal_quantile(double p);
+
+/// Probe timeout: the (1 - fp_rate) quantile of N(rtt_mean, rtt_stddev).
+/// With the paper's parameters (20ms, 5ms, 1% FP) this returns ~31.6ms;
+/// the paper rounds up to 35ms.
+double probe_timeout_for_fp_rate(double rtt_mean, double rtt_stddev,
+                                 double fp_rate);
+
+/// Empirical variant: timeout from observed RTT samples.
+double probe_timeout_from_samples(std::span<const double> rtt_samples,
+                                  double fp_rate);
+
+}  // namespace tmg::stats

@@ -1,0 +1,105 @@
+#include "topo/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace tmg::topo {
+
+Link::Link(Location x, Location y) {
+  if (y < x) std::swap(x, y);
+  a = x;
+  b = y;
+}
+
+std::string Link::to_string() const {
+  return a.to_string() + "<->" + b.to_string();
+}
+
+std::uint64_t TopologyGraph::key(const Link& l) {
+  // Mix the four small fields into one 64-bit key.
+  const std::uint64_t ha = (l.a.dpid << 16) ^ l.a.port;
+  const std::uint64_t hb = (l.b.dpid << 16) ^ l.b.port;
+  return ha * 0x9e3779b97f4a7c15ULL ^ (hb + 0x7f4a7c159e3779b9ULL);
+}
+
+bool TopologyGraph::add_link(Location x, Location y) {
+  const Link l{x, y};
+  const auto [it, inserted] = links_.try_emplace(key(l), l);
+  if (!inserted) return false;
+  adj_[l.a.dpid].push_back(Traversal{l.a, l.b});
+  adj_[l.b.dpid].push_back(Traversal{l.b, l.a});
+  return true;
+}
+
+bool TopologyGraph::remove_link(Location x, Location y) {
+  const Link l{x, y};
+  if (links_.erase(key(l)) == 0) return false;
+  auto drop = [](std::vector<Traversal>& v, Location from, Location to) {
+    std::erase_if(v, [&](const Traversal& t) {
+      return t.from == from && t.to == to;
+    });
+  };
+  drop(adj_[l.a.dpid], l.a, l.b);
+  drop(adj_[l.b.dpid], l.b, l.a);
+  return true;
+}
+
+bool TopologyGraph::has_link(Location x, Location y) const {
+  return links_.contains(key(Link{x, y}));
+}
+
+bool TopologyGraph::is_switch_port(Location loc) const {
+  const auto it = adj_.find(loc.dpid);
+  if (it == adj_.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [&](const Traversal& t) { return t.from == loc; });
+}
+
+std::vector<Link> TopologyGraph::links() const {
+  std::vector<Link> out;
+  out.reserve(links_.size());
+  for (const auto& [_, l] : links_) out.push_back(l);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::vector<TopologyGraph::Traversal>> TopologyGraph::path(
+    Dpid from, Dpid to) const {
+  if (from == to) return std::vector<Traversal>{};
+  std::unordered_map<Dpid, Traversal> parent;  // how we reached each dpid
+  std::unordered_set<Dpid> seen{from};
+  std::deque<Dpid> frontier{from};
+  while (!frontier.empty()) {
+    const Dpid cur = frontier.front();
+    frontier.pop_front();
+    const auto it = adj_.find(cur);
+    if (it == adj_.end()) continue;
+    for (const Traversal& t : it->second) {
+      const Dpid next = t.to.dpid;
+      if (seen.contains(next)) continue;
+      seen.insert(next);
+      parent.emplace(next, t);
+      if (next == to) {
+        std::vector<Traversal> result;
+        Dpid walk = to;
+        while (walk != from) {
+          const Traversal& step = parent.at(walk);
+          result.push_back(step);
+          walk = step.from.dpid;
+        }
+        std::reverse(result.begin(), result.end());
+        return result;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+void TopologyGraph::clear() {
+  links_.clear();
+  adj_.clear();
+}
+
+}  // namespace tmg::topo

@@ -1,0 +1,73 @@
+// Controller-side topology graph.
+//
+// Vertices are switch DPIDs; edges are inter-switch links keyed by their
+// two (dpid, port) endpoints. This is exactly the state the paper's
+// link-fabrication attacks poison: a relayed LLDP packet manufactures an
+// edge here that has no physical counterpart.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "of/messages.hpp"
+
+namespace tmg::topo {
+
+using of::Dpid;
+using of::Location;
+using of::PortNo;
+
+/// Undirected inter-switch link; endpoints stored in canonical order.
+struct Link {
+  Location a;
+  Location b;
+
+  Link() = default;
+  Link(Location x, Location y);
+
+  auto operator<=>(const Link&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+class TopologyGraph {
+ public:
+  /// Insert a link. Returns true if it was new.
+  bool add_link(Location x, Location y);
+
+  /// Remove a link. Returns true if it existed.
+  bool remove_link(Location x, Location y);
+
+  [[nodiscard]] bool has_link(Location x, Location y) const;
+
+  /// True if this (dpid, port) is an endpoint of any known link (i.e. a
+  /// switch-internal port; host tracking ignores traffic from such ports).
+  [[nodiscard]] bool is_switch_port(Location loc) const;
+
+  [[nodiscard]] std::vector<Link> links() const;
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Shortest switch-to-switch path (BFS, unweighted). Each element is
+  /// the link traversed, oriented from source toward destination: the
+  /// first.a.dpid == from, the last "to" endpoint's dpid == to. Returns
+  /// an empty vector when from == to, nullopt when unreachable.
+  struct Traversal {
+    Location from;  // egress on the near switch
+    Location to;    // ingress on the far switch
+  };
+  [[nodiscard]] std::optional<std::vector<Traversal>> path(Dpid from,
+                                                           Dpid to) const;
+
+  void clear();
+
+ private:
+  [[nodiscard]] static std::uint64_t key(const Link& l);
+
+  std::unordered_map<std::uint64_t, Link> links_;
+  // Adjacency: dpid -> oriented traversals out of that switch.
+  std::unordered_map<Dpid, std::vector<Traversal>> adj_;
+};
+
+}  // namespace tmg::topo

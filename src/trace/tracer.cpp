@@ -1,0 +1,88 @@
+#include "trace/tracer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace tmg::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::PacketIn: return "PACKET_IN";
+    case EventKind::PacketOut: return "PACKET_OUT";
+    case EventKind::FlowMod: return "FLOW_MOD";
+    case EventKind::PortUp: return "PORT_UP";
+    case EventKind::PortDown: return "PORT_DOWN";
+    case EventKind::LinkAdded: return "LINK_ADDED";
+    case EventKind::LinkRemoved: return "LINK_REMOVED";
+    case EventKind::HostNew: return "HOST_NEW";
+    case EventKind::HostMoved: return "HOST_MOVED";
+    case EventKind::HostBlocked: return "HOST_BLOCKED";
+    case EventKind::Alert: return "ALERT";
+    case EventKind::EchoRtt: return "ECHO_RTT";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_{capacity} {
+  assert(capacity_ > 0);
+}
+
+void Tracer::record(sim::SimTime at, EventKind kind, std::string detail,
+                    std::optional<of::Location> loc) {
+  events_.push_back(Event{at, kind, std::move(detail), loc});
+  ++recorded_;
+  while (events_.size() > capacity_) events_.pop_front();
+  for (const auto& l : listeners_) l(events_.back());
+}
+
+std::size_t Tracer::count(EventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [&](const Event& e) { return e.kind == kind; }));
+}
+
+std::vector<Event> Tracer::of_kind(EventKind kind) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::string Tracer::render(std::size_t last_n) const {
+  std::string out;
+  char line[512];
+  const std::size_t start =
+      events_.size() > last_n ? events_.size() - last_n : 0;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    std::snprintf(line, sizeof line, "[%10.3fs] %-12s %-10s %s\n",
+                  e.at.to_seconds_f(), to_string(e.kind),
+                  e.loc ? e.loc->to_string().c_str() : "-",
+                  e.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string Tracer::to_csv() const {
+  std::string out;
+  char line[512];
+  for (const Event& e : events_) {
+    std::snprintf(line, sizeof line, "%.6f,%s,%s,\"%s\"\n",
+                  e.at.to_seconds_f(), to_string(e.kind),
+                  e.loc ? e.loc->to_string().c_str() : "",
+                  e.detail.c_str());
+    out += line;
+  }
+  return out;
+}
+
+void Tracer::subscribe(Listener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void Tracer::clear() { events_.clear(); }
+
+}  // namespace tmg::trace

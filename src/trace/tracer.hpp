@@ -1,0 +1,79 @@
+// Structured controller event tracing.
+//
+// An optional ring buffer of typed control-plane events (Packet-In,
+// Flow-Mod, Port-Status, link/host changes, alerts, ...). Attached to a
+// Controller it yields the "controller console" view the paper's
+// figures 12-13 screenshot, and gives tests/examples a queryable record
+// of what the control plane actually did.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "of/messages.hpp"
+#include "sim/time.hpp"
+
+namespace tmg::trace {
+
+enum class EventKind {
+  PacketIn,
+  PacketOut,
+  FlowMod,
+  PortUp,
+  PortDown,
+  LinkAdded,
+  LinkRemoved,
+  HostNew,
+  HostMoved,
+  HostBlocked,
+  Alert,
+  EchoRtt,
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  sim::SimTime at;
+  EventKind kind = EventKind::PacketIn;
+  std::string detail;
+  std::optional<of::Location> loc;
+};
+
+class Tracer {
+ public:
+  using Listener = std::function<void(const Event&)>;
+
+  explicit Tracer(std::size_t capacity = 65536);
+
+  void record(sim::SimTime at, EventKind kind, std::string detail,
+              std::optional<of::Location> loc = std::nullopt);
+
+  [[nodiscard]] const std::deque<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t total_recorded() const { return recorded_; }
+  [[nodiscard]] std::size_t count(EventKind kind) const;
+  [[nodiscard]] std::vector<Event> of_kind(EventKind kind) const;
+
+  /// Console-style rendering of the most recent `last_n` events.
+  [[nodiscard]] std::string render(std::size_t last_n = 50) const;
+
+  /// CSV rows: "t_s,kind,location,detail".
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Live listener invoked on every recorded event.
+  void subscribe(Listener listener);
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::vector<Listener> listeners_;
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace tmg::trace

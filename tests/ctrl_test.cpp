@@ -1,0 +1,508 @@
+// Tests for the controller core and its services (link discovery, host
+// tracking, routing), run over small scenario testbeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ctrl/host_tracker.hpp"
+#include "ctrl/link_discovery.hpp"
+#include "ctrl/routing.hpp"
+#include "scenario/testbed.hpp"
+
+namespace tmg::ctrl {
+namespace {
+
+using namespace tmg::sim::literals;
+using scenario::Testbed;
+using scenario::TestbedOptions;
+using sim::Duration;
+
+/// Test module that records every hook invocation.
+class Recorder final : public DefenseModule {
+ public:
+  [[nodiscard]] std::string name() const override { return "recorder"; }
+  Verdict on_packet_in(const of::PacketIn& pi) override {
+    packet_ins.push_back(pi);
+    return Verdict::Allow;
+  }
+  void on_port_status(const of::PortStatus& ps) override {
+    port_events.push_back(ps);
+  }
+  Verdict on_lldp_observation(const LldpObservation& obs) override {
+    observations.push_back(obs);
+    return veto_links ? Verdict::Block : Verdict::Allow;
+  }
+  void on_link_removed(const topo::Link& l) override {
+    removed_links.push_back(l);
+  }
+  Verdict on_host_event(const HostEvent& ev) override {
+    host_events.push_back(ev);
+    return veto_hosts ? Verdict::Block : Verdict::Allow;
+  }
+  void on_flow_mod(of::Dpid dpid, const of::FlowMod& fm) override {
+    flow_mods.emplace_back(dpid, fm);
+  }
+
+  std::vector<of::PacketIn> packet_ins;
+  std::vector<of::PortStatus> port_events;
+  std::vector<LldpObservation> observations;
+  std::vector<topo::Link> removed_links;
+  std::vector<HostEvent> host_events;
+  std::vector<std::pair<of::Dpid, of::FlowMod>> flow_mods;
+  bool veto_links = false;
+  bool veto_hosts = false;
+};
+
+struct TwoSwitchNet {
+  Testbed tb;
+  attack::Host* h1;
+  attack::Host* h2;
+  Recorder* rec;
+
+  explicit TwoSwitchNet(TestbedOptions opts = {}) : tb{std::move(opts)} {
+    tb.add_switch(0x1);
+    tb.add_switch(0x2);
+    tb.connect_switches(0x1, 10, 0x2, 10);
+    attack::HostConfig c1;
+    c1.mac = net::MacAddress::host(1);
+    c1.ip = net::Ipv4Address::host(1);
+    h1 = &tb.add_host(0x1, 1, c1);
+    attack::HostConfig c2;
+    c2.mac = net::MacAddress::host(2);
+    c2.ip = net::Ipv4Address::host(2);
+    h2 = &tb.add_host(0x2, 1, c2);
+    auto r = std::make_unique<Recorder>();
+    rec = r.get();
+    tb.controller().add_defense(std::move(r));
+  }
+};
+
+// ---------------- Profiles (Table III) ----------------
+
+TEST(Profiles, TableIIIValues) {
+  EXPECT_EQ(floodlight_profile().name, "Floodlight");
+  EXPECT_EQ(floodlight_profile().lldp_interval, 15_s);
+  EXPECT_EQ(floodlight_profile().link_timeout, 35_s);
+  EXPECT_EQ(pox_profile().lldp_interval, 5_s);
+  EXPECT_EQ(pox_profile().link_timeout, 10_s);
+  EXPECT_EQ(opendaylight_profile().lldp_interval, 5_s);
+  EXPECT_EQ(opendaylight_profile().link_timeout, 15_s);
+  EXPECT_EQ(all_profiles().size(), 3u);
+}
+
+TEST(Profiles, TimeoutExceedsIntervalByFactor2To3) {
+  // Paper Sec. VIII-A: the link timeout exceeds the discovery interval
+  // by a factor of 2-3, tolerating isolated false removals.
+  for (const auto& p : all_profiles()) {
+    const double ratio =
+        p.link_timeout.to_seconds_f() / p.lldp_interval.to_seconds_f();
+    EXPECT_GE(ratio, 2.0) << p.name;
+    EXPECT_LE(ratio, 3.0) << p.name;
+  }
+}
+
+// ---------------- AlertBus ----------------
+
+TEST(AlertBus, CountsAndListeners) {
+  AlertBus bus;
+  int notified = 0;
+  bus.subscribe([&](const Alert&) { ++notified; });
+  bus.raise(Alert{sim::SimTime::zero(), "m1", AlertType::LldpFromHostPort,
+                  "x", std::nullopt});
+  bus.raise(Alert{sim::SimTime::zero(), "m2", AlertType::LliAbnormalLatency,
+                  "y", std::nullopt});
+  bus.raise(Alert{sim::SimTime::zero(), "m1", AlertType::LldpFromHostPort,
+                  "z", std::nullopt});
+  EXPECT_EQ(bus.count(), 3u);
+  EXPECT_EQ(bus.count(AlertType::LldpFromHostPort), 2u);
+  EXPECT_EQ(bus.count_from("m1"), 2u);
+  EXPECT_TRUE(bus.any(AlertType::LliAbnormalLatency));
+  EXPECT_FALSE(bus.any(AlertType::CmmControlMessage));
+  EXPECT_EQ(notified, 3);
+  bus.clear();
+  EXPECT_EQ(bus.count(), 0u);
+}
+
+TEST(AlertBus, TypeNames) {
+  EXPECT_STREQ(to_string(AlertType::LldpFromHostPort),
+               "LLDP_FROM_HOST_PORT");
+  EXPECT_STREQ(to_string(AlertType::LliAbnormalLatency),
+               "LLI_ABNORMAL_LATENCY");
+}
+
+// ---------------- Link discovery ----------------
+
+TEST(LinkDiscovery, DiscoversRealLink) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  EXPECT_TRUE(net.tb.controller().topology().has_link(of::Location{0x1, 10},
+                                                      of::Location{0x2, 10}));
+  EXPECT_EQ(net.tb.controller().topology().link_count(), 1u);
+  EXPECT_GE(net.tb.controller().link_discovery().receptions(), 2u);
+}
+
+TEST(LinkDiscovery, HostPortsProduceNoLinks) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  const auto& topo = net.tb.controller().topology();
+  EXPECT_FALSE(topo.is_switch_port(of::Location{0x1, 1}));
+  EXPECT_FALSE(topo.is_switch_port(of::Location{0x2, 1}));
+}
+
+TEST(LinkDiscovery, EmitsPerPortPerRound) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  // 4 ports total, one round at t=0.
+  EXPECT_EQ(net.tb.controller().link_discovery().emissions(), 4u);
+  net.tb.run_for(15_s);  // Floodlight interval
+  EXPECT_EQ(net.tb.controller().link_discovery().emissions(), 8u);
+}
+
+TEST(LinkDiscovery, LinkTimesOutWithoutRefresh) {
+  TestbedOptions opts;
+  opts.controller.profile = pox_profile();  // 5s interval, 10s timeout
+  TwoSwitchNet net{std::move(opts)};
+  net.tb.start(1_s);
+  ASSERT_EQ(net.tb.controller().topology().link_count(), 1u);
+  // Cut the inter-switch wire: LLDP stops crossing; the link must be
+  // swept out after the POX timeout.
+  net.tb.get_switch(0x1);  // (link handle not exposed; cut via carrier)
+  // Easiest cut: veto refreshes via the recorder.
+  net.rec->veto_links = true;
+  net.tb.run_for(11_s);
+  EXPECT_EQ(net.tb.controller().topology().link_count(), 0u);
+  ASSERT_FALSE(net.rec->removed_links.empty());
+}
+
+TEST(LinkDiscovery, ObservationCarriesTimestampLatency) {
+  TestbedOptions opts;
+  opts.controller.lldp_timestamps = true;
+  TwoSwitchNet net{std::move(opts)};
+  net.tb.start(6_s);  // a couple of echo rounds for control-RTT estimates
+  net.tb.run_for(16_s);  // second LLDP round with RTTs available
+  bool found = false;
+  for (const auto& obs : net.rec->observations) {
+    if (obs.link_latency) {
+      found = true;
+      EXPECT_TRUE(obs.timestamp_present);
+      // The wire is 5ms nominal; estimate within [2, 15] ms given
+      // jitter and bootstrap conservatism.
+      EXPECT_GT(obs.link_latency->to_millis_f(), 2.0);
+      EXPECT_LT(obs.link_latency->to_millis_f(), 15.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LinkDiscovery, UnsignedLldpRejectedWhenAuthRequired) {
+  TestbedOptions opts;
+  opts.controller.authenticate_lldp = true;
+  TwoSwitchNet net{std::move(opts)};
+  net.tb.start(1_s);
+  // An attacker forges an (unsigned) LLDP announcing a bogus link.
+  net.h1->send(net::make_lldp_frame(net::MacAddress::lldp_multicast(),
+                                    net::LldpPacket{0x2, 10}));
+  net.tb.run_for(100_ms);
+  EXPECT_TRUE(
+      net.tb.controller().alerts().any(AlertType::InvalidLldpSignature));
+  // Only the genuine link exists.
+  EXPECT_EQ(net.tb.controller().topology().link_count(), 1u);
+}
+
+TEST(LinkDiscovery, ForgedLldpAcceptedWithoutAuth) {
+  // Without authentication the same forgery poisons the topology — the
+  // baseline weakness TopoGuard's signed LLDP closes.
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send(net::make_lldp_frame(net::MacAddress::lldp_multicast(),
+                                    net::LldpPacket{0x2, 7}));
+  net.tb.run_for(100_ms);
+  EXPECT_TRUE(net.tb.controller().topology().has_link(
+      of::Location{0x2, 7}, of::Location{0x1, 1}));
+}
+
+TEST(LinkDiscovery, VetoBlocksNewLink) {
+  TwoSwitchNet net;
+  net.rec->veto_links = true;
+  net.tb.start(1_s);
+  EXPECT_EQ(net.tb.controller().topology().link_count(), 0u);
+  EXPECT_FALSE(net.rec->observations.empty());
+}
+
+TEST(LinkDiscovery, SingleLostRoundDoesNotRemoveLink) {
+  // Sec. VIII-A: the link timeout exceeds the discovery interval 2-3x,
+  // so one lost LLDP round (e.g. an LLI false positive blocking a
+  // refresh, or transient loss) never drops a benign link.
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  ASSERT_EQ(net.tb.controller().topology().link_count(), 1u);
+  // Suppress exactly one refresh round via module veto.
+  net.rec->veto_links = true;
+  net.tb.run_for(16_s);  // covers one 15 s Floodlight round
+  net.rec->veto_links = false;
+  bool always_present = true;
+  for (int i = 0; i < 40; ++i) {
+    net.tb.run_for(1_s);
+    always_present &= net.tb.controller().topology().link_count() == 1;
+  }
+  EXPECT_TRUE(always_present);
+}
+
+TEST(LinkDiscovery, TwoLostRoundsRemoveLink) {
+  // The flip side: missing two consecutive rounds exceeds the 35 s
+  // Floodlight timeout and the link ages out.
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.rec->veto_links = true;
+  net.tb.run_for(36_s);  // two rounds suppressed
+  EXPECT_EQ(net.tb.controller().topology().link_count(), 0u);
+}
+
+// ---------------- Control RTT ----------------
+
+TEST(Controller, ControlRttTracksChannel) {
+  TwoSwitchNet net;
+  net.tb.start(5_s);  // a few echo rounds (every 2s)
+  const auto rtt = net.tb.controller().control_rtt(0x1);
+  ASSERT_TRUE(rtt.has_value());
+  // Channel one-way is ~1 ms, so RTT ~2 ms.
+  EXPECT_NEAR(rtt->to_millis_f(), 2.0, 0.5);
+}
+
+TEST(Controller, ControlRttUnknownSwitch) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  EXPECT_FALSE(net.tb.controller().control_rtt(0x99).has_value());
+}
+
+// ---------------- Host tracking ----------------
+
+TEST(HostTracker, LearnsFromFirstPacket) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  const auto rec = net.tb.controller().host_tracker().find(net.h1->mac());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->loc, (of::Location{0x1, 1}));
+  EXPECT_EQ(rec->ip, net.h1->ip());
+}
+
+TEST(HostTracker, FindByIp) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  const auto rec =
+      net.tb.controller().host_tracker().find_by_ip(net.h1->ip());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->mac, net.h1->mac());
+  EXPECT_FALSE(net.tb.controller()
+                   .host_tracker()
+                   .find_by_ip(net::Ipv4Address::host(99))
+                   .has_value());
+}
+
+TEST(HostTracker, IgnoresSwitchInternalPorts) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(500_ms);
+  // No host may ever be bound to the inter-switch ports.
+  for (const auto& [mac, rec] :
+       net.tb.controller().host_tracker().hosts()) {
+    EXPECT_NE(rec.loc, (of::Location{0x1, 10})) << mac.to_string();
+    EXPECT_NE(rec.loc, (of::Location{0x2, 10})) << mac.to_string();
+  }
+}
+
+TEST(HostTracker, MoveEmitsEventAndRebinds) {
+  TwoSwitchNet net;
+  of::DataLink& target = net.tb.add_access_link(0x2, 4);
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(200_ms);
+  scenario::migrate_host(net.tb, *net.h1, target, 500_ms);
+  net.tb.run_for(600_ms);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(200_ms);
+  const auto rec = net.tb.controller().host_tracker().find(net.h1->mac());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->loc, (of::Location{0x2, 4}));
+  EXPECT_EQ(net.tb.controller().host_tracker().migrations(), 1u);
+  bool saw_move = false;
+  for (const auto& ev : net.rec->host_events) {
+    if (ev.kind == HostEvent::Kind::Moved && ev.mac == net.h1->mac()) {
+      saw_move = true;
+      ASSERT_TRUE(ev.old_loc.has_value());
+      EXPECT_EQ(*ev.old_loc, (of::Location{0x1, 1}));
+    }
+  }
+  EXPECT_TRUE(saw_move);
+}
+
+TEST(HostTracker, VetoBlocksRebinding) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(200_ms);
+  net.rec->veto_hosts = true;
+  // A spoofer claims h1's identity from h2's port.
+  net.h2->send(net::make_raw(net.h1->mac(), net.h1->ip(), net.h2->mac(),
+                             net.h2->ip(), "spoof", 64));
+  net.tb.run_for(200_ms);
+  const auto rec = net.tb.controller().host_tracker().find(net.h1->mac());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->loc, (of::Location{0x1, 1}));  // unchanged
+  EXPECT_GE(net.tb.controller().host_tracker().blocked_events(), 1u);
+}
+
+// ---------------- Routing ----------------
+
+TEST(Routing, EndToEndPingAcrossSwitches) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(300_ms);
+  net.h1->send_ping(net.h2->mac(), net.h2->ip(), 1, 1);
+  net.tb.run_for(300_ms);
+  // h2 got the echo request and h1 got the reply.
+  bool h2_got_req = false, h1_got_rep = false;
+  for (const auto& p : net.h2->received()) {
+    if (p.icmp() && p.icmp()->type == net::IcmpPayload::Type::EchoRequest) {
+      h2_got_req = true;
+    }
+  }
+  for (const auto& p : net.h1->received()) {
+    if (p.icmp() && p.icmp()->type == net::IcmpPayload::Type::EchoReply) {
+      h1_got_rep = true;
+    }
+  }
+  EXPECT_TRUE(h2_got_req);
+  EXPECT_TRUE(h1_got_rep);
+  EXPECT_GE(net.tb.controller().routing().paths_installed(), 1u);
+}
+
+TEST(Routing, InstallsFlowRules) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(200_ms);
+  net.h1->send_ping(net.h2->mac(), net.h2->ip(), 1, 1);
+  net.tb.run_for(200_ms);
+  EXPECT_GT(net.tb.get_switch(0x1).flow_table().size(), 0u);
+  EXPECT_GT(net.tb.get_switch(0x2).flow_table().size(), 0u);
+  EXPECT_FALSE(net.rec->flow_mods.empty());
+}
+
+TEST(Routing, BroadcastDeliveredOncePerHost) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h2->clear_inbox();
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(300_ms);
+  int arp_reqs = 0;
+  for (const auto& p : net.h2->received()) {
+    if (p.arp() && p.arp()->op == net::ArpPayload::Op::Request) ++arp_reqs;
+  }
+  EXPECT_EQ(arp_reqs, 1);  // duplicate-suppressed flood
+}
+
+TEST(Routing, UnknownUnicastFloods) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  const auto before = net.tb.controller().routing().floods();
+  net.h1->send_raw(net::MacAddress::host(77), net::Ipv4Address::host(77),
+                   "mystery");
+  net.tb.run_for(200_ms);
+  EXPECT_GT(net.tb.controller().routing().floods(), before);
+}
+
+TEST(Routing, HostMovePurgesStaleRules) {
+  TwoSwitchNet net;
+  of::DataLink& target = net.tb.add_access_link(0x2, 4);
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(200_ms);
+  net.h2->send_ping(net.h1->mac(), net.h1->ip(), 3, 1);
+  net.tb.run_for(200_ms);
+  // Rules toward h1 exist; move h1 and verify fresh traffic reaches the
+  // new location.
+  scenario::migrate_host(net.tb, *net.h1, target, 200_ms);
+  net.tb.run_for(300_ms);
+  net.h1->send_arp_request(net.h2->ip());  // re-register at new port
+  net.tb.run_for(200_ms);
+  net.h1->clear_inbox();
+  net.h2->send_ping(net.h1->mac(), net.h1->ip(), 3, 2);
+  net.tb.run_for(300_ms);
+  bool got_ping = false;
+  for (const auto& p : net.h1->received()) {
+    if (p.icmp() && p.icmp()->type == net::IcmpPayload::Type::EchoRequest) {
+      got_ping = true;
+    }
+  }
+  EXPECT_TRUE(got_ping);
+}
+
+// ---------------- Reachability probes ----------------
+
+TEST(Controller, ProbeReachabilityTrueForLiveHost) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  bool result = false, done = false;
+  net.tb.controller().probe_reachability(
+      of::Location{0x1, 1}, net.h1->mac(), net.h1->ip(), [&](bool r) {
+        result = r;
+        done = true;
+      });
+  net.tb.run_for(300_ms);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(result);
+}
+
+TEST(Controller, ProbeReachabilityFalseForDownHost) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->set_interface(false);
+  net.tb.run_for(50_ms);
+  bool result = true, done = false;
+  net.tb.controller().probe_reachability(
+      of::Location{0x1, 1}, net.h1->mac(), net.h1->ip(), [&](bool r) {
+        result = r;
+        done = true;
+      });
+  net.tb.run_for(500_ms);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(result);
+}
+
+TEST(Controller, ProbeRepliesInvisibleToModules) {
+  TwoSwitchNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  const auto before = net.rec->packet_ins.size();
+  bool done = false;
+  net.tb.controller().probe_reachability(of::Location{0x1, 1}, net.h1->mac(),
+                                         net.h1->ip(),
+                                         [&](bool) { done = true; });
+  net.tb.run_for(300_ms);
+  ASSERT_TRUE(done);
+  // The probe's echo reply was consumed before the defense pipeline.
+  for (std::size_t i = before; i < net.rec->packet_ins.size(); ++i) {
+    const auto* icmp = net.rec->packet_ins[i].packet.icmp();
+    EXPECT_FALSE(icmp &&
+                 icmp->type == net::IcmpPayload::Type::EchoReply &&
+                 net.rec->packet_ins[i].packet.dst_mac ==
+                     net.tb.controller().mac());
+  }
+}
+
+}  // namespace
+}  // namespace tmg::ctrl

@@ -1,0 +1,158 @@
+// Tests for the active link verifier — the prototype of the "active,
+// dynamic defenses" the paper's conclusion calls for.
+#include <gtest/gtest.h>
+
+#include "attack/link_fabrication.hpp"
+#include "attack/port_amnesia.hpp"
+#include "ctrl/host_tracker.hpp"
+#include "defense/active_probe.hpp"
+#include "defense/topoguard_plus.hpp"
+#include "scenario/fig1_testbed.hpp"
+#include "scenario/testbed.hpp"
+
+namespace tmg::defense {
+namespace {
+
+using namespace tmg::sim::literals;
+using ctrl::AlertType;
+using scenario::Fig1Testbed;
+using scenario::make_fig1_testbed;
+
+TEST(ActiveProbe, RealLinkVerifiedAndAdmitted) {
+  Fig1Testbed f = make_fig1_testbed();
+  ActiveLinkVerifier& verifier = install_active_probe(f.tb->controller());
+  f.tb->start(2_s);
+  // First observation is held; challenge runs; the next round admits.
+  EXPECT_FALSE(f.tb->controller().topology().has_link(f.real_a, f.real_b));
+  f.tb->run_for(16_s);
+  EXPECT_TRUE(f.tb->controller().topology().has_link(f.real_a, f.real_b));
+  EXPECT_GE(verifier.verifications(), 1u);
+  EXPECT_EQ(verifier.failures(), 0u);
+  EXPECT_EQ(verifier.state_of(topo::Link{f.real_a, f.real_b}),
+            ActiveLinkVerifier::State::Verified);
+}
+
+TEST(ActiveProbe, BenignNetworkFullyConverges) {
+  // All genuine links of the Fig. 1 network pass and no alerts fire.
+  Fig1Testbed f = make_fig1_testbed();
+  install_active_probe(f.tb->controller());
+  f.tb->start(2_s);
+  scenario::fig1_warm_hosts(f);
+  f.tb->run_for(40_s);
+  EXPECT_EQ(f.tb->controller().topology().link_count(), 1u);
+  EXPECT_EQ(f.tb->controller().alerts().count(
+                AlertType::ActiveProbeViolation),
+            0u);
+}
+
+TEST(ActiveProbe, RelayedFakeLinkFailsLatencyBound) {
+  // The CMM-evasive out-of-band amnesia attack: the attackers happily
+  // relay the challenge probes too — and the channel's ~11 ms gives
+  // them away. No calibration history or timestamp TLVs needed.
+  Fig1Testbed f = make_fig1_testbed();
+  ActiveLinkVerifier& verifier = install_active_probe(f.tb->controller());
+  f.tb->start(2_s);
+  scenario::fig1_warm_hosts(f);
+  f.tb->run_for(20_s);  // real link admitted
+
+  attack::PortAmnesiaAttack::Config ac;
+  ac.preposition_flap = true;
+  attack::PortAmnesiaAttack attack{f.tb->loop(), *f.attacker_a,
+                                   *f.attacker_b, f.oob, ac};
+  attack.start();
+  f.tb->run_for(60_s);  // several LLDP rounds
+  EXPECT_FALSE(f.fabricated_link_present());
+  EXPECT_GE(verifier.failures(), 1u);
+  EXPECT_TRUE(f.tb->controller().alerts().any(
+      AlertType::ActiveProbeViolation));
+  EXPECT_EQ(verifier.state_of(f.fabricated_link()),
+            ActiveLinkVerifier::State::Failed);
+}
+
+TEST(ActiveProbe, NonRelayingFakeLinkFailsClosed) {
+  // A stealthier attacker might drop unfamiliar frames instead of
+  // bridging them: then the challenge probes simply vanish and the
+  // link is never admitted (fail closed).
+  Fig1Testbed f = make_fig1_testbed();
+  ActiveLinkVerifier& verifier = install_active_probe(f.tb->controller());
+  f.tb->start(2_s);
+  scenario::fig1_warm_hosts(f);
+  f.tb->run_for(20_s);
+
+  attack::PortAmnesiaAttack::Config ac;
+  ac.preposition_flap = true;
+  ac.bridge_transit = false;  // LLDP-only relay; probes are dropped
+  attack::PortAmnesiaAttack attack{f.tb->loop(), *f.attacker_a,
+                                   *f.attacker_b, f.oob, ac};
+  attack.start();
+  f.tb->run_for(60_s);
+  EXPECT_FALSE(f.fabricated_link_present());
+  EXPECT_GE(verifier.failures(), 1u);
+}
+
+TEST(ActiveProbe, PortDownResetsVerification) {
+  Fig1Testbed f = make_fig1_testbed();
+  ActiveLinkVerifier& verifier = install_active_probe(f.tb->controller());
+  f.tb->start(2_s);
+  f.tb->run_for(16_s);
+  const topo::Link real{f.real_a, f.real_b};
+  ASSERT_EQ(verifier.state_of(real), ActiveLinkVerifier::State::Verified);
+  // A Port-Down on one endpoint wipes the (now stale) verification.
+  // Cut the wire carrier at switch 0x1's side of the real link: easiest
+  // via a synthetic PortStatus through the module hook.
+  verifier.on_port_status(
+      of::PortStatus{0x1, 10, of::PortStatus::Reason::Down});
+  EXPECT_FALSE(verifier.state_of(real).has_value());
+}
+
+TEST(ActiveProbe, WorksWithoutTimestampInfrastructure) {
+  // Unlike the LLI, the verifier needs no controller key material or
+  // LLDP TLV support — it runs on a bone-stock controller.
+  Fig1Testbed f = make_fig1_testbed();  // no auth, no timestamps
+  EXPECT_FALSE(f.tb->controller().config().lldp_timestamps);
+  install_active_probe(f.tb->controller());
+  f.tb->start(2_s);
+  f.tb->run_for(16_s);
+  EXPECT_TRUE(f.tb->controller().topology().has_link(f.real_a, f.real_b));
+}
+
+TEST(ActiveProbe, ProbeFramesInvisibleToOtherServices) {
+  // Challenge probes never create host bindings or reach end hosts'
+  // applications as routable traffic.
+  Fig1Testbed f = make_fig1_testbed();
+  install_active_probe(f.tb->controller());
+  f.tb->start(2_s);
+  f.tb->run_for(16_s);
+  EXPECT_FALSE(f.tb->controller()
+                   .host_tracker()
+                   .find(f.tb->controller().mac())
+                   .has_value());
+}
+
+TEST(ActiveProbe, FailedLinkRetriesAfterCooldown) {
+  ActiveProbeConfig cfg;
+  cfg.retry_cooldown = 20_s;
+  Fig1Testbed f = make_fig1_testbed();
+  ActiveLinkVerifier& verifier =
+      install_active_probe(f.tb->controller(), cfg);
+  f.tb->start(2_s);
+  scenario::fig1_warm_hosts(f);
+  f.tb->run_for(20_s);
+
+  // Fabricate with a slow channel -> Failed; then swap in a "fast"
+  // relay and wait out the cooldown: the re-challenge succeeds.
+  attack::PortAmnesiaAttack::Config ac;
+  ac.preposition_flap = true;
+  attack::PortAmnesiaAttack attack{f.tb->loop(), *f.attacker_a,
+                                   *f.attacker_b, f.oob, ac};
+  attack.start();
+  f.tb->run_for(31_s);
+  ASSERT_EQ(verifier.state_of(f.fabricated_link()),
+            ActiveLinkVerifier::State::Failed);
+  const auto failures_before = verifier.failures();
+  f.tb->run_for(45_s);  // beyond cooldown: a new challenge round ran
+  EXPECT_GT(verifier.failures(), failures_before);
+}
+
+}  // namespace
+}  // namespace tmg::defense

@@ -1,0 +1,292 @@
+// Tests for the TopoGuard re-implementation: port classifier, link
+// fabrication checks, host migration verification — and the unit-level
+// demonstration that a Port-Down flap erases the classification (the
+// Port Amnesia lever).
+#include <gtest/gtest.h>
+
+#include "ctrl/host_tracker.hpp"
+#include "defense/topoguard_plus.hpp"
+#include "scenario/testbed.hpp"
+
+namespace tmg::defense {
+namespace {
+
+using namespace tmg::sim::literals;
+using ctrl::AlertType;
+using scenario::Testbed;
+using scenario::TestbedOptions;
+
+struct TgNet {
+  Testbed tb;
+  attack::Host* h1;
+  attack::Host* h2;
+  TopoGuard* tg;
+
+  explicit TgNet(TopoGuardConfig cfg = {}) : tb{[] {
+    TestbedOptions o;
+    o.controller.authenticate_lldp = true;  // TopoGuard signs LLDP
+    return o;
+  }()} {
+    tb.add_switch(0x1);
+    tb.add_switch(0x2);
+    tb.connect_switches(0x1, 10, 0x2, 10);
+    attack::HostConfig c1;
+    c1.mac = net::MacAddress::host(1);
+    c1.ip = net::Ipv4Address::host(1);
+    h1 = &tb.add_host(0x1, 1, c1);
+    attack::HostConfig c2;
+    c2.mac = net::MacAddress::host(2);
+    c2.ip = net::Ipv4Address::host(2);
+    h2 = &tb.add_host(0x2, 1, c2);
+    tg = &install_topoguard(tb.controller(), cfg);
+  }
+
+  /// A correctly signed LLDP as would be captured from the wire — what a
+  /// relaying attacker possesses.
+  net::Packet captured_lldp(of::Dpid dpid, of::PortNo port) {
+    net::LldpPacket lldp{dpid, port};
+    lldp.sign(tb.controller().lldp_key());
+    return net::make_lldp_frame(net::MacAddress::lldp_multicast(),
+                                std::move(lldp));
+  }
+};
+
+// ---------------- Classification ----------------
+
+TEST(TopoGuardClassifier, StartsAsAny) {
+  TgNet net;
+  EXPECT_EQ(net.tg->port_type(of::Location{0x1, 1}),
+            TopoGuard::PortType::Any);
+}
+
+TEST(TopoGuardClassifier, HostTrafficMarksHost) {
+  TgNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  EXPECT_EQ(net.tg->port_type(of::Location{0x1, 1}),
+            TopoGuard::PortType::Host);
+}
+
+TEST(TopoGuardClassifier, LldpMarksSwitch) {
+  TgNet net;
+  net.tb.start(1_s);
+  // Inter-switch ports saw genuine LLDP during discovery.
+  EXPECT_EQ(net.tg->port_type(of::Location{0x1, 10}),
+            TopoGuard::PortType::Switch);
+  EXPECT_EQ(net.tg->port_type(of::Location{0x2, 10}),
+            TopoGuard::PortType::Switch);
+}
+
+TEST(TopoGuardClassifier, PortDownResetsToAny) {
+  TgNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  ASSERT_EQ(net.tg->port_type(of::Location{0x1, 1}),
+            TopoGuard::PortType::Host);
+  net.h1->flap_interface(30_ms);  // > link-integrity window
+  net.tb.run_for(100_ms);
+  EXPECT_EQ(net.tg->port_type(of::Location{0x1, 1}),
+            TopoGuard::PortType::Any);
+  EXPECT_GE(net.tg->profile_resets(), 1u);
+}
+
+TEST(TopoGuardClassifier, FastFlapDoesNotReset) {
+  // A flap below the 802.3 link-integrity window produces no Port-Down,
+  // so the profile survives: the attacker MUST hold >= 16 ms (paper
+  // Sec. V-A).
+  TgNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  net.h1->flap_interface(5_ms);
+  net.tb.run_for(100_ms);
+  EXPECT_EQ(net.tg->port_type(of::Location{0x1, 1}),
+            TopoGuard::PortType::Host);
+  EXPECT_EQ(net.tg->profile_resets(), 0u);
+}
+
+TEST(TopoGuardClassifier, TypeNames) {
+  EXPECT_STREQ(to_string(TopoGuard::PortType::Any), "ANY");
+  EXPECT_STREQ(to_string(TopoGuard::PortType::Host), "HOST");
+  EXPECT_STREQ(to_string(TopoGuard::PortType::Switch), "SWITCH");
+}
+
+// ---------------- Link fabrication checks ----------------
+
+TEST(TopoGuardLinks, LldpFromHostPortAlertsAndBlocks) {
+  TgNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());  // h1's port becomes HOST
+  net.tb.run_for(100_ms);
+  // h1 replays a captured, *validly signed* LLDP: signature passes, but
+  // the port property check catches it.
+  net.h1->send(net.captured_lldp(0x2, 1));
+  net.tb.run_for(100_ms);
+  EXPECT_TRUE(net.tb.controller().alerts().any(AlertType::LldpFromHostPort));
+  EXPECT_FALSE(net.tb.controller().topology().has_link(
+      of::Location{0x2, 1}, of::Location{0x1, 1}));
+}
+
+TEST(TopoGuardLinks, AmnesiaFlapEnablesRelayedLldp) {
+  // The unit-level core of the Port Amnesia bypass: after a >=16 ms
+  // flap the port is ANY again, and the relayed LLDP classifies it as
+  // SWITCH without any alert.
+  TgNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  const auto alerts_before = net.tb.controller().alerts().count();
+  net.h1->flap_interface(30_ms, [&] {});
+  net.tb.run_for(100_ms);  // flap + up-detect settled
+  net.h1->send(net.captured_lldp(0x2, 1));
+  net.tb.run_for(100_ms);
+  EXPECT_EQ(net.tb.controller().alerts().count(), alerts_before);
+  EXPECT_TRUE(net.tb.controller().topology().has_link(
+      of::Location{0x2, 1}, of::Location{0x1, 1}));
+  EXPECT_EQ(net.tg->port_type(of::Location{0x1, 1}),
+            TopoGuard::PortType::Switch);
+}
+
+TEST(TopoGuardLinks, FirstHopFromSwitchPortAlerts) {
+  TgNet net;
+  net.tb.start(1_s);
+  // h1's port becomes SWITCH via a (relayed) LLDP from the ANY state.
+  net.h1->send(net.captured_lldp(0x2, 1));
+  net.tb.run_for(100_ms);
+  ASSERT_EQ(net.tg->port_type(of::Location{0x1, 1}),
+            TopoGuard::PortType::Switch);
+  // The fabricated link eventually times out (no refresh), leaving a
+  // stale SWITCH-profiled attachment port...
+  net.tb.run_for(36_s);
+  ASSERT_FALSE(net.tb.controller().topology().is_switch_port(
+      of::Location{0x1, 1}));
+  // ...from which first-hop traffic is a violation.
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  EXPECT_TRUE(
+      net.tb.controller().alerts().any(AlertType::FirstHopFromSwitchPort));
+}
+
+TEST(TopoGuardLinks, NoBlockWhenConfigured) {
+  TopoGuardConfig cfg;
+  cfg.block_link_violations = false;
+  TgNet net{cfg};
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(100_ms);
+  net.h1->send(net.captured_lldp(0x2, 1));
+  net.tb.run_for(100_ms);
+  // Alert raised, but the poisoned update goes through (alert-only mode).
+  EXPECT_TRUE(net.tb.controller().alerts().any(AlertType::LldpFromHostPort));
+  EXPECT_TRUE(net.tb.controller().topology().has_link(
+      of::Location{0x2, 1}, of::Location{0x1, 1}));
+}
+
+// ---------------- Host migration verification ----------------
+
+TEST(TopoGuardMigration, SpoofWithoutPortDownViolatesPrecondition) {
+  TgNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(200_ms);
+  // h2 impersonates h1 while h1 is still online (no Port-Down at h1).
+  // A gratuitous ARP guarantees a Packet-In (unicast spoofs could ride
+  // pre-installed flow rules and never reach the controller).
+  net.h2->send(net::make_arp_request(net.h1->mac(), net.h1->ip(),
+                                     net.h1->ip()));
+  net.tb.run_for(100_ms);
+  EXPECT_TRUE(net.tb.controller().alerts().any(
+      AlertType::HostMigrationPrecondition));
+}
+
+TEST(TopoGuardMigration, LegitimateMoveRaisesNoAlert) {
+  TgNet net;
+  of::DataLink& target = net.tb.add_access_link(0x2, 4);
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(200_ms);
+  const auto before = net.tb.controller().alerts().count();
+  scenario::migrate_host(net.tb, *net.h1, target, 1_s);
+  net.tb.run_for(1200_ms);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(500_ms);
+  EXPECT_EQ(net.tb.controller().alerts().count(), before);
+  const auto rec = net.tb.controller().host_tracker().find(net.h1->mac());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->loc, (of::Location{0x2, 4}));
+}
+
+TEST(TopoGuardMigration, GhostMoveViolatesPostcondition) {
+  // The old location generated a Port-Down (precondition holds), but
+  // the "moved" host is still reachable there: postcondition alert.
+  TgNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(200_ms);
+  // h1 flaps (Port-Down seen at its port) but stays online afterwards.
+  net.h1->flap_interface(30_ms);
+  net.tb.run_for(200_ms);
+  // h2 claims h1's identity; precondition passes, ping finds h1 alive.
+  net.h2->send(net::make_arp_request(net.h1->mac(), net.h1->ip(),
+                                     net.h1->ip()));
+  net.tb.run_for(500_ms);
+  EXPECT_TRUE(net.tb.controller().alerts().any(
+      AlertType::HostMigrationPostcondition));
+  // (A precondition alert may also fire when the ghost host talks again
+  // — e.g. answering the verification ping requires it to ARP for the
+  // controller, which re-binds it to its old port without a Port-Down
+  // at the attacker's location. That cascade is expected.)
+}
+
+TEST(TopoGuardMigration, RaceWonByAttackerRaisesNothing) {
+  // The Port Probing window: victim actually left, attacker claims the
+  // identity before the victim rejoins. Both checks pass — this is the
+  // paper's central observation about HLH-in-transit.
+  TgNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(200_ms);
+  const auto before = net.tb.controller().alerts().count();
+  net.h1->detach_link();  // victim leaves (Port-Down follows)
+  net.tb.run_for(100_ms);
+  net.h2->send(net::make_arp_request(net.h1->mac(), net.h1->ip(),
+                                     net.h1->ip()));
+  net.tb.run_for(500_ms);
+  EXPECT_EQ(net.tb.controller().alerts().count(), before);
+  const auto rec = net.tb.controller().host_tracker().find(net.h1->mac());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->loc, (of::Location{0x2, 1}));  // attacker's port
+}
+
+TEST(TopoGuardMigration, BlockModeStopsPreconditionViolation) {
+  TopoGuardConfig cfg;
+  cfg.block_host_violations = true;
+  TgNet net{cfg};
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(200_ms);
+  net.h2->send(net::make_arp_request(net.h1->mac(), net.h1->ip(),
+                                     net.h1->ip()));
+  net.tb.run_for(200_ms);
+  const auto rec = net.tb.controller().host_tracker().find(net.h1->mac());
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->loc, (of::Location{0x1, 1}));  // binding unchanged
+}
+
+TEST(TopoGuardMigration, NewHostNeverChecked) {
+  TgNet net;
+  net.tb.start(1_s);
+  const auto before = net.tb.controller().alerts().count();
+  net.h1->send_arp_request(net.h2->ip());  // first appearance
+  net.tb.run_for(200_ms);
+  EXPECT_EQ(net.tb.controller().alerts().count(), before);
+}
+
+}  // namespace
+}  // namespace tmg::defense

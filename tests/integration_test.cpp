@@ -1,0 +1,449 @@
+// End-to-end scenario tests: the paper's attack/defense matrix run on
+// the canned testbeds through the shared experiment drivers.
+//
+// These assert the paper's qualitative results (Sec. V, VII):
+//   - classic LLDP relay is caught by TopoGuard, but not by SPHINX;
+//   - port amnesia bypasses TopoGuard and SPHINX (out-of-band and
+//     in-band) and fabricates a working MITM link;
+//   - TOPOGUARD+ catches in-band amnesia via the CMM and out-of-band
+//     amnesia via the LLI;
+//   - port probing wins the HLH race under every passive defense, and
+//     detection only fires when the victim rejoins;
+//   - alert floods bury the real alert;
+//   - ARP liveness probing stays under the IDS radar while SYN scanning
+//     above 2/s does not.
+#include <gtest/gtest.h>
+
+#include "attack/alert_flood.hpp"
+#include "attack/port_amnesia.hpp"
+#include "ctrl/host_tracker.hpp"
+#include "scenario/experiments.hpp"
+
+namespace tmg::scenario {
+namespace {
+
+using namespace tmg::sim::literals;
+using attack::ProbeType;
+
+LinkAttackConfig link_cfg(LinkAttackKind kind, DefenseSuite suite,
+                          std::uint64_t seed = 42) {
+  LinkAttackConfig cfg;
+  cfg.kind = kind;
+  cfg.suite = suite;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ---------------- Link fabrication matrix ----------------
+
+TEST(LinkAttackMatrix, ClassicRelayPoisonsBareController) {
+  const auto out =
+      run_link_attack(link_cfg(LinkAttackKind::ClassicRelay,
+                               DefenseSuite::None));
+  EXPECT_TRUE(out.link_registered);
+  EXPECT_TRUE(out.link_present_at_end);
+  EXPECT_TRUE(out.mitm_traffic);
+  EXPECT_FALSE(out.detected());
+}
+
+TEST(LinkAttackMatrix, ClassicRelayCaughtByTopoGuard) {
+  const auto out = run_link_attack(
+      link_cfg(LinkAttackKind::ClassicRelay, DefenseSuite::TopoGuard));
+  EXPECT_TRUE(out.detected());
+  EXPECT_GE(out.alerts_topoguard, 1u);
+  EXPECT_FALSE(out.link_present_at_end);
+}
+
+TEST(LinkAttackMatrix, ClassicRelayInvisibleToSphinxAlone) {
+  // SPHINX trusts new links (paper Sec. V-A); a faithful MITM keeps the
+  // counters consistent.
+  const auto out = run_link_attack(
+      link_cfg(LinkAttackKind::ClassicRelay, DefenseSuite::Sphinx));
+  EXPECT_TRUE(out.link_registered);
+  EXPECT_FALSE(out.detected());
+}
+
+TEST(LinkAttackMatrix, OobAmnesiaBypassesTopoGuard) {
+  const auto out = run_link_attack(
+      link_cfg(LinkAttackKind::OobAmnesia, DefenseSuite::TopoGuard));
+  EXPECT_TRUE(out.link_registered);
+  EXPECT_TRUE(out.link_present_at_end);
+  EXPECT_TRUE(out.mitm_traffic);
+  EXPECT_FALSE(out.detected());
+  EXPECT_GE(out.flaps, 2u);  // one prepositioning flap per endpoint
+}
+
+TEST(LinkAttackMatrix, OobAmnesiaBypassesTopoGuardAndSphinxTogether) {
+  // The paper's headline: both defenses deployed, attack still succeeds
+  // without per-defense customization.
+  const auto out = run_link_attack(
+      link_cfg(LinkAttackKind::OobAmnesia, DefenseSuite::TopoGuardAndSphinx));
+  EXPECT_TRUE(out.link_registered);
+  EXPECT_TRUE(out.mitm_traffic);
+  EXPECT_FALSE(out.detected());
+}
+
+TEST(LinkAttackMatrix, OobAmnesiaCaughtByTopoGuardPlusLli) {
+  const auto out = run_link_attack(
+      link_cfg(LinkAttackKind::OobAmnesia, DefenseSuite::TopoGuardPlus));
+  EXPECT_GE(out.alerts_lli, 1u);
+  EXPECT_FALSE(out.link_present_at_end);
+}
+
+TEST(LinkAttackMatrix, NaiveOobAmnesiaCaughtByCmmToo) {
+  // Flapping during the propagation window (the Fig. 1 flow) trips the
+  // CMM even before latency evidence accumulates.
+  const auto out = run_link_attack(
+      link_cfg(LinkAttackKind::OobAmnesiaNaive, DefenseSuite::TopoGuardPlus));
+  EXPECT_TRUE(out.detected());
+  EXPECT_GE(out.alerts_cmm + out.alerts_lli, 1u);
+  EXPECT_FALSE(out.link_present_at_end);
+}
+
+TEST(LinkAttackMatrix, InBandAmnesiaBypassesTopoGuard) {
+  const auto out = run_link_attack(
+      link_cfg(LinkAttackKind::InBandAmnesia, DefenseSuite::TopoGuard));
+  EXPECT_TRUE(out.link_registered);
+  EXPECT_FALSE(out.detected());
+  EXPECT_GE(out.flaps, 2u);  // context switches every round
+}
+
+TEST(LinkAttackMatrix, InBandAmnesiaCaughtByCmm) {
+  const auto out = run_link_attack(
+      link_cfg(LinkAttackKind::InBandAmnesia, DefenseSuite::TopoGuardPlus));
+  EXPECT_GE(out.alerts_cmm, 1u);
+}
+
+TEST(LinkAttackMatrix, BlackholeVariantTripsSphinxCounters) {
+  LinkAttackConfig cfg =
+      link_cfg(LinkAttackKind::OobAmnesia, DefenseSuite::Sphinx);
+  cfg.blackhole = true;
+  const auto out = run_link_attack(cfg);
+  EXPECT_TRUE(out.link_registered);
+  EXPECT_GE(out.alerts_sphinx, 1u);
+}
+
+TEST(LinkAttackMatrix, SymmetryExtensionCatchesBlackholedFakeLink) {
+  // SPHINX-with-port-symmetry (our extension, off by default): a
+  // fabricated link that drops transit diverges its endpoints' port
+  // counters — detected at the *link* level, with no dependency on
+  // flow-graph bookkeeping. (A faithfully bridging or in-band covert
+  // link stays byte-symmetric and is NOT caught this way; see
+  // EXPERIMENTS.md.)
+  Fig9Testbed f = make_fig9_testbed([&] {
+    auto o = fig9_options(42);
+    o.controller.authenticate_lldp = false;
+    o.controller.lldp_timestamps = false;
+    return o;
+  }());
+  defense::SphinxConfig sc;
+  sc.check_link_symmetry = true;
+  defense::install_sphinx(f.tb->controller(), sc);
+  f.tb->start(2_s);
+  fig9_warm_hosts(f);
+  f.tb->run_for(30_s);
+  ASSERT_EQ(f.tb->controller().alerts().count(
+                ctrl::AlertType::SphinxLinkAsymmetry),
+            0u);  // benign network is symmetric
+
+  attack::PortAmnesiaAttack::Config ac;
+  ac.mode = attack::PortAmnesiaAttack::Mode::OutOfBand;
+  ac.blackhole_transit = true;
+  ac.bridge_transit = false;
+  attack::PortAmnesiaAttack attack{f.tb->loop(), *f.attacker_a,
+                                   *f.attacker_b, f.oob, ac};
+  attack.start();
+  while (!f.fabricated_link_present()) f.tb->run_for(1_s);
+  f.tb->run_for(6_s);  // stale rules idle out; flows re-route
+
+  for (int i = 0; i < 30; ++i) {
+    f.h1->send_raw(f.h2->mac(), f.h2->ip(), "bulk", 1400);
+    f.tb->run_for(250_ms);
+  }
+  EXPECT_GT(attack.transit_dropped(), 0u);
+  EXPECT_GT(f.tb->controller().alerts().count(
+                ctrl::AlertType::SphinxLinkAsymmetry),
+            0u);
+}
+
+TEST(LinkAttackMatrix, NoAttackNoAlerts) {
+  // Control: the benign Fig. 9 network under TopoGuard raises nothing.
+  LinkAttackConfig cfg =
+      link_cfg(LinkAttackKind::OobAmnesia, DefenseSuite::TopoGuard);
+  cfg.attack_window = 0_s;
+  cfg.benign_window = 60_s;
+  // kind irrelevant: zero attack window means the attack never launches
+  // meaningfully; assert only the benign phase.
+  const auto out = run_link_attack(cfg);
+  EXPECT_EQ(out.alerts_before_attack, 0u);
+}
+
+// ---------------- Host-location hijack ----------------
+
+HijackConfig hijack_cfg(DefenseSuite suite, std::uint64_t seed = 42) {
+  HijackConfig cfg;
+  cfg.suite = suite;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Hijack, SucceedsUnderTopoGuard) {
+  const auto out = run_hijack(hijack_cfg(DefenseSuite::TopoGuard));
+  EXPECT_TRUE(out.hijack_succeeded);
+  EXPECT_TRUE(out.traffic_redirected);
+  // No policy violated before the victim rejoins (paper Sec. IV-B).
+  EXPECT_EQ(out.alerts_before_rejoin, 0u);
+  // The rejoin oscillation is what finally raises alerts.
+  EXPECT_GE(out.alerts_after_rejoin, 1u);
+}
+
+TEST(Hijack, SucceedsUnderSphinx) {
+  const auto out = run_hijack(hijack_cfg(DefenseSuite::Sphinx));
+  EXPECT_TRUE(out.hijack_succeeded);
+  EXPECT_EQ(out.alerts_before_rejoin, 0u);
+  EXPECT_GE(out.alerts_after_rejoin, 1u);
+}
+
+TEST(Hijack, SucceedsUnderBothDefenses) {
+  const auto out = run_hijack(hijack_cfg(DefenseSuite::TopoGuardAndSphinx));
+  EXPECT_TRUE(out.hijack_succeeded);
+  EXPECT_EQ(out.alerts_before_rejoin, 0u);
+}
+
+TEST(Hijack, TimingShapeMatchesPaper) {
+  const auto out = run_hijack(hijack_cfg(DefenseSuite::TopoGuard, 7));
+  ASSERT_TRUE(out.hijack_succeeded);
+  // Fig. 7: the final (failing) probe starts within one probe period of
+  // the victim going down — typically within a few ms.
+  ASSERT_TRUE(out.down_to_final_probe_start_ms.has_value());
+  EXPECT_LT(*out.down_to_final_probe_start_ms, 50.0);
+  // Fig. 8: declared down ~= final probe start + 35 ms timeout.
+  ASSERT_TRUE(out.down_to_declared_down_ms.has_value());
+  EXPECT_NEAR(*out.down_to_declared_down_ms,
+              *out.down_to_final_probe_start_ms + 35.0, 1.0);
+  // Fig. 5 <= Fig. 6: interface up precedes controller acknowledgement.
+  ASSERT_TRUE(out.down_to_iface_up_ms.has_value());
+  ASSERT_TRUE(out.down_to_confirmed_ms.has_value());
+  EXPECT_LT(*out.down_to_iface_up_ms, *out.down_to_confirmed_ms);
+  // Fig. 4 component: identity change in the ifconfig regime.
+  ASSERT_TRUE(out.ident_change_ms.has_value());
+  EXPECT_GT(*out.ident_change_ms, 0.5);
+  EXPECT_LT(*out.ident_change_ms, 400.0);
+}
+
+TEST(Hijack, NmapOverheadRegimeIsSlower) {
+  HijackConfig fast = hijack_cfg(DefenseSuite::TopoGuard, 11);
+  HijackConfig slow = fast;
+  slow.nmap_overhead = true;
+  slow.confirm_failures = 2;
+  const auto out_fast = run_hijack(fast);
+  const auto out_slow = run_hijack(slow);
+  ASSERT_TRUE(out_fast.down_to_iface_up_ms.has_value());
+  ASSERT_TRUE(out_slow.down_to_iface_up_ms.has_value());
+  // Paper Fig. 5 regime: several hundred ms once nmap engine overheads
+  // and confirmation scans are paid.
+  EXPECT_GT(*out_slow.down_to_iface_up_ms,
+            *out_fast.down_to_iface_up_ms + 100.0);
+}
+
+TEST(Hijack, VictimStaysGoneNoAlertsEver) {
+  HijackConfig cfg = hijack_cfg(DefenseSuite::TopoGuardAndSphinx, 13);
+  cfg.victim_rejoins = false;
+  const auto out = run_hijack(cfg);
+  EXPECT_TRUE(out.hijack_succeeded);
+  EXPECT_EQ(out.alerts_before_rejoin, 0u);
+  EXPECT_EQ(out.alerts_after_rejoin, 0u);
+}
+
+/// The hijack race is seed-robust: sweep several victim-down phases.
+class HijackSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HijackSeedSweep, AlwaysWinsRaceDuringMigration) {
+  const auto out = run_hijack(hijack_cfg(DefenseSuite::TopoGuard,
+                                         GetParam()));
+  EXPECT_TRUE(out.hijack_succeeded);
+  EXPECT_EQ(out.alerts_before_rejoin, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HijackSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// ---------------- LLI experiment (Figs. 10-11, 13) ----------------
+
+TEST(LliExperiment, RealLinksMeasureNearFiveMs) {
+  LliExperimentConfig cfg;
+  cfg.launch_attack = false;
+  cfg.attack_window = 60_s;
+  const auto series = run_lli_experiment(cfg);
+  ASSERT_EQ(series.per_link.size(), 4u);  // Fig. 10: all four links
+  for (const auto& [link, summary] : series.per_link) {
+    EXPECT_GT(summary.mean, 3.0) << link;
+    EXPECT_LT(summary.mean, 8.0) << link;
+  }
+  EXPECT_EQ(series.fake_attempts, 0u);
+}
+
+TEST(LliExperiment, FakeLinkFlaggedAndBlocked) {
+  LliExperimentConfig cfg;
+  const auto series = run_lli_experiment(cfg);
+  EXPECT_GE(series.fake_attempts, 2u);
+  // Every fabricated-link measurement is above the (converged)
+  // threshold: the relay's extra ~11 ms cannot be hidden.
+  EXPECT_EQ(series.fake_detections, series.fake_attempts);
+  EXPECT_FALSE(series.fake_link_ever_registered);
+}
+
+TEST(LliExperiment, ThresholdConvergesAfterBootstrap) {
+  LliExperimentConfig cfg;
+  cfg.launch_attack = false;
+  const auto series = run_lli_experiment(cfg);
+  // Find the last real-link threshold; it should sit in single-digit ms
+  // (Fig. 11's converged band), well below the bootstrap burst.
+  std::optional<double> last;
+  for (const auto& p : series.points) {
+    if (p.threshold_ms) last = p.threshold_ms;
+  }
+  ASSERT_TRUE(last.has_value());
+  EXPECT_LT(*last, 15.0);
+}
+
+TEST(LliExperiment, IsolatedBurstsNeverRemoveBenignLinks) {
+  // Sec. VIII-A: an LLI false positive blocks one refresh, but the link
+  // timeout exceeds the discovery interval 2-3x, so benign links only
+  // disappear if bursts repeat across consecutive rounds. Over a long
+  // benign run the topology must stay intact throughout.
+  Fig9Testbed f = make_fig9_testbed(fig9_options(3));
+  const auto handles = install_suite(f.tb->controller(),
+                                     DefenseSuite::TopoGuardPlus);
+  f.tb->start(2_s);
+  fig9_warm_hosts(f);
+  std::size_t min_links = 4;
+  for (int checkpoint = 0; checkpoint < 20; ++checkpoint) {
+    f.tb->run_for(15_s);  // one Floodlight discovery round per checkpoint
+    min_links = std::min(min_links,
+                         f.tb->controller().topology().link_count());
+  }
+  EXPECT_EQ(min_links, 4u);
+  // Sanity: the run was long enough that micro-bursts plausibly caused
+  // at least one (tolerated) flagged refresh.
+  EXPECT_GE(handles.lli->measurements().size(), 150u);
+}
+
+// ---------------- Probe timing (Table I) ----------------
+
+TEST(ProbeTiming, TableIOverheadsReproduced) {
+  const struct {
+    ProbeType type;
+    double mean_ms;
+  } rows[] = {
+      {ProbeType::IcmpPing, 0.91},
+      {ProbeType::TcpSyn, 492.3},
+      {ProbeType::ArpPing, 133.5},
+      {ProbeType::TcpIdleScan, 1.8},
+  };
+  for (const auto& row : rows) {
+    const auto r = measure_probe_timing(row.type, 200, 42);
+    EXPECT_NEAR(r.tool_overhead_ms.mean, row.mean_ms,
+                row.mean_ms * 0.05 + 0.05)
+        << attack::to_string(row.type);
+    EXPECT_EQ(r.alive_detected, 200u) << attack::to_string(row.type);
+  }
+}
+
+TEST(ProbeTiming, EndToEndOrderingSensible) {
+  // In-sim exchange cost: idle scan (two zombie round trips + settle)
+  // is the slowest; ICMP/ARP/SYN are one round trip each.
+  const auto icmp = measure_probe_timing(ProbeType::IcmpPing, 100, 1);
+  const auto idle = measure_probe_timing(ProbeType::TcpIdleScan, 100, 1);
+  EXPECT_GT(idle.end_to_end_ms.mean, icmp.end_to_end_ms.mean);
+}
+
+// ---------------- Scan detection (Sec. V-B2) ----------------
+
+TEST(ScanDetection, SynAboveTwoPerSecondDetected) {
+  const auto r =
+      run_scan_detection(ProbeType::TcpSyn, 5.0, 30_s, 42);
+  EXPECT_GT(r.probes_sent, 100u);
+  EXPECT_TRUE(r.detected());
+}
+
+TEST(ScanDetection, SynAtOnePerSecondUndetected) {
+  const auto r =
+      run_scan_detection(ProbeType::TcpSyn, 1.0, 30_s, 42);
+  EXPECT_FALSE(r.detected());
+}
+
+TEST(ScanDetection, ArpAtAttackRateUndetected) {
+  // The paper's chosen configuration: ARP liveness probes at 20/s (one
+  // every 50 ms) remain invisible to the IDS.
+  const auto r =
+      run_scan_detection(ProbeType::ArpPing, 20.0, 30_s, 42);
+  EXPECT_GT(r.probes_sent, 400u);
+  EXPECT_FALSE(r.detected());
+}
+
+TEST(ScanDetection, IcmpFloodDetected) {
+  const auto r =
+      run_scan_detection(ProbeType::IcmpPing, 10.0, 10_s, 42);
+  EXPECT_TRUE(r.detected());
+}
+
+// ---------------- Alert flood ----------------
+
+TEST(AlertFlood, BuriesTheRealAlert) {
+  // Build the Fig. 2 network with TopoGuard; one real hijack plus a
+  // flood of spoofed identities. The operator-facing alert stream is
+  // dominated by spurious entries.
+  Fig2Testbed f = make_fig2_testbed(suite_options(DefenseSuite::TopoGuard,
+                                                  42));
+  install_suite(f.tb->controller(), DefenseSuite::TopoGuard);
+  f.tb->start(2_s);
+  fig2_warm_hosts(f);
+
+  attack::AlertFloodAttack::Config fc;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    fc.identities.push_back(attack::SpoofedIdentity{
+        net::MacAddress::host(200 + i), net::Ipv4Address::host(200 + i)});
+  }
+  fc.period = 50_ms;
+  attack::AlertFloodAttack flood{f.tb->loop(), f.tb->fork_rng(), *f.attacker,
+                                 fc};
+  // Seed the spoofed identities as known hosts first (so the flood
+  // triggers Moved events with violated preconditions, not New events).
+  for (const auto& id : fc.identities) {
+    f.peer->send(net::make_arp_request(id.mac, id.ip, id.ip));
+  }
+  f.tb->run_for(1_s);
+  flood.start();
+  f.tb->run_for(10_s);
+
+  const auto& alerts = f.tb->controller().alerts();
+  EXPECT_GE(alerts.count(ctrl::AlertType::HostMigrationPrecondition), 20u);
+  // The network state was never altered by any of those alerts: the
+  // spoofed hosts all "moved" to the attacker's port.
+  std::size_t moved = 0;
+  for (const auto& id : fc.identities) {
+    const auto rec = f.tb->controller().host_tracker().find(id.mac);
+    if (rec && rec->loc == f.attacker_loc) ++moved;
+  }
+  EXPECT_GE(moved, fc.identities.size() - 1);
+}
+
+// ---------------- Driver plumbing ----------------
+
+TEST(Drivers, SuiteNamesAndOptions) {
+  EXPECT_STREQ(to_string(DefenseSuite::TopoGuardPlus), "TOPOGUARD+");
+  EXPECT_STREQ(to_string(LinkAttackKind::InBandAmnesia),
+               "inband-port-amnesia");
+  const auto opts = suite_options(DefenseSuite::TopoGuardPlus, 1);
+  EXPECT_TRUE(opts.controller.authenticate_lldp);
+  EXPECT_TRUE(opts.controller.lldp_timestamps);
+  const auto tg = suite_options(DefenseSuite::TopoGuard, 1);
+  EXPECT_TRUE(tg.controller.authenticate_lldp);
+  EXPECT_FALSE(tg.controller.lldp_timestamps);
+  const auto none = suite_options(DefenseSuite::None, 1);
+  EXPECT_FALSE(none.controller.authenticate_lldp);
+}
+
+}  // namespace
+}  // namespace tmg::scenario

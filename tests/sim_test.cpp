@@ -1,0 +1,347 @@
+// Unit tests for the discrete-event kernel: time, rng, event loop,
+// latency models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_loop.hpp"
+#include "sim/latency_model.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace tmg::sim {
+namespace {
+
+using namespace tmg::sim::literals;
+
+// ---------------- Duration / SimTime ----------------
+
+TEST(Duration, ConversionsRoundTrip) {
+  EXPECT_EQ(Duration::millis(5).count_nanos(), 5'000'000);
+  EXPECT_EQ(Duration::micros(7).count_nanos(), 7'000);
+  EXPECT_EQ(Duration::seconds(2).count_nanos(), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(5).to_millis_f(), 5.0);
+  EXPECT_DOUBLE_EQ(Duration::seconds(3).to_seconds_f(), 3.0);
+  EXPECT_DOUBLE_EQ(Duration::micros(9).to_micros_f(), 9.0);
+}
+
+TEST(Duration, FractionalConstructors) {
+  EXPECT_EQ(Duration::from_millis_f(0.5).count_nanos(), 500'000);
+  EXPECT_EQ(Duration::from_seconds_f(0.25).count_nanos(), 250'000'000);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = 10_ms;
+  const Duration b = 3_ms;
+  EXPECT_EQ((a + b).count_nanos(), Duration::millis(13).count_nanos());
+  EXPECT_EQ((a - b).count_nanos(), Duration::millis(7).count_nanos());
+  EXPECT_EQ((a * 3).count_nanos(), Duration::millis(30).count_nanos());
+  EXPECT_EQ((a / 2).count_nanos(), Duration::millis(5).count_nanos());
+  EXPECT_TRUE((b - a).is_negative());
+  EXPECT_EQ((-a).count_nanos(), -10'000'000);
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_GT(1_s, 999_ms);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = 5_ms;
+  d += 5_ms;
+  EXPECT_EQ(d, 10_ms);
+  d -= 3_ms;
+  EXPECT_EQ(d, 7_ms);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t = SimTime::zero() + 100_ms;
+  EXPECT_EQ(t.count_nanos(), 100'000'000);
+  EXPECT_EQ((t + 50_ms) - t, 50_ms);
+  EXPECT_EQ((t - 40_ms).count_nanos(), 60'000'000);
+  EXPECT_LT(SimTime::zero(), t);
+}
+
+TEST(TimeFormatting, HumanReadable) {
+  EXPECT_EQ(to_string(Duration::nanos(12)), "12ns");
+  EXPECT_EQ(to_string(Duration::micros(3)), "3.00us");
+  EXPECT_EQ(to_string(Duration::from_millis_f(3.25)), "3.250ms");
+  EXPECT_EQ(to_string(Duration::seconds(2)), "2.000s");
+  EXPECT_EQ(to_string(SimTime::zero() + 1500_ms), "1.500s");
+}
+
+// ---------------- Rng ----------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng{9};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 8);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 8);
+    saw_lo |= v == 3;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng{10};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng{11};
+  const int n = 200'000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(20.0, 5.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 20.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 5.0, 0.1);
+}
+
+TEST(Rng, LognormalMeanMatchesAnalytic) {
+  Rng rng{12};
+  const double mu = std::log(10.0), sigma = 0.5;
+  const int n = 400'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal(mu, sigma);
+  const double analytic = std::exp(mu + sigma * sigma / 2.0);
+  EXPECT_NEAR(sum / n, analytic, analytic * 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{13};
+  const int n = 200'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng{14};
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent{15};
+  Rng child = parent.fork();
+  // Child stream differs from parent's continuation.
+  bool differs = false;
+  Rng parent2{15};
+  (void)parent2.next_u64();  // same state advance as fork()
+  for (int i = 0; i < 16; ++i) {
+    if (child.next_u64() != parent2.next_u64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// ---------------- EventLoop ----------------
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_after(30_ms, [&] { order.push_back(3); });
+  loop.schedule_after(10_ms, [&] { order.push_back(1); });
+  loop.schedule_after(20_ms, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, TiesBreakByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.schedule_after(5_ms, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoop, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  SimTime seen;
+  loop.schedule_after(42_ms, [&] { seen = loop.now(); });
+  loop.run();
+  EXPECT_EQ(seen, SimTime::zero() + 42_ms);
+  EXPECT_EQ(loop.now(), SimTime::zero() + 42_ms);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_after(10_ms, [&] { ++fired; });
+  loop.schedule_after(50_ms, [&] { ++fired; });
+  loop.run_until(SimTime::zero() + 20_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), SimTime::zero() + 20_ms);
+  loop.run_until(SimTime::zero() + 100_ms);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, EventAtDeadlineRuns) {
+  EventLoop loop;
+  bool fired = false;
+  loop.schedule_after(20_ms, [&] { fired = true; });
+  loop.run_until(SimTime::zero() + 20_ms);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  TimerHandle h = loop.schedule_after(10_ms, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  loop.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, HandleNotPendingAfterFire) {
+  EventLoop loop;
+  TimerHandle h = loop.schedule_after(1_ms, [] {});
+  loop.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op, must not crash
+}
+
+TEST(EventLoop, EventsScheduledDuringExecutionRun) {
+  EventLoop loop;
+  int depth = 0;
+  loop.schedule_after(1_ms, [&] {
+    ++depth;
+    loop.schedule_after(1_ms, [&] { ++depth; });
+  });
+  loop.run();
+  EXPECT_EQ(depth, 2);
+}
+
+TEST(EventLoop, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.schedule_after(10_ms, [] {});
+  loop.run();
+  bool fired = false;
+  loop.schedule_after(Duration::millis(-5), [&] { fired = true; });
+  loop.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now(), SimTime::zero() + 10_ms);
+}
+
+TEST(EventLoop, StepExecutesOne) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_after(1_ms, [&] { ++fired; });
+  loop.schedule_after(2_ms, [&] { ++fired; });
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(loop.step());
+}
+
+TEST(EventLoop, CountsExecutedEvents) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) loop.schedule_after(1_ms, [] {});
+  TimerHandle h = loop.schedule_after(1_ms, [] {});
+  h.cancel();
+  loop.run();
+  EXPECT_EQ(loop.events_executed(), 7u);
+}
+
+// ---------------- Latency models ----------------
+
+TEST(LatencyModel, FixedAlwaysSame) {
+  Rng rng{1};
+  FixedLatency m{5_ms};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.sample(rng), 5_ms);
+  EXPECT_EQ(m.nominal(), 5_ms);
+}
+
+TEST(LatencyModel, NormalStaysAboveFloor) {
+  Rng rng{2};
+  NormalLatency m{1_ms, 5_ms};  // huge sd to force negatives
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(m.sample(rng), Duration::micros(1));
+  }
+}
+
+TEST(LatencyModel, NormalMeanApproximate) {
+  Rng rng{3};
+  NormalLatency m{20_ms, 2_ms};
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += m.sample(rng).to_millis_f();
+  EXPECT_NEAR(sum / n, 20.0, 0.2);
+}
+
+TEST(LatencyModel, MicroburstProducesTail) {
+  Rng rng{4};
+  MicroburstLatency m{5_ms, Duration::micros(300), 0.03,
+                      Duration::from_millis_f(2.5)};
+  int bursts = 0;
+  const int n = 20'000;
+  double max_ms = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double ms = m.sample(rng).to_millis_f();
+    max_ms = std::max(max_ms, ms);
+    if (ms > 7.0) ++bursts;
+  }
+  // Roughly 3% of packets ride a burst; the tail reaches ~12 ms as in
+  // paper Fig. 10.
+  EXPECT_GT(bursts, n / 100);
+  EXPECT_LT(bursts, n / 10);
+  EXPECT_GT(max_ms, 10.0);
+}
+
+TEST(LatencyModel, FactoriesProduceModels) {
+  Rng rng{5};
+  auto f = make_fixed(1_ms);
+  auto n = make_normal(2_ms, 100_us);
+  auto b = make_microburst(5_ms, 300_us, 0.05, 2_ms);
+  EXPECT_EQ(f->nominal(), 1_ms);
+  EXPECT_EQ(n->nominal(), 2_ms);
+  EXPECT_EQ(b->nominal(), 5_ms);
+  EXPECT_GT(f->sample(rng).count_nanos(), 0);
+  EXPECT_GT(n->sample(rng).count_nanos(), 0);
+  EXPECT_GT(b->sample(rng).count_nanos(), 0);
+}
+
+}  // namespace
+}  // namespace tmg::sim

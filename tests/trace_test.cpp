@@ -1,0 +1,156 @@
+// Tests for the controller event tracer.
+#include <gtest/gtest.h>
+
+#include "scenario/testbed.hpp"
+#include "trace/tracer.hpp"
+
+namespace tmg::trace {
+namespace {
+
+using namespace tmg::sim::literals;
+using scenario::Testbed;
+using scenario::TestbedOptions;
+
+TEST(Tracer, RecordsAndCounts) {
+  Tracer t{16};
+  t.record(sim::SimTime::zero(), EventKind::PortDown, "x",
+           of::Location{0x1, 2});
+  t.record(sim::SimTime::zero() + 1_ms, EventKind::PortUp, "y",
+           of::Location{0x1, 2});
+  t.record(sim::SimTime::zero() + 2_ms, EventKind::PortDown, "z");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.total_recorded(), 3u);
+  EXPECT_EQ(t.count(EventKind::PortDown), 2u);
+  EXPECT_EQ(t.count(EventKind::Alert), 0u);
+  EXPECT_EQ(t.of_kind(EventKind::PortUp).size(), 1u);
+}
+
+TEST(Tracer, RingEvictsOldest) {
+  Tracer t{4};
+  for (int i = 0; i < 10; ++i) {
+    t.record(sim::SimTime::from_nanos(i), EventKind::PacketIn,
+             std::to_string(i));
+  }
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_recorded(), 10u);
+  EXPECT_EQ(t.events().front().detail, "6");
+  EXPECT_EQ(t.events().back().detail, "9");
+}
+
+TEST(Tracer, RenderAndCsv) {
+  Tracer t{8};
+  t.record(sim::SimTime::from_nanos(1'500'000'000), EventKind::LinkAdded,
+           "0x1:10<->0x2:10", of::Location{0x2, 10});
+  const std::string rendered = t.render();
+  EXPECT_NE(rendered.find("LINK_ADDED"), std::string::npos);
+  EXPECT_NE(rendered.find("1.500s"), std::string::npos);
+  EXPECT_NE(rendered.find("0x2:10"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("1.500000,LINK_ADDED,0x2:10"), std::string::npos);
+}
+
+TEST(Tracer, RenderLimitsToLastN) {
+  Tracer t{100};
+  for (int i = 0; i < 20; ++i) {
+    t.record(sim::SimTime::zero(), EventKind::PacketIn,
+             "evt" + std::to_string(i));
+  }
+  const std::string out = t.render(3);
+  EXPECT_EQ(out.find("evt16"), std::string::npos);
+  EXPECT_NE(out.find("evt17"), std::string::npos);
+  EXPECT_NE(out.find("evt19"), std::string::npos);
+}
+
+TEST(Tracer, ListenersFire) {
+  Tracer t{8};
+  int fired = 0;
+  t.subscribe([&](const Event& e) {
+    ++fired;
+    EXPECT_EQ(e.kind, EventKind::HostNew);
+  });
+  t.record(sim::SimTime::zero(), EventKind::HostNew, "h");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Tracer, KindNames) {
+  EXPECT_STREQ(to_string(EventKind::PacketIn), "PACKET_IN");
+  EXPECT_STREQ(to_string(EventKind::HostBlocked), "HOST_BLOCKED");
+  EXPECT_STREQ(to_string(EventKind::EchoRtt), "ECHO_RTT");
+}
+
+// ---------------- Live controller integration ----------------
+
+struct TracedNet {
+  Testbed tb{TestbedOptions{}};
+  Tracer tracer;
+  attack::Host* h1;
+  attack::Host* h2;
+
+  TracedNet() {
+    tb.add_switch(0x1);
+    tb.add_switch(0x2);
+    tb.connect_switches(0x1, 10, 0x2, 10);
+    attack::HostConfig c1;
+    c1.mac = net::MacAddress::host(1);
+    c1.ip = net::Ipv4Address::host(1);
+    h1 = &tb.add_host(0x1, 1, c1);
+    attack::HostConfig c2;
+    c2.mac = net::MacAddress::host(2);
+    c2.ip = net::Ipv4Address::host(2);
+    h2 = &tb.add_host(0x2, 1, c2);
+    tb.controller().set_tracer(&tracer);
+  }
+};
+
+TEST(TracerIntegration, DiscoveryAndLearningAreTraced) {
+  TracedNet net;
+  net.tb.start(3_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.h2->send_arp_request(net.h1->ip());
+  net.tb.run_for(500_ms);
+  EXPECT_EQ(net.tracer.count(EventKind::LinkAdded), 1u);
+  EXPECT_EQ(net.tracer.count(EventKind::HostNew), 2u);
+  EXPECT_GE(net.tracer.count(EventKind::PacketIn), 3u);  // LLDP + ARP
+  EXPECT_GE(net.tracer.count(EventKind::EchoRtt), 2u);
+  EXPECT_GE(net.tracer.count(EventKind::FlowMod), 1u);
+}
+
+TEST(TracerIntegration, PortFlapAndLinkRemovalTraced) {
+  TracedNet net;
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(200_ms);
+  net.h1->flap_interface(30_ms);
+  net.tb.run_for(200_ms);
+  EXPECT_EQ(net.tracer.count(EventKind::PortDown), 1u);
+  EXPECT_EQ(net.tracer.count(EventKind::PortUp), 1u);
+}
+
+TEST(TracerIntegration, MovesAndBlocksTraced) {
+  TracedNet net;
+  of::DataLink& target = net.tb.add_access_link(0x2, 4);
+  net.tb.start(1_s);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(200_ms);
+  scenario::migrate_host(net.tb, *net.h1, target, 200_ms);
+  net.tb.run_for(400_ms);
+  net.h1->send_arp_request(net.h2->ip());
+  net.tb.run_for(200_ms);
+  EXPECT_EQ(net.tracer.count(EventKind::HostMoved), 1u);
+  const auto moves = net.tracer.of_kind(EventKind::HostMoved);
+  EXPECT_NE(moves[0].detail.find("0x1:1 -> 0x2:4"), std::string::npos);
+}
+
+TEST(TracerIntegration, AlertsMirroredIntoTrace) {
+  TracedNet net;
+  net.tb.start(1_s);
+  net.tb.controller().alerts().raise(ctrl::Alert{
+      net.tb.loop().now(), "test", ctrl::AlertType::LldpFromHostPort,
+      "synthetic", std::nullopt});
+  EXPECT_EQ(net.tracer.count(EventKind::Alert), 1u);
+  EXPECT_NE(net.tracer.of_kind(EventKind::Alert)[0].detail.find("synthetic"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace tmg::trace
