@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lli.dir/bench_ablation_lli.cpp.o"
+  "CMakeFiles/bench_ablation_lli.dir/bench_ablation_lli.cpp.o.d"
+  "bench_ablation_lli"
+  "bench_ablation_lli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pulse.dir/bench_ablation_pulse.cpp.o"
+  "CMakeFiles/bench_ablation_pulse.dir/bench_ablation_pulse.cpp.o.d"
+  "bench_ablation_pulse"
+  "bench_ablation_pulse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pulse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sphinx.dir/bench_ablation_sphinx.cpp.o"
+  "CMakeFiles/bench_ablation_sphinx.dir/bench_ablation_sphinx.cpp.o.d"
+  "bench_ablation_sphinx"
+  "bench_ablation_sphinx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sphinx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_defense.dir/bench_active_defense.cpp.o"
+  "CMakeFiles/bench_active_defense.dir/bench_active_defense.cpp.o.d"
+  "bench_active_defense"
+  "bench_active_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alert_flood.dir/bench_alert_flood.cpp.o"
+  "CMakeFiles/bench_alert_flood.dir/bench_alert_flood.cpp.o.d"
+  "bench_alert_flood"
+  "bench_alert_flood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alert_flood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmm_evasion.dir/bench_cmm_evasion.cpp.o"
+  "CMakeFiles/bench_cmm_evasion.dir/bench_cmm_evasion.cpp.o.d"
+  "bench_cmm_evasion"
+  "bench_cmm_evasion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmm_evasion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

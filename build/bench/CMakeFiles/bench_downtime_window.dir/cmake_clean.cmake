@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_downtime_window.dir/bench_downtime_window.cpp.o"
+  "CMakeFiles/bench_downtime_window.dir/bench_downtime_window.cpp.o.d"
+  "bench_downtime_window"
+  "bench_downtime_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_downtime_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fabrication_latency.dir/bench_fabrication_latency.cpp.o"
+  "CMakeFiles/bench_fabrication_latency.dir/bench_fabrication_latency.cpp.o.d"
+  "bench_fabrication_latency"
+  "bench_fabrication_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fabrication_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

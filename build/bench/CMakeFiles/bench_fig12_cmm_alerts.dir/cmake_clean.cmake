@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_cmm_alerts.dir/bench_fig12_cmm_alerts.cpp.o"
+  "CMakeFiles/bench_fig12_cmm_alerts.dir/bench_fig12_cmm_alerts.cpp.o.d"
+  "bench_fig12_cmm_alerts"
+  "bench_fig12_cmm_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_cmm_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

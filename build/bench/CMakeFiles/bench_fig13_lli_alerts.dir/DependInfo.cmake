@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_lli_alerts.cpp" "bench/CMakeFiles/bench_fig13_lli_alerts.dir/bench_fig13_lli_alerts.cpp.o" "gcc" "bench/CMakeFiles/bench_fig13_lli_alerts.dir/bench_fig13_lli_alerts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmg_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_of.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_lli_alerts.dir/bench_fig13_lli_alerts.cpp.o"
+  "CMakeFiles/bench_fig13_lli_alerts.dir/bench_fig13_lli_alerts.cpp.o.d"
+  "bench_fig13_lli_alerts"
+  "bench_fig13_lli_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_lli_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_iface_up.dir/bench_fig5_iface_up.cpp.o"
+  "CMakeFiles/bench_fig5_iface_up.dir/bench_fig5_iface_up.cpp.o.d"
+  "bench_fig5_iface_up"
+  "bench_fig5_iface_up.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_iface_up.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_last_ping_start.dir/bench_fig7_last_ping_start.cpp.o"
+  "CMakeFiles/bench_fig7_last_ping_start.dir/bench_fig7_last_ping_start.cpp.o.d"
+  "bench_fig7_last_ping_start"
+  "bench_fig7_last_ping_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_last_ping_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ping_timeout.dir/bench_fig8_ping_timeout.cpp.o"
+  "CMakeFiles/bench_fig8_ping_timeout.dir/bench_fig8_ping_timeout.cpp.o.d"
+  "bench_fig8_ping_timeout"
+  "bench_fig8_ping_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ping_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hijack_matrix.dir/bench_hijack_matrix.cpp.o"
+  "CMakeFiles/bench_hijack_matrix.dir/bench_hijack_matrix.cpp.o.d"
+  "bench_hijack_matrix"
+  "bench_hijack_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hijack_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inband_latency.dir/bench_inband_latency.cpp.o"
+  "CMakeFiles/bench_inband_latency.dir/bench_inband_latency.cpp.o.d"
+  "bench_inband_latency"
+  "bench_inband_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inband_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scan_detection.dir/bench_scan_detection.cpp.o"
+  "CMakeFiles/bench_scan_detection.dir/bench_scan_detection.cpp.o.d"
+  "bench_scan_detection"
+  "bench_scan_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scan_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_controllers.dir/bench_table3_controllers.cpp.o"
+  "CMakeFiles/bench_table3_controllers.dir/bench_table3_controllers.cpp.o.d"
+  "bench_table3_controllers"
+  "bench_table3_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_port_amnesia.dir/attack_port_amnesia.cpp.o"
+  "CMakeFiles/attack_port_amnesia.dir/attack_port_amnesia.cpp.o.d"
+  "attack_port_amnesia"
+  "attack_port_amnesia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_port_amnesia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

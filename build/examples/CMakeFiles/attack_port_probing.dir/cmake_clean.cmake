@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_port_probing.dir/attack_port_probing.cpp.o"
+  "CMakeFiles/attack_port_probing.dir/attack_port_probing.cpp.o.d"
+  "attack_port_probing"
+  "attack_port_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_port_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_topoguard_plus.dir/defense_topoguard_plus.cpp.o"
+  "CMakeFiles/defense_topoguard_plus.dir/defense_topoguard_plus.cpp.o.d"
+  "defense_topoguard_plus"
+  "defense_topoguard_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_topoguard_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_scan_lab.dir/ids_scan_lab.cpp.o"
+  "CMakeFiles/ids_scan_lab.dir/ids_scan_lab.cpp.o.d"
+  "ids_scan_lab"
+  "ids_scan_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_scan_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

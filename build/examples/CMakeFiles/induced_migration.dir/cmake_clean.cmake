@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/induced_migration.dir/induced_migration.cpp.o"
+  "CMakeFiles/induced_migration.dir/induced_migration.cpp.o.d"
+  "induced_migration"
+  "induced_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/induced_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/alert_flood.cpp" "src/CMakeFiles/tmg_attack.dir/attack/alert_flood.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/alert_flood.cpp.o.d"
+  "/root/repo/src/attack/arp_spoof.cpp" "src/CMakeFiles/tmg_attack.dir/attack/arp_spoof.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/arp_spoof.cpp.o.d"
+  "/root/repo/src/attack/host.cpp" "src/CMakeFiles/tmg_attack.dir/attack/host.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/host.cpp.o.d"
+  "/root/repo/src/attack/link_fabrication.cpp" "src/CMakeFiles/tmg_attack.dir/attack/link_fabrication.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/link_fabrication.cpp.o.d"
+  "/root/repo/src/attack/nic_model.cpp" "src/CMakeFiles/tmg_attack.dir/attack/nic_model.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/nic_model.cpp.o.d"
+  "/root/repo/src/attack/oob_channel.cpp" "src/CMakeFiles/tmg_attack.dir/attack/oob_channel.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/oob_channel.cpp.o.d"
+  "/root/repo/src/attack/port_amnesia.cpp" "src/CMakeFiles/tmg_attack.dir/attack/port_amnesia.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/port_amnesia.cpp.o.d"
+  "/root/repo/src/attack/port_probing.cpp" "src/CMakeFiles/tmg_attack.dir/attack/port_probing.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/port_probing.cpp.o.d"
+  "/root/repo/src/attack/probes.cpp" "src/CMakeFiles/tmg_attack.dir/attack/probes.cpp.o" "gcc" "src/CMakeFiles/tmg_attack.dir/attack/probes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmg_of.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_ids.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_attack.dir/attack/alert_flood.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/alert_flood.cpp.o.d"
+  "CMakeFiles/tmg_attack.dir/attack/arp_spoof.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/arp_spoof.cpp.o.d"
+  "CMakeFiles/tmg_attack.dir/attack/host.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/host.cpp.o.d"
+  "CMakeFiles/tmg_attack.dir/attack/link_fabrication.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/link_fabrication.cpp.o.d"
+  "CMakeFiles/tmg_attack.dir/attack/nic_model.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/nic_model.cpp.o.d"
+  "CMakeFiles/tmg_attack.dir/attack/oob_channel.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/oob_channel.cpp.o.d"
+  "CMakeFiles/tmg_attack.dir/attack/port_amnesia.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/port_amnesia.cpp.o.d"
+  "CMakeFiles/tmg_attack.dir/attack/port_probing.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/port_probing.cpp.o.d"
+  "CMakeFiles/tmg_attack.dir/attack/probes.cpp.o"
+  "CMakeFiles/tmg_attack.dir/attack/probes.cpp.o.d"
+  "libtmg_attack.a"
+  "libtmg_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/tmg_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/tmg_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/tmg_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/tmg_crypto.dir/crypto/xtea.cpp.o"
+  "CMakeFiles/tmg_crypto.dir/crypto/xtea.cpp.o.d"
+  "libtmg_crypto.a"
+  "libtmg_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

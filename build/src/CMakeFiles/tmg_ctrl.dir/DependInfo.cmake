@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/alert_bus.cpp" "src/CMakeFiles/tmg_ctrl.dir/ctrl/alert_bus.cpp.o" "gcc" "src/CMakeFiles/tmg_ctrl.dir/ctrl/alert_bus.cpp.o.d"
+  "/root/repo/src/ctrl/controller.cpp" "src/CMakeFiles/tmg_ctrl.dir/ctrl/controller.cpp.o" "gcc" "src/CMakeFiles/tmg_ctrl.dir/ctrl/controller.cpp.o.d"
+  "/root/repo/src/ctrl/host_tracker.cpp" "src/CMakeFiles/tmg_ctrl.dir/ctrl/host_tracker.cpp.o" "gcc" "src/CMakeFiles/tmg_ctrl.dir/ctrl/host_tracker.cpp.o.d"
+  "/root/repo/src/ctrl/link_discovery.cpp" "src/CMakeFiles/tmg_ctrl.dir/ctrl/link_discovery.cpp.o" "gcc" "src/CMakeFiles/tmg_ctrl.dir/ctrl/link_discovery.cpp.o.d"
+  "/root/repo/src/ctrl/profiles.cpp" "src/CMakeFiles/tmg_ctrl.dir/ctrl/profiles.cpp.o" "gcc" "src/CMakeFiles/tmg_ctrl.dir/ctrl/profiles.cpp.o.d"
+  "/root/repo/src/ctrl/routing.cpp" "src/CMakeFiles/tmg_ctrl.dir/ctrl/routing.cpp.o" "gcc" "src/CMakeFiles/tmg_ctrl.dir/ctrl/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmg_of.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_ctrl.dir/ctrl/alert_bus.cpp.o"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/alert_bus.cpp.o.d"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/controller.cpp.o"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/controller.cpp.o.d"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/host_tracker.cpp.o"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/host_tracker.cpp.o.d"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/link_discovery.cpp.o"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/link_discovery.cpp.o.d"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/profiles.cpp.o"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/profiles.cpp.o.d"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/routing.cpp.o"
+  "CMakeFiles/tmg_ctrl.dir/ctrl/routing.cpp.o.d"
+  "libtmg_ctrl.a"
+  "libtmg_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/active_probe.cpp" "src/CMakeFiles/tmg_defense.dir/defense/active_probe.cpp.o" "gcc" "src/CMakeFiles/tmg_defense.dir/defense/active_probe.cpp.o.d"
+  "/root/repo/src/defense/arp_inspection.cpp" "src/CMakeFiles/tmg_defense.dir/defense/arp_inspection.cpp.o" "gcc" "src/CMakeFiles/tmg_defense.dir/defense/arp_inspection.cpp.o.d"
+  "/root/repo/src/defense/cmm.cpp" "src/CMakeFiles/tmg_defense.dir/defense/cmm.cpp.o" "gcc" "src/CMakeFiles/tmg_defense.dir/defense/cmm.cpp.o.d"
+  "/root/repo/src/defense/lli.cpp" "src/CMakeFiles/tmg_defense.dir/defense/lli.cpp.o" "gcc" "src/CMakeFiles/tmg_defense.dir/defense/lli.cpp.o.d"
+  "/root/repo/src/defense/secure_binding.cpp" "src/CMakeFiles/tmg_defense.dir/defense/secure_binding.cpp.o" "gcc" "src/CMakeFiles/tmg_defense.dir/defense/secure_binding.cpp.o.d"
+  "/root/repo/src/defense/sphinx.cpp" "src/CMakeFiles/tmg_defense.dir/defense/sphinx.cpp.o" "gcc" "src/CMakeFiles/tmg_defense.dir/defense/sphinx.cpp.o.d"
+  "/root/repo/src/defense/topoguard.cpp" "src/CMakeFiles/tmg_defense.dir/defense/topoguard.cpp.o" "gcc" "src/CMakeFiles/tmg_defense.dir/defense/topoguard.cpp.o.d"
+  "/root/repo/src/defense/topoguard_plus.cpp" "src/CMakeFiles/tmg_defense.dir/defense/topoguard_plus.cpp.o" "gcc" "src/CMakeFiles/tmg_defense.dir/defense/topoguard_plus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmg_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_of.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_defense.dir/defense/active_probe.cpp.o"
+  "CMakeFiles/tmg_defense.dir/defense/active_probe.cpp.o.d"
+  "CMakeFiles/tmg_defense.dir/defense/arp_inspection.cpp.o"
+  "CMakeFiles/tmg_defense.dir/defense/arp_inspection.cpp.o.d"
+  "CMakeFiles/tmg_defense.dir/defense/cmm.cpp.o"
+  "CMakeFiles/tmg_defense.dir/defense/cmm.cpp.o.d"
+  "CMakeFiles/tmg_defense.dir/defense/lli.cpp.o"
+  "CMakeFiles/tmg_defense.dir/defense/lli.cpp.o.d"
+  "CMakeFiles/tmg_defense.dir/defense/secure_binding.cpp.o"
+  "CMakeFiles/tmg_defense.dir/defense/secure_binding.cpp.o.d"
+  "CMakeFiles/tmg_defense.dir/defense/sphinx.cpp.o"
+  "CMakeFiles/tmg_defense.dir/defense/sphinx.cpp.o.d"
+  "CMakeFiles/tmg_defense.dir/defense/topoguard.cpp.o"
+  "CMakeFiles/tmg_defense.dir/defense/topoguard.cpp.o.d"
+  "CMakeFiles/tmg_defense.dir/defense/topoguard_plus.cpp.o"
+  "CMakeFiles/tmg_defense.dir/defense/topoguard_plus.cpp.o.d"
+  "libtmg_defense.a"
+  "libtmg_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_ids.dir/ids/ids.cpp.o"
+  "CMakeFiles/tmg_ids.dir/ids/ids.cpp.o.d"
+  "CMakeFiles/tmg_ids.dir/ids/rules.cpp.o"
+  "CMakeFiles/tmg_ids.dir/ids/rules.cpp.o.d"
+  "libtmg_ids.a"
+  "libtmg_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipv4_address.cpp" "src/CMakeFiles/tmg_net.dir/net/ipv4_address.cpp.o" "gcc" "src/CMakeFiles/tmg_net.dir/net/ipv4_address.cpp.o.d"
+  "/root/repo/src/net/lldp.cpp" "src/CMakeFiles/tmg_net.dir/net/lldp.cpp.o" "gcc" "src/CMakeFiles/tmg_net.dir/net/lldp.cpp.o.d"
+  "/root/repo/src/net/mac_address.cpp" "src/CMakeFiles/tmg_net.dir/net/mac_address.cpp.o" "gcc" "src/CMakeFiles/tmg_net.dir/net/mac_address.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/tmg_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/tmg_net.dir/net/packet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_net.dir/net/ipv4_address.cpp.o"
+  "CMakeFiles/tmg_net.dir/net/ipv4_address.cpp.o.d"
+  "CMakeFiles/tmg_net.dir/net/lldp.cpp.o"
+  "CMakeFiles/tmg_net.dir/net/lldp.cpp.o.d"
+  "CMakeFiles/tmg_net.dir/net/mac_address.cpp.o"
+  "CMakeFiles/tmg_net.dir/net/mac_address.cpp.o.d"
+  "CMakeFiles/tmg_net.dir/net/packet.cpp.o"
+  "CMakeFiles/tmg_net.dir/net/packet.cpp.o.d"
+  "libtmg_net.a"
+  "libtmg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

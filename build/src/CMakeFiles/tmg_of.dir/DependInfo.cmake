@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/of/control_channel.cpp" "src/CMakeFiles/tmg_of.dir/of/control_channel.cpp.o" "gcc" "src/CMakeFiles/tmg_of.dir/of/control_channel.cpp.o.d"
+  "/root/repo/src/of/data_link.cpp" "src/CMakeFiles/tmg_of.dir/of/data_link.cpp.o" "gcc" "src/CMakeFiles/tmg_of.dir/of/data_link.cpp.o.d"
+  "/root/repo/src/of/flow_table.cpp" "src/CMakeFiles/tmg_of.dir/of/flow_table.cpp.o" "gcc" "src/CMakeFiles/tmg_of.dir/of/flow_table.cpp.o.d"
+  "/root/repo/src/of/messages.cpp" "src/CMakeFiles/tmg_of.dir/of/messages.cpp.o" "gcc" "src/CMakeFiles/tmg_of.dir/of/messages.cpp.o.d"
+  "/root/repo/src/of/switch.cpp" "src/CMakeFiles/tmg_of.dir/of/switch.cpp.o" "gcc" "src/CMakeFiles/tmg_of.dir/of/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tmg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tmg_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

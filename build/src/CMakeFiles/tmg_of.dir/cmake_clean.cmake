@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_of.dir/of/control_channel.cpp.o"
+  "CMakeFiles/tmg_of.dir/of/control_channel.cpp.o.d"
+  "CMakeFiles/tmg_of.dir/of/data_link.cpp.o"
+  "CMakeFiles/tmg_of.dir/of/data_link.cpp.o.d"
+  "CMakeFiles/tmg_of.dir/of/flow_table.cpp.o"
+  "CMakeFiles/tmg_of.dir/of/flow_table.cpp.o.d"
+  "CMakeFiles/tmg_of.dir/of/messages.cpp.o"
+  "CMakeFiles/tmg_of.dir/of/messages.cpp.o.d"
+  "CMakeFiles/tmg_of.dir/of/switch.cpp.o"
+  "CMakeFiles/tmg_of.dir/of/switch.cpp.o.d"
+  "libtmg_of.a"
+  "libtmg_of.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_of.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tmg_of.
+# This may be replaced when dependencies are built.

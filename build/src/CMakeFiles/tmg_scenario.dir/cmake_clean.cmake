@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_scenario.dir/scenario/experiments.cpp.o"
+  "CMakeFiles/tmg_scenario.dir/scenario/experiments.cpp.o.d"
+  "CMakeFiles/tmg_scenario.dir/scenario/fig1_testbed.cpp.o"
+  "CMakeFiles/tmg_scenario.dir/scenario/fig1_testbed.cpp.o.d"
+  "CMakeFiles/tmg_scenario.dir/scenario/fig2_testbed.cpp.o"
+  "CMakeFiles/tmg_scenario.dir/scenario/fig2_testbed.cpp.o.d"
+  "CMakeFiles/tmg_scenario.dir/scenario/fig9_testbed.cpp.o"
+  "CMakeFiles/tmg_scenario.dir/scenario/fig9_testbed.cpp.o.d"
+  "CMakeFiles/tmg_scenario.dir/scenario/hypervisor.cpp.o"
+  "CMakeFiles/tmg_scenario.dir/scenario/hypervisor.cpp.o.d"
+  "CMakeFiles/tmg_scenario.dir/scenario/testbed.cpp.o"
+  "CMakeFiles/tmg_scenario.dir/scenario/testbed.cpp.o.d"
+  "libtmg_scenario.a"
+  "libtmg_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_sim.dir/sim/event_loop.cpp.o"
+  "CMakeFiles/tmg_sim.dir/sim/event_loop.cpp.o.d"
+  "CMakeFiles/tmg_sim.dir/sim/latency_model.cpp.o"
+  "CMakeFiles/tmg_sim.dir/sim/latency_model.cpp.o.d"
+  "CMakeFiles/tmg_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/tmg_sim.dir/sim/rng.cpp.o.d"
+  "libtmg_sim.a"
+  "libtmg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cpp" "src/CMakeFiles/tmg_stats.dir/stats/descriptive.cpp.o" "gcc" "src/CMakeFiles/tmg_stats.dir/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/tmg_stats.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/tmg_stats.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/latency_window.cpp" "src/CMakeFiles/tmg_stats.dir/stats/latency_window.cpp.o" "gcc" "src/CMakeFiles/tmg_stats.dir/stats/latency_window.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/CMakeFiles/tmg_stats.dir/stats/quantile.cpp.o" "gcc" "src/CMakeFiles/tmg_stats.dir/stats/quantile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_stats.dir/stats/descriptive.cpp.o"
+  "CMakeFiles/tmg_stats.dir/stats/descriptive.cpp.o.d"
+  "CMakeFiles/tmg_stats.dir/stats/histogram.cpp.o"
+  "CMakeFiles/tmg_stats.dir/stats/histogram.cpp.o.d"
+  "CMakeFiles/tmg_stats.dir/stats/latency_window.cpp.o"
+  "CMakeFiles/tmg_stats.dir/stats/latency_window.cpp.o.d"
+  "CMakeFiles/tmg_stats.dir/stats/quantile.cpp.o"
+  "CMakeFiles/tmg_stats.dir/stats/quantile.cpp.o.d"
+  "libtmg_stats.a"
+  "libtmg_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtmg_stats.a"
+)

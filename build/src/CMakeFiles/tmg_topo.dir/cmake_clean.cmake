@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_topo.dir/topo/graph.cpp.o"
+  "CMakeFiles/tmg_topo.dir/topo/graph.cpp.o.d"
+  "libtmg_topo.a"
+  "libtmg_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

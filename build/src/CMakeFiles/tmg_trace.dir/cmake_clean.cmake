@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmg_trace.dir/trace/tracer.cpp.o"
+  "CMakeFiles/tmg_trace.dir/trace/tracer.cpp.o.d"
+  "libtmg_trace.a"
+  "libtmg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_amnesia_test.dir/attack_amnesia_test.cpp.o"
+  "CMakeFiles/attack_amnesia_test.dir/attack_amnesia_test.cpp.o.d"
+  "attack_amnesia_test"
+  "attack_amnesia_test.pdb"
+  "attack_amnesia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_amnesia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_active_probe_test.dir/defense_active_probe_test.cpp.o"
+  "CMakeFiles/defense_active_probe_test.dir/defense_active_probe_test.cpp.o.d"
+  "defense_active_probe_test"
+  "defense_active_probe_test.pdb"
+  "defense_active_probe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_active_probe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

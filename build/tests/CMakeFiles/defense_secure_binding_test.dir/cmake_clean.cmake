@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_secure_binding_test.dir/defense_secure_binding_test.cpp.o"
+  "CMakeFiles/defense_secure_binding_test.dir/defense_secure_binding_test.cpp.o.d"
+  "defense_secure_binding_test"
+  "defense_secure_binding_test.pdb"
+  "defense_secure_binding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_secure_binding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_sphinx_test.dir/defense_sphinx_test.cpp.o"
+  "CMakeFiles/defense_sphinx_test.dir/defense_sphinx_test.cpp.o.d"
+  "defense_sphinx_test"
+  "defense_sphinx_test.pdb"
+  "defense_sphinx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_sphinx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/defense_topoguard_test.dir/defense_topoguard_test.cpp.o"
+  "CMakeFiles/defense_topoguard_test.dir/defense_topoguard_test.cpp.o.d"
+  "defense_topoguard_test"
+  "defense_topoguard_test.pdb"
+  "defense_topoguard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/defense_topoguard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/of_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_test[1]_include.cmake")
+include("/root/repo/build/tests/ctrl_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_topoguard_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_sphinx_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_tgplus_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_secure_binding_test[1]_include.cmake")
+include("/root/repo/build/tests/ids_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/hypervisor_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/scale_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/arp_defense_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_amnesia_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/defense_active_probe_test[1]_include.cmake")
