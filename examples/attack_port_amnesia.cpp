@@ -8,12 +8,15 @@
 //      latency and blocks the link.
 #include <cstdio>
 
+#include "example_util.hpp"
 #include "scenario/experiments.hpp"
 
 using namespace tmg;
 using namespace tmg::scenario;
 
 namespace {
+
+bool g_check = false;  // --check: print invariant-checker footers
 
 void report(const char* act, const LinkAttackOutcome& out) {
   std::printf("%s\n", act);
@@ -29,11 +32,17 @@ void report(const char* act, const LinkAttackOutcome& out) {
               out.alerts_topoguard, out.alerts_sphinx, out.alerts_cmm,
               out.alerts_lli,
               out.detected() ? "DETECTED" : "undetected");
+  if (g_check) {
+    std::printf("  [--check] invariant sweeps: %llu, violations: %llu\n\n",
+                static_cast<unsigned long long>(out.invariant_sweeps),
+                static_cast<unsigned long long>(out.invariant_violations));
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_check = examples::check_flag(argc, argv);
   std::printf("== Port Amnesia: link fabrication that survives TopoGuard ==\n\n");
   std::printf(
       "Two compromised hosts on switches 0x2 and 0x4 relay the\n"

@@ -7,12 +7,15 @@
 // TopoGuard or SPHINX policy until the victim resurfaces.
 #include <cstdio>
 
+#include "example_util.hpp"
 #include "scenario/experiments.hpp"
 
 using namespace tmg;
 using namespace tmg::scenario;
 
 namespace {
+
+bool g_check = false;  // --check: print invariant-checker footers
 
 void report(const char* title, const HijackOutcome& out) {
   std::printf("%s\n", title);
@@ -35,11 +38,17 @@ void report(const char* title, const HijackOutcome& out) {
               out.alerts_before_rejoin);
   std::printf("  alerts after victim rejoined:  %zu\n\n",
               out.alerts_after_rejoin);
+  if (g_check) {
+    std::printf("  [--check] invariant sweeps: %llu, violations: %llu\n\n",
+                static_cast<unsigned long long>(out.invariant_sweeps),
+                static_cast<unsigned long long>(out.invariant_violations));
+  }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_check = examples::check_flag(argc, argv);
   std::printf("== Port Probing: hijacking a host in transit ==\n\n");
   std::printf(
       "Victim 10.0.0.1 (aa:aa:aa:aa:aa:aa) begins a planned migration\n"

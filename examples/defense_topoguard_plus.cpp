@@ -8,17 +8,20 @@
 
 #include "attack/port_amnesia.hpp"
 #include "defense/topoguard_plus.hpp"
+#include "example_util.hpp"
 #include "scenario/fig9_testbed.hpp"
 
 using namespace tmg;
 using namespace tmg::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Deploying TOPOGUARD+ ==\n\n");
 
   // The controller must sign LLDP and seal departure timestamps —
-  // fig9_options enables both.
-  scenario::Fig9Testbed f = scenario::make_fig9_testbed();
+  // fig9_options enables both. The invariant checker is opt-in here.
+  scenario::TestbedOptions opts = scenario::fig9_options();
+  opts.check_invariants = examples::check_flag(argc, argv);
+  scenario::Fig9Testbed f = scenario::make_fig9_testbed(opts);
   const defense::TopoGuardPlus tgp =
       defense::install_topoguard_plus(f.tb->controller());
 
@@ -66,5 +69,6 @@ int main() {
                                           : "no (blocked)");
   std::printf("  genuine links still healthy: %zu / 4\n",
               f.tb->controller().topology().link_count());
+  examples::print_check_summary(*f.tb);
   return 0;
 }

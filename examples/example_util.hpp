@@ -1,0 +1,50 @@
+// Shared helpers for the example programs.
+//
+// Every example accepts `--check`: it attaches the runtime invariant
+// checker (src/check) to the simulation and prints a verification
+// footer. A violation means the *simulator* is broken — the examples
+// abort rather than print numbers computed from corrupted state.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+
+#include "check/invariants.hpp"
+#include "scenario/testbed.hpp"
+
+namespace tmg::examples {
+
+/// True when `--check` appears anywhere on the command line.
+inline bool check_flag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) return true;
+  }
+  return false;
+}
+
+/// Apply `--check` to testbed options built by an example.
+inline void apply_check_flag(scenario::TestbedOptions& opts, int argc,
+                             char** argv) {
+  if (check_flag(argc, argv)) opts.check_invariants = true;
+}
+
+/// Verification footer for a testbed the example built itself. Runs the
+/// final battery so teardown state is validated too.
+inline void print_check_summary(scenario::Testbed& tb) {
+  check::InvariantChecker* checker = tb.invariant_checker();
+  if (checker == nullptr) return;
+  checker->final_check();
+  std::printf("\n[--check] invariant sweeps: %llu, violations: %llu\n",
+              static_cast<unsigned long long>(checker->checks_run()),
+              static_cast<unsigned long long>(checker->violation_count()));
+}
+
+/// Verification footer for experiment-driver outcomes that carry the
+/// checker counters.
+inline void print_check_summary(unsigned long long sweeps,
+                                unsigned long long violations) {
+  std::printf("\n[--check] invariant sweeps: %llu, violations: %llu\n",
+              sweeps, violations);
+}
+
+}  // namespace tmg::examples

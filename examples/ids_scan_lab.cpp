@@ -5,13 +5,15 @@
 // reconnaissance styles stay under the radar?
 #include <cstdio>
 
+#include "example_util.hpp"
 #include "scenario/experiments.hpp"
 
 using namespace tmg;
 using namespace tmg::sim::literals;
 using attack::ProbeType;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool check = examples::check_flag(argc, argv);
   std::printf("== Scan stealth lab ==\n\n");
   std::printf(
       "The port-probing attacker must poll the victim frequently enough\n"
@@ -28,6 +30,8 @@ int main() {
   }
 
   std::printf("\nIDS verdicts at the attack rate (20 probes/s, 30 s):\n");
+  unsigned long long sweeps = 0;
+  unsigned long long violations = 0;
   for (ProbeType t : {ProbeType::IcmpPing, ProbeType::TcpSyn,
                       ProbeType::ArpPing}) {
     const auto r = scenario::run_scan_detection(t, 20.0, 30_s, 1);
@@ -35,7 +39,10 @@ int main() {
                 attack::to_string(t),
                 static_cast<unsigned long long>(r.probes_sent), r.ids_alerts,
                 r.detected() ? "DETECTED" : "undetected");
+    sweeps += r.invariant_sweeps;
+    violations += r.invariant_violations;
   }
+  if (check) examples::print_check_summary(sweeps, violations);
 
   std::printf(
       "\nConclusion (paper Sec. IV-B1): ARP pings — fast, same-subnet,\n"

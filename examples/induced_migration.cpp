@@ -11,6 +11,7 @@
 
 #include "attack/port_probing.hpp"
 #include "ctrl/host_tracker.hpp"
+#include "example_util.hpp"
 #include "defense/topoguard_plus.hpp"
 #include "scenario/hypervisor.hpp"
 #include "scenario/testbed.hpp"
@@ -18,10 +19,12 @@
 using namespace tmg;
 using namespace tmg::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== Inducing the migration you plan to hijack ==\n\n");
 
-  scenario::Testbed tb{scenario::TestbedOptions{}};
+  scenario::TestbedOptions opts;
+  examples::apply_check_flag(opts, argc, argv);
+  scenario::Testbed tb{opts};
   tb.add_switch(0x1);
   tb.add_switch(0x2);
   tb.connect_switches(0x1, 10, 0x2, 10);
@@ -112,5 +115,6 @@ int main() {
       "\nTopoGuard raised no alert before the victim resumed: the\n"
       "migration was genuine — the attacker merely chose when it\n"
       "happened (paper Sec. IV-B).\n");
+  examples::print_check_summary(tb);
   return 0;
 }

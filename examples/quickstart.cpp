@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "ctrl/host_tracker.hpp"
+#include "example_util.hpp"
 #include "ctrl/link_discovery.hpp"
 #include "ctrl/routing.hpp"
 #include "scenario/testbed.hpp"
@@ -17,12 +18,13 @@
 using namespace tmg;
 using namespace tmg::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("== TopoMirage quickstart ==\n\n");
 
   // 1. Wire the network: two switches, one inter-switch link, two hosts.
   scenario::TestbedOptions opts;
   opts.seed = 7;
+  examples::apply_check_flag(opts, argc, argv);
   scenario::Testbed tb{opts};
   tb.add_switch(0x1);
   tb.add_switch(0x2);
@@ -86,6 +88,7 @@ int main() {
   std::printf("(%llu control-plane events recorded in total)\n",
               static_cast<unsigned long long>(tracer.total_recorded()));
 
+  examples::print_check_summary(tb);
   std::printf("\nDone. Next: run attack_port_amnesia / attack_port_probing\n"
               "to see the paper's attacks against this machinery.\n");
   return 0;

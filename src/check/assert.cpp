@@ -1,0 +1,36 @@
+#include "check/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace tmg::check {
+
+namespace {
+
+void default_handler(const char* file, int line, const char* condition,
+                     const std::string& msg) {
+  std::fprintf(stderr, "TMG_ASSERT failed at %s:%d: %s\n  %s\n", file, line,
+               condition, msg.c_str());
+  std::abort();
+}
+
+FailureHandler& current_handler() {
+  static FailureHandler handler = default_handler;
+  return handler;
+}
+
+}  // namespace
+
+FailureHandler set_failure_handler(FailureHandler handler) {
+  FailureHandler previous = std::move(current_handler());
+  current_handler() = handler ? std::move(handler) : default_handler;
+  return previous;
+}
+
+void assert_fail(const char* file, int line, const char* condition,
+                 const std::string& msg) {
+  current_handler()(file, line, condition, msg);
+}
+
+}  // namespace tmg::check

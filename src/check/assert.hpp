@@ -1,0 +1,48 @@
+// Always-on and debug-only assertion macros for simulator internals.
+//
+// TMG_ASSERT fires in every build type (the simulator's correctness
+// contract is the product; stripping checks in release would defeat the
+// point of the tooling layer). TMG_DCHECK compiles out under NDEBUG for
+// hot paths. Both route through a replaceable failure handler so tests
+// can observe failures instead of dying.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace tmg::check {
+
+/// Called on assertion failure. The default prints to stderr and aborts.
+using FailureHandler = std::function<void(
+    const char* file, int line, const char* condition, const std::string& msg)>;
+
+/// Install `handler` (tests install a recorder; pass nullptr to restore
+/// the abort default). Returns the previous handler.
+FailureHandler set_failure_handler(FailureHandler handler);
+
+/// Invoke the current failure handler. Not for direct use; call through
+/// the macros so file/line/condition are captured.
+void assert_fail(const char* file, int line, const char* condition,
+                 const std::string& msg);
+
+}  // namespace tmg::check
+
+/// Fatal unless a non-aborting handler is installed. Enabled in all
+/// build types.
+#define TMG_ASSERT(cond, msg)                                      \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::tmg::check::assert_fail(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                              \
+  } while (0)
+
+/// Debug-only variant for hot paths; compiles to nothing under NDEBUG
+/// (the condition is not evaluated).
+#ifdef NDEBUG
+#define TMG_DCHECK(cond, msg) \
+  do {                        \
+    (void)sizeof((cond));     \
+  } while (0)
+#else
+#define TMG_DCHECK(cond, msg) TMG_ASSERT(cond, msg)
+#endif

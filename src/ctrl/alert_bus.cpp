@@ -25,6 +25,7 @@ const char* to_string(AlertType t) {
     case AlertType::SecureBindingViolation: return "SECURE_BINDING_VIOLATION";
     case AlertType::ArpInspectionViolation: return "ARP_INSPECTION_VIOLATION";
     case AlertType::ActiveProbeViolation: return "ACTIVE_PROBE_VIOLATION";
+    case AlertType::InvariantViolation: return "INVARIANT_VIOLATION";
   }
   return "UNKNOWN";
 }

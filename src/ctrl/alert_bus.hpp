@@ -41,6 +41,9 @@ enum class AlertType {
   // Active link verification (prototype of the "active, dynamic
   // defenses" the paper's conclusion calls for)
   ActiveProbeViolation,      // challenge probes lost or too slow
+  // Runtime invariant checker (src/check): simulator self-consistency,
+  // not an attack signal. Any occurrence means corrupted internal state.
+  InvariantViolation,
 };
 
 /// Human-readable name of an alert type.

@@ -88,10 +88,20 @@ std::optional<HostRecord> HostTrackingService::find(
 
 std::optional<HostRecord> HostTrackingService::find_by_ip(
     net::Ipv4Address ip) const {
+  // Several records can claim one IP mid-attack (ARP spoofing, HLH).
+  // Resolve to the freshest binding, tie-broken by MAC, so the answer
+  // never depends on hash-map iteration order.
+  const HostRecord* best = nullptr;
+  // determinism-lint: allow(unordered-iter) selection below is order-free
   for (const auto& [_, rec] : hosts_) {
-    if (rec.ip == ip) return rec;
+    if (rec.ip != ip) continue;
+    if (!best || rec.last_seen > best->last_seen ||
+        (rec.last_seen == best->last_seen && rec.mac < best->mac)) {
+      best = &rec;
+    }
   }
-  return std::nullopt;
+  if (!best) return std::nullopt;
+  return *best;
 }
 
 }  // namespace tmg::ctrl

@@ -30,7 +30,11 @@ void LinkDiscoveryService::emit_round() {
     for (const of::PortNo port : ctrl_.switch_ports(dpid)) {
       const std::uint64_t nonce = next_nonce_++;
       net::LldpPacket lldp = construct_lldp(dpid, port, nonce, now);
-      outstanding_[of::Location{dpid, port}] = Emission{nonce, now};
+      auto [slot, first] = outstanding_.try_emplace(of::Location{dpid, port});
+      // Superseding a probe that was never answered retires it to the
+      // "expired" bucket (LLDP conservation; see lldp_accounting()).
+      if (!first && !slot->second.matched) ++expired_;
+      slot->second = Emission{nonce, now, false};
       ++emissions_;
       ctrl_.send_packet_out(
           dpid, port,
@@ -69,7 +73,10 @@ void LinkDiscoveryService::handle_lldp_packet_in(const of::PacketIn& pi) {
 
   const of::Location src{lldp->chassis_id(), lldp->port_id()};
   const of::Location dst{pi.dpid, pi.in_port};
-  if (src == dst) return;  // reflection; ignore
+  if (src == dst) {  // reflection; ignore
+    ++reflected_;
+    return;
+  }
 
   LldpObservation obs;
   obs.src = src;
@@ -80,6 +87,7 @@ void LinkDiscoveryService::handle_lldp_packet_in(const of::PacketIn& pi) {
   obs.signature_valid =
       !ctrl_.config().authenticate_lldp || lldp->verify(ctrl_.lldp_key());
   if (!obs.signature_valid) {
+    ++invalid_signature_;
     ctrl_.alerts().raise(Alert{now, "LinkDiscovery",
                                AlertType::InvalidLldpSignature,
                                "LLDP authenticator missing or invalid from " +
@@ -92,8 +100,15 @@ void LinkDiscoveryService::handle_lldp_packet_in(const of::PacketIn& pi) {
   const auto em = outstanding_.find(src);
   if (em != outstanding_.end()) {
     obs.emitted_at = em->second.sent_at;
+    if (em->second.matched) {
+      ++duplicate_;
+    } else {
+      em->second.matched = true;
+      ++matched_;
+    }
   } else {
     obs.emitted_at = now;  // unsolicited (e.g. fully forged chassis/port)
+    ++unsolicited_;
   }
 
   if (ctrl_.config().lldp_timestamps) {
@@ -151,6 +166,22 @@ void LinkDiscoveryService::sweep() {
   }
   ctrl_.loop().schedule_after(ctrl_.config().link_sweep_interval,
                               [this] { sweep(); });
+}
+
+LinkDiscoveryService::LldpAccounting LinkDiscoveryService::lldp_accounting()
+    const {
+  LldpAccounting acc;
+  acc.emitted = emissions_;
+  acc.matched = matched_;
+  acc.expired = expired_;
+  acc.duplicate = duplicate_;
+  acc.unsolicited = unsolicited_;
+  acc.reflected = reflected_;
+  acc.invalid_signature = invalid_signature_;
+  for (const auto& [_, em] : outstanding_) {
+    if (!em.matched) ++acc.outstanding_unmatched;
+  }
+  return acc;
 }
 
 std::vector<LinkDiscoveryService::LinkState>

@@ -57,10 +57,27 @@ class LinkDiscoveryService {
   [[nodiscard]] std::uint64_t emissions() const { return emissions_; }
   [[nodiscard]] std::uint64_t receptions() const { return receptions_; }
 
+  /// Probe conservation ledger. Every emitted LLDP probe must end up in
+  /// exactly one bucket (matched / expired / still outstanding), and
+  /// every reception in exactly one of the reception buckets — the
+  /// invariant checker (src/check) asserts both sums hold.
+  struct LldpAccounting {
+    std::uint64_t emitted = 0;
+    std::uint64_t matched = 0;      // emissions answered at least once
+    std::uint64_t expired = 0;      // superseded before any reception
+    std::uint64_t duplicate = 0;    // repeat receptions of a matched probe
+    std::uint64_t unsolicited = 0;  // claimed src never emitted (forgery)
+    std::uint64_t reflected = 0;    // received on the advertised port
+    std::uint64_t invalid_signature = 0;
+    std::uint64_t outstanding_unmatched = 0;  // awaiting first reception
+  };
+  [[nodiscard]] LldpAccounting lldp_accounting() const;
+
  private:
   struct Emission {
     std::uint64_t nonce = 0;
     sim::SimTime sent_at;
+    bool matched = false;  // at least one reception referenced it
   };
 
   void sweep();
@@ -74,6 +91,12 @@ class LinkDiscoveryService {
   std::uint64_t next_nonce_ = 1;
   std::uint64_t emissions_ = 0;
   std::uint64_t receptions_ = 0;
+  std::uint64_t matched_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t duplicate_ = 0;
+  std::uint64_t unsolicited_ = 0;
+  std::uint64_t reflected_ = 0;
+  std::uint64_t invalid_signature_ = 0;
 };
 
 }  // namespace tmg::ctrl

@@ -17,7 +17,6 @@
 #pragma once
 
 #include <map>
-#include <unordered_map>
 
 #include "ctrl/controller.hpp"
 #include "ctrl/defense_module.hpp"
@@ -80,9 +79,11 @@ class Sphinx : public ctrl::DefenseModule {
 
   ctrl::Controller& ctrl_;
   SphinxConfig config_;
-  std::unordered_map<net::MacAddress, Binding> bindings_;
-  std::unordered_map<net::MacAddress, FlowGraph> flows_;
-  std::unordered_map<of::Location, of::PortStatsEntry> port_stats_;
+  // Ordered maps: on_flow_stats iterates flows_ and raises alerts, so
+  // iteration order must be stable for bit-reproducible alert streams.
+  std::map<net::MacAddress, Binding> bindings_;
+  std::map<net::MacAddress, FlowGraph> flows_;
+  std::map<of::Location, of::PortStatsEntry> port_stats_;
   std::uint64_t conflicts_ = 0;
   bool started_ = false;
 };

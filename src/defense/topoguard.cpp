@@ -23,6 +23,12 @@ TopoGuard::PortType TopoGuard::port_type(of::Location loc) const {
   return it == types_.end() ? PortType::Any : it->second;
 }
 
+std::optional<sim::SimTime> TopoGuard::last_reset(of::Location loc) const {
+  const auto it = last_port_down_.find(loc);
+  if (it == last_port_down_.end()) return std::nullopt;
+  return it->second;
+}
+
 Verdict TopoGuard::on_packet_in(const of::PacketIn& pi) {
   // Controller-originated frames (reachability pings, active link
   // probes) are not host traffic and never drive classification.

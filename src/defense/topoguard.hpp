@@ -17,6 +17,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 
 #include "ctrl/controller.hpp"
 #include "ctrl/defense_module.hpp"
@@ -48,6 +49,11 @@ class TopoGuard : public ctrl::DefenseModule {
 
   /// Current classification of a port (ANY if never seen).
   [[nodiscard]] PortType port_type(of::Location loc) const;
+
+  /// Time of the most recent Port-Down on `loc` — the only legal way a
+  /// HOST/SWITCH profile returns to ANY (the Port Amnesia model). The
+  /// invariant checker uses this to validate profile transitions.
+  [[nodiscard]] std::optional<sim::SimTime> last_reset(of::Location loc) const;
 
   /// Number of profile resets caused by Port-Down events — the paper
   /// notes the reset count is observable at the controller (Sec. IV-A)

@@ -38,6 +38,7 @@ const char* to_string(LinkAttackKind k) {
 TestbedOptions suite_options(DefenseSuite suite, std::uint64_t seed) {
   TestbedOptions opts;
   opts.seed = seed;
+  opts.check_invariants = true;  // runtime invariant checker (src/check)
   switch (suite) {
     case DefenseSuite::None:
     case DefenseSuite::Sphinx:
@@ -102,7 +103,10 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
     o.controller.lldp_timestamps = opts.controller.lldp_timestamps;
     return o;
   }());
-  install_suite(f.tb->controller(), config.suite);
+  const DefenseHandles handles = install_suite(f.tb->controller(), config.suite);
+  // Machine-checked self-consistency for every experiment run: attacks
+  // may poison the controller's *view*, but never the simulator's state.
+  f.tb->enable_invariant_checker(handles.topoguard);
 
   LinkAttackOutcome out;
   ctrl::Controller& ctrl = f.tb->controller();
@@ -193,6 +197,11 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
   out.alerts_sphinx = ctrl.alerts().count_from("SPHINX");
   out.alerts_cmm = ctrl.alerts().count_from("CMM");
   out.alerts_lli = ctrl.alerts().count_from("LLI");
+  if (check::InvariantChecker* checker = f.tb->invariant_checker()) {
+    checker->final_check();
+    out.invariant_sweeps = checker->checks_run();
+    out.invariant_violations = checker->violation_count();
+  }
   return out;
 }
 
@@ -243,7 +252,8 @@ HijackOutcome run_hijack(const HijackConfig& config) {
                           f.attacker->ip()};
   enrollment.registry[Fig2Testbed::kPeerToken] =
       defense::Enrollment{"peer", f.peer->mac(), f.peer->ip()};
-  install_suite(ctrl, config.suite, &enrollment);
+  const DefenseHandles handles = install_suite(ctrl, config.suite, &enrollment);
+  f.tb->enable_invariant_checker(handles.topoguard);
 
   HijackOutcome out;
 
@@ -333,6 +343,11 @@ HijackOutcome run_hijack(const HijackConfig& config) {
         (*tl.interface_up_as_victim - *tl.victim_declared_down).to_millis_f();
   }
   out.alerts = ctrl.alerts().alerts();
+  if (check::InvariantChecker* checker = f.tb->invariant_checker()) {
+    checker->final_check();
+    out.invariant_sweeps = checker->checks_run();
+    out.invariant_violations = checker->violation_count();
+  }
   return out;
 }
 
@@ -344,6 +359,7 @@ LliSeries run_lli_experiment(const LliExperimentConfig& config) {
   Fig9Testbed f = make_fig9_testbed(fig9_options(config.seed));
   const DefenseHandles handles =
       install_suite(f.tb->controller(), DefenseSuite::TopoGuardPlus);
+  f.tb->enable_invariant_checker(handles.topoguard);
 
   f.tb->start(Duration::seconds(2));
   fig9_warm_hosts(f);
@@ -423,6 +439,7 @@ struct ProbeLab {
     zom.ip = net::Ipv4Address::host(2);
     zom.idle_scan_zombie = true;
     zombie = &tb.add_host(0x1, 3, zom);
+    tb.enable_invariant_checker();
   }
 };
 
@@ -539,6 +556,11 @@ ScanDetectionResult run_scan_detection(attack::ProbeType type,
   result.rate_per_s = rate_per_s;
   result.probes_sent = prober.probes_sent();
   result.ids_alerts = ids.alert_count();
+  if (check::InvariantChecker* checker = lab.tb.invariant_checker()) {
+    checker->final_check();
+    result.invariant_sweeps = checker->checks_run();
+    result.invariant_violations = checker->violation_count();
+  }
   return result;
 }
 

@@ -78,6 +78,10 @@ struct LinkAttackOutcome {
   std::size_t alerts_sphinx = 0;
   std::size_t alerts_cmm = 0;
   std::size_t alerts_lli = 0;
+  /// Runtime invariant checker (src/check): battery runs and violations
+  /// over the whole experiment. Violations indicate a simulator bug.
+  std::uint64_t invariant_sweeps = 0;
+  std::uint64_t invariant_violations = 0;
   [[nodiscard]] bool detected() const {
     return alerts_total > alerts_before_attack;
   }
@@ -127,6 +131,9 @@ struct HijackOutcome {
   std::size_t alerts_after_rejoin = 0;
   /// Full alert log (diagnostics and the alert-flood experiment).
   std::vector<ctrl::Alert> alerts;
+  /// Runtime invariant checker counters (see LinkAttackOutcome).
+  std::uint64_t invariant_sweeps = 0;
+  std::uint64_t invariant_violations = 0;
 };
 
 HijackOutcome run_hijack(const HijackConfig& config);
@@ -186,6 +193,9 @@ struct ScanDetectionResult {
   double rate_per_s = 0.0;
   std::uint64_t probes_sent = 0;
   std::size_t ids_alerts = 0;
+  /// Runtime invariant checker counters (see LinkAttackOutcome).
+  std::uint64_t invariant_sweeps = 0;
+  std::uint64_t invariant_violations = 0;
   [[nodiscard]] bool detected() const { return ids_alerts > 0; }
 };
 

@@ -10,6 +10,28 @@ Testbed::Testbed(TestbedOptions options)
                                                    options_.controller);
 }
 
+Testbed::~Testbed() {
+  // Teardown validation: whatever state the experiment left behind must
+  // still satisfy every invariant.
+  if (checker_) checker_->final_check();
+}
+
+check::InvariantChecker& Testbed::enable_invariant_checker(
+    const defense::TopoGuard* topoguard) {
+  if (!checker_) {
+    check::InvariantOptions opts;
+    opts.check_every_events = options_.check_every_events;
+    // Fail fast: a violation in a testbed run means the simulator is
+    // broken, and every downstream number is garbage. Tests that study
+    // violations on purpose construct their own InvariantChecker.
+    opts.assert_on_violation = true;
+    checker_ =
+        std::make_unique<check::InvariantChecker>(*controller_, opts);
+  }
+  if (topoguard) checker_->watch_topoguard(*topoguard);
+  return *checker_;
+}
+
 std::unique_ptr<sim::LatencyModel> Testbed::dataplane_model() {
   return sim::make_microburst(options_.dataplane_latency,
                               options_.dataplane_jitter,
@@ -101,6 +123,7 @@ void Testbed::start(sim::Duration warmup) {
   for (auto& [dpid, entry] : switches_) {
     controller_->connect_switch(dpid, *entry.channel, entry.ports);
   }
+  if (options_.check_invariants) enable_invariant_checker();
   controller_->start();
   run_for(warmup);
 }

@@ -9,6 +9,7 @@
 
 #include "attack/host.hpp"
 #include "attack/oob_channel.hpp"
+#include "check/invariants.hpp"
 #include "ctrl/controller.hpp"
 #include "of/control_channel.hpp"
 #include "of/data_link.hpp"
@@ -35,11 +36,18 @@ struct TestbedOptions {
   sim::Duration control_jitter = sim::Duration::micros(100);
   /// Template for switch behavior (dpid is overridden per switch).
   of::Switch::Config switch_template;
+  /// Attach the runtime invariant checker (src/check) to the controller.
+  /// Integration tests turn this on; benches leave it off to keep the
+  /// measured hot path untouched.
+  bool check_invariants = false;
+  /// Periodic check cadence when the checker is attached (events).
+  std::uint64_t check_every_events = 256;
 };
 
 class Testbed {
  public:
   explicit Testbed(TestbedOptions options = {});
+  ~Testbed();
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
 
@@ -79,6 +87,17 @@ class Testbed {
 
   [[nodiscard]] bool started() const { return started_; }
 
+  /// Attach the invariant checker now (idempotent). Called automatically
+  /// by start() when options.check_invariants is set; callers that add a
+  /// TopoGuard should pass it so profile transitions are validated too.
+  check::InvariantChecker& enable_invariant_checker(
+      const defense::TopoGuard* topoguard = nullptr);
+
+  /// The attached checker, or nullptr when disabled.
+  [[nodiscard]] check::InvariantChecker* invariant_checker() {
+    return checker_.get();
+  }
+
  private:
   std::unique_ptr<sim::LatencyModel> dataplane_model();
   std::unique_ptr<sim::LatencyModel> access_model();
@@ -98,6 +117,7 @@ class Testbed {
   std::vector<std::unique_ptr<of::DataLink>> links_;
   std::vector<std::unique_ptr<attack::Host>> hosts_;
   std::vector<std::unique_ptr<attack::OutOfBandChannel>> oobs_;
+  std::unique_ptr<check::InvariantChecker> checker_;
   bool started_ = false;
 };
 

@@ -1,25 +1,30 @@
 #include "sim/event_loop.hpp"
 
 #include <cassert>
-#include <cstdio>
 #include <utility>
 
 namespace tmg::sim {
 
 void TimerHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (!state_ || state_->cancelled || state_->fired) return;
+  state_->cancelled = true;
+  if (state_->cancelled_in_queue) ++*state_->cancelled_in_queue;
 }
 
 bool TimerHandle::pending() const {
-  return cancelled_ && !*cancelled_;
+  return state_ && !state_->cancelled && !state_->fired;
 }
+
+EventLoop::EventLoop()
+    : cancelled_in_queue_{std::make_shared<std::size_t>(0)} {}
 
 TimerHandle EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
   assert(fn);
   if (at < now_) at = now_;
-  auto flag = std::make_shared<bool>(false);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), flag});
-  return TimerHandle{std::move(flag)};
+  auto state = std::make_shared<TimerHandle::State>();
+  state->cancelled_in_queue = cancelled_in_queue_;
+  queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  return TimerHandle{std::move(state)};
 }
 
 TimerHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
@@ -27,18 +32,48 @@ TimerHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) 
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-bool EventLoop::step() {
+void EventLoop::set_post_event_hook(std::uint64_t every_n,
+                                    std::function<void()> hook) {
+  post_event_hook_ = std::move(hook);
+  post_event_every_ = post_event_hook_ ? (every_n == 0 ? 1 : every_n) : 0;
+}
+
+void EventLoop::maybe_compact() {
+  constexpr std::size_t kMinQueueForCompaction = 64;
+  if (queue_.size() < kMinQueueForCompaction ||
+      *cancelled_in_queue_ * 2 < queue_.size()) {
+    return;
+  }
+  std::vector<Entry> live;
+  live.reserve(queue_.size() - *cancelled_in_queue_);
   while (!queue_.empty()) {
-    // priority_queue::top returns const&; we must copy-out before pop.
-    // Move via const_cast is the standard idiom but fragile; entries are
-    // popped once, so copy the shared_ptr and move the function instead.
+    Entry& top = const_cast<Entry&>(queue_.top());
+    if (!top.state->cancelled) live.push_back(std::move(top));
+    queue_.pop();
+  }
+  queue_ = std::priority_queue<Entry, std::vector<Entry>, Later>{
+      Later{}, std::move(live)};
+  *cancelled_in_queue_ = 0;
+}
+
+bool EventLoop::step() {
+  maybe_compact();
+  while (!queue_.empty()) {
+    // priority_queue::top returns const&; entries are popped exactly
+    // once, so moving out through const_cast is safe here.
     Entry entry = std::move(const_cast<Entry&>(queue_.top()));
     queue_.pop();
-    if (*entry.cancelled) continue;
-    *entry.cancelled = true;  // mark fired so TimerHandle::pending() is false
+    if (entry.state->cancelled) {
+      --*cancelled_in_queue_;
+      continue;
+    }
+    entry.state->fired = true;
     now_ = entry.at;
     ++executed_;
     entry.fn();
+    if (post_event_every_ != 0 && executed_ % post_event_every_ == 0) {
+      post_event_hook_();
+    }
     return true;
   }
   return false;
@@ -47,7 +82,8 @@ bool EventLoop::step() {
 void EventLoop::run_until(SimTime deadline) {
   while (!queue_.empty()) {
     // Skip cancelled entries without advancing the clock.
-    if (*queue_.top().cancelled) {
+    if (queue_.top().state->cancelled) {
+      --*cancelled_in_queue_;
       queue_.pop();
       continue;
     }

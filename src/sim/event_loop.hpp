@@ -29,15 +29,23 @@ class TimerHandle {
 
  private:
   friend class EventLoop;
-  explicit TimerHandle(std::shared_ptr<bool> cancelled)
-      : cancelled_{std::move(cancelled)} {}
-  std::shared_ptr<bool> cancelled_;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+    /// Live count of cancelled-but-unpopped queue entries, shared with
+    /// the owning loop so live_events() stays O(1). Shared ownership
+    /// keeps cancel() safe even after the loop is destroyed.
+    std::shared_ptr<std::size_t> cancelled_in_queue;
+  };
+  explicit TimerHandle(std::shared_ptr<State> state)
+      : state_{std::move(state)} {}
+  std::shared_ptr<State> state_;
 };
 
 /// The simulation clock plus the pending-event queue.
 class EventLoop {
  public:
-  EventLoop() = default;
+  EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -63,18 +71,30 @@ class EventLoop {
   /// queue was empty (clock unchanged).
   bool step();
 
-  /// Number of events waiting (including cancelled-but-unpopped ones).
+  /// Queue entries physically present, including cancelled-but-unpopped
+  /// ones. Prefer live_events() for "how much work is left".
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Events that will actually fire: queue size minus cancelled entries
+  /// still awaiting lazy removal. O(1).
+  [[nodiscard]] std::size_t live_events() const {
+    return queue_.size() - *cancelled_in_queue_;
+  }
 
   /// Total events executed since construction (excludes cancelled).
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Install `hook`, invoked after every `every_n`-th executed event
+  /// (counted from construction). Used by the invariant checker; one
+  /// hook at a time. Passing a null hook clears it.
+  void set_post_event_hook(std::uint64_t every_n, std::function<void()> hook);
 
  private:
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // tie-break: insertion order
     std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<TimerHandle::State> state;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -83,10 +103,18 @@ class EventLoop {
     }
   };
 
+  /// Drop cancelled entries when they dominate the queue, so a workload
+  /// that schedules-and-cancels heavily (e.g. per-packet timeouts) keeps
+  /// memory and pop cost proportional to *live* events.
+  void maybe_compact();
+
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::shared_ptr<std::size_t> cancelled_in_queue_;
+  std::function<void()> post_event_hook_;
+  std::uint64_t post_event_every_ = 0;
 };
 
 }  // namespace tmg::sim

@@ -59,6 +59,7 @@ bool TopologyGraph::is_switch_port(Location loc) const {
 std::vector<Link> TopologyGraph::links() const {
   std::vector<Link> out;
   out.reserve(links_.size());
+  // determinism-lint: allow(unordered-iter) sorted before return
   for (const auto& [_, l] : links_) out.push_back(l);
   std::sort(out.begin(), out.end());
   return out;
@@ -100,6 +101,49 @@ std::optional<std::vector<TopologyGraph::Traversal>> TopologyGraph::path(
 void TopologyGraph::clear() {
   links_.clear();
   adj_.clear();
+}
+
+std::vector<std::string> TopologyGraph::audit() const {
+  std::vector<std::string> issues;
+  const auto has_traversal = [&](Location from, Location to) {
+    const auto it = adj_.find(from.dpid);
+    if (it == adj_.end()) return false;
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [&](const Traversal& t) {
+                         return t.from == from && t.to == to;
+                       });
+  };
+  // Every link must be indexed in both orientations (link symmetry).
+  // determinism-lint: allow(unordered-iter) issues are sorted below
+  for (const auto& [_, l] : links_) {
+    if (!has_traversal(l.a, l.b)) {
+      issues.push_back("link " + l.to_string() +
+                       " missing forward adjacency " + l.a.to_string() +
+                       "->" + l.b.to_string());
+    }
+    if (!has_traversal(l.b, l.a)) {
+      issues.push_back("link " + l.to_string() +
+                       " missing reverse adjacency " + l.b.to_string() +
+                       "->" + l.a.to_string());
+    }
+  }
+  // Every adjacency traversal must be backed by a stored link.
+  // determinism-lint: allow(unordered-iter) issues are sorted below
+  for (const auto& [dpid, traversals] : adj_) {
+    for (const Traversal& t : traversals) {
+      if (t.from.dpid != dpid) {
+        issues.push_back("adjacency of dpid " + std::to_string(dpid) +
+                         " holds foreign traversal " + t.from.to_string() +
+                         "->" + t.to.to_string());
+      }
+      if (!links_.contains(key(Link{t.from, t.to}))) {
+        issues.push_back("dangling adjacency " + t.from.to_string() + "->" +
+                         t.to.to_string() + " without a stored link");
+      }
+    }
+  }
+  std::sort(issues.begin(), issues.end());
+  return issues;
 }
 
 }  // namespace tmg::topo

@@ -62,6 +62,13 @@ class TopologyGraph {
 
   void clear();
 
+  /// Self-consistency audit: every stored link must appear in the
+  /// adjacency index oriented both ways (a->b and b->a), and every
+  /// adjacency traversal must correspond to a stored link. Returns a
+  /// deterministic, sorted list of violation descriptions (empty when
+  /// healthy). Used by the runtime invariant checker.
+  [[nodiscard]] std::vector<std::string> audit() const;
+
  private:
   [[nodiscard]] static std::uint64_t key(const Link& l);
 

@@ -20,8 +20,14 @@ using ctrl::AlertType;
 using scenario::Testbed;
 using scenario::TestbedOptions;
 
+scenario::TestbedOptions checked_options() {
+  scenario::TestbedOptions opts;
+  opts.check_invariants = true;  // runtime invariant checker (src/check)
+  return opts;
+}
+
 struct ArpNet {
-  Testbed tb{TestbedOptions{}};
+  Testbed tb{checked_options()};
   attack::Host* victim;
   attack::Host* peer;
   attack::Host* attacker;

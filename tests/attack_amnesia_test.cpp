@@ -16,8 +16,14 @@ using namespace tmg::sim::literals;
 using scenario::Fig1Testbed;
 using scenario::make_fig1_testbed;
 
-scenario::TestbedOptions tg_options() {
+scenario::TestbedOptions checked_options() {
   scenario::TestbedOptions opts;
+  opts.check_invariants = true;  // runtime invariant checker (src/check)
+  return opts;
+}
+
+scenario::TestbedOptions tg_options() {
+  scenario::TestbedOptions opts = checked_options();
   opts.controller.authenticate_lldp = true;
   return opts;
 }
@@ -26,7 +32,7 @@ scenario::TestbedOptions tg_options() {
 void run_one_round(Fig1Testbed& f) { f.tb->run_for(16_s); }
 
 TEST(Fig1Testbed, ConstructionAndDiscovery) {
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   f.tb->start(1_s);
   EXPECT_TRUE(f.tb->controller().topology().has_link(f.real_a, f.real_b));
   EXPECT_FALSE(f.fabricated_link_present());
@@ -34,7 +40,7 @@ TEST(Fig1Testbed, ConstructionAndDiscovery) {
 }
 
 TEST(PortAmnesia, FabricatesFig1LinkOnBareController) {
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   f.tb->start(1_s);
   scenario::fig1_warm_hosts(f);
   PortAmnesiaAttack::Config cfg;
@@ -81,7 +87,7 @@ TEST(PortAmnesia, WithoutAmnesiaTopoGuardCatchesRelay) {
 }
 
 TEST(PortAmnesia, MitmBridgesTransitFaithfully) {
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   f.tb->start(1_s);
   scenario::fig1_warm_hosts(f);
   PortAmnesiaAttack::Config cfg;
@@ -113,7 +119,7 @@ TEST(PortAmnesia, MitmBridgesTransitFaithfully) {
 }
 
 TEST(PortAmnesia, BlackholeDropsTransit) {
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   f.tb->start(1_s);
   scenario::fig1_warm_hosts(f);
   PortAmnesiaAttack::Config cfg;
@@ -138,7 +144,7 @@ TEST(PortAmnesia, BlackholeDropsTransit) {
 }
 
 TEST(PortAmnesia, OneWayRelayStillFabricates) {
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   f.tb->start(1_s);
   scenario::fig1_warm_hosts(f);
   PortAmnesiaAttack::Config cfg;
@@ -167,7 +173,7 @@ TEST(PortAmnesia, InBandVariantWorksOnFig1) {
 }
 
 TEST(PortAmnesia, StartIsIdempotent) {
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   f.tb->start(1_s);
   PortAmnesiaAttack::Config cfg;
   PortAmnesiaAttack attack{f.tb->loop(), *f.attacker_a, *f.attacker_b,
@@ -181,7 +187,7 @@ TEST(PortAmnesia, StartIsIdempotent) {
 TEST(PortAmnesia, FabricatedLinkDiesWithoutRelay) {
   // Stop relaying (hosts go dark): the fabricated link must age out via
   // the link timeout, exactly like a real unplugged link.
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   f.tb->start(1_s);
   scenario::fig1_warm_hosts(f);
   auto attack = std::make_unique<PortAmnesiaAttack>(

@@ -19,8 +19,14 @@ using scenario::Testbed;
 using scenario::TestbedOptions;
 using sim::Duration;
 
+scenario::TestbedOptions checked_options() {
+  scenario::TestbedOptions opts;
+  opts.check_invariants = true;  // runtime invariant checker (src/check)
+  return opts;
+}
+
 struct Lab {
-  Testbed tb{TestbedOptions{}};
+  Testbed tb{checked_options()};
   Host* attacker;
   Host* victim;
   Host* zombie;

@@ -22,6 +22,7 @@ TEST_P(Chaos, ControlPlaneSurvivesChurnAndConverges) {
   opts.seed = seed;
   opts.controller.authenticate_lldp = true;
   opts.controller.lldp_timestamps = true;
+  opts.check_invariants = true;  // runtime invariant checker (src/check)
   Testbed tb{opts};
 
   constexpr int kSwitches = 6;

@@ -166,8 +166,8 @@ TEST(LinkDiscovery, LinkTimesOutWithoutRefresh) {
   ASSERT_EQ(net.tb.controller().topology().link_count(), 1u);
   // Cut the inter-switch wire: LLDP stops crossing; the link must be
   // swept out after the POX timeout.
-  net.tb.get_switch(0x1);  // (link handle not exposed; cut via carrier)
-  // Easiest cut: veto refreshes via the recorder.
+  // Easiest cut: veto refreshes via the recorder (the link handle is
+  // not exposed, so the wire itself cannot be unplugged here).
   net.rec->veto_links = true;
   net.tb.run_for(11_s);
   EXPECT_EQ(net.tb.controller().topology().link_count(), 0u);

@@ -18,8 +18,14 @@ using ctrl::AlertType;
 using scenario::Fig1Testbed;
 using scenario::make_fig1_testbed;
 
+scenario::TestbedOptions checked_options() {
+  scenario::TestbedOptions opts;
+  opts.check_invariants = true;  // runtime invariant checker (src/check)
+  return opts;
+}
+
 TEST(ActiveProbe, RealLinkVerifiedAndAdmitted) {
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   ActiveLinkVerifier& verifier = install_active_probe(f.tb->controller());
   f.tb->start(2_s);
   // First observation is held; challenge runs; the next round admits.
@@ -34,7 +40,7 @@ TEST(ActiveProbe, RealLinkVerifiedAndAdmitted) {
 
 TEST(ActiveProbe, BenignNetworkFullyConverges) {
   // All genuine links of the Fig. 1 network pass and no alerts fire.
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   install_active_probe(f.tb->controller());
   f.tb->start(2_s);
   scenario::fig1_warm_hosts(f);
@@ -49,7 +55,7 @@ TEST(ActiveProbe, RelayedFakeLinkFailsLatencyBound) {
   // The CMM-evasive out-of-band amnesia attack: the attackers happily
   // relay the challenge probes too — and the channel's ~11 ms gives
   // them away. No calibration history or timestamp TLVs needed.
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   ActiveLinkVerifier& verifier = install_active_probe(f.tb->controller());
   f.tb->start(2_s);
   scenario::fig1_warm_hosts(f);
@@ -73,7 +79,7 @@ TEST(ActiveProbe, NonRelayingFakeLinkFailsClosed) {
   // A stealthier attacker might drop unfamiliar frames instead of
   // bridging them: then the challenge probes simply vanish and the
   // link is never admitted (fail closed).
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   ActiveLinkVerifier& verifier = install_active_probe(f.tb->controller());
   f.tb->start(2_s);
   scenario::fig1_warm_hosts(f);
@@ -91,7 +97,7 @@ TEST(ActiveProbe, NonRelayingFakeLinkFailsClosed) {
 }
 
 TEST(ActiveProbe, PortDownResetsVerification) {
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   ActiveLinkVerifier& verifier = install_active_probe(f.tb->controller());
   f.tb->start(2_s);
   f.tb->run_for(16_s);
@@ -108,7 +114,7 @@ TEST(ActiveProbe, PortDownResetsVerification) {
 TEST(ActiveProbe, WorksWithoutTimestampInfrastructure) {
   // Unlike the LLI, the verifier needs no controller key material or
   // LLDP TLV support — it runs on a bone-stock controller.
-  Fig1Testbed f = make_fig1_testbed();  // no auth, no timestamps
+  Fig1Testbed f = make_fig1_testbed(checked_options());  // no auth, no timestamps
   EXPECT_FALSE(f.tb->controller().config().lldp_timestamps);
   install_active_probe(f.tb->controller());
   f.tb->start(2_s);
@@ -119,7 +125,7 @@ TEST(ActiveProbe, WorksWithoutTimestampInfrastructure) {
 TEST(ActiveProbe, ProbeFramesInvisibleToOtherServices) {
   // Challenge probes never create host bindings or reach end hosts'
   // applications as routable traffic.
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   install_active_probe(f.tb->controller());
   f.tb->start(2_s);
   f.tb->run_for(16_s);
@@ -132,7 +138,7 @@ TEST(ActiveProbe, ProbeFramesInvisibleToOtherServices) {
 TEST(ActiveProbe, FailedLinkRetriesAfterCooldown) {
   ActiveProbeConfig cfg;
   cfg.retry_cooldown = 20_s;
-  Fig1Testbed f = make_fig1_testbed();
+  Fig1Testbed f = make_fig1_testbed(checked_options());
   ActiveLinkVerifier& verifier =
       install_active_probe(f.tb->controller(), cfg);
   f.tb->start(2_s);

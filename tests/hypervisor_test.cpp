@@ -15,8 +15,14 @@ namespace {
 using namespace tmg::sim::literals;
 using sim::Duration;
 
+scenario::TestbedOptions checked_options() {
+  scenario::TestbedOptions opts;
+  opts.check_invariants = true;  // runtime invariant checker (src/check)
+  return opts;
+}
+
 struct Cloud {
-  Testbed tb{TestbedOptions{}};
+  Testbed tb{checked_options()};
   Hypervisor hv;
   attack::Host* victim;
   attack::Host* attacker_vm;   // co-located noisy neighbor (pinned)

@@ -24,6 +24,9 @@ struct RandomNet {
       : tb{[&] {
           TestbedOptions o;
           o.seed = seed;
+          o.check_invariants = true;
+          // Large nets: check sparsely so O(links) sweeps stay cheap.
+          o.check_every_events = 4096;
           return o;
         }()} {
     sim::Rng rng{seed ^ 0xbeef};
@@ -117,6 +120,7 @@ TEST(Scale, LinkFailureReroutesTraffic) {
   Testbed tb{[] {
     TestbedOptions o;
     o.seed = 11;
+    o.check_invariants = true;
     return o;
   }()};
   for (of::Dpid d = 1; d <= 4; ++d) tb.add_switch(d);

@@ -285,6 +285,85 @@ TEST(EventLoop, CountsExecutedEvents) {
   EXPECT_EQ(loop.events_executed(), 7u);
 }
 
+TEST(EventLoop, CancelAfterFireDoesNotCorruptLiveCount) {
+  EventLoop loop;
+  TimerHandle h = loop.schedule_after(1_ms, [] {});
+  loop.schedule_after(2_ms, [] {});
+  EXPECT_TRUE(loop.step());  // fires h
+  h.cancel();                // no-op: must not decrement the live count
+  h.cancel();
+  EXPECT_EQ(loop.live_events(), 1u);
+  EXPECT_EQ(loop.pending_events(), 1u);
+}
+
+TEST(EventLoop, DoubleCancelCountsOnce) {
+  EventLoop loop;
+  TimerHandle h = loop.schedule_after(1_ms, [] {});
+  loop.schedule_after(2_ms, [] {});
+  h.cancel();
+  h.cancel();
+  EXPECT_EQ(loop.pending_events(), 2u);
+  EXPECT_EQ(loop.live_events(), 1u);
+}
+
+TEST(EventLoop, CancelSurvivesLoopDestruction) {
+  TimerHandle h;
+  {
+    EventLoop loop;
+    h = loop.schedule_after(1_ms, [] {});
+  }
+  h.cancel();  // loop is gone; shared state keeps this safe
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(EventLoop, LiveEventsExcludesCancelledEntries) {
+  EventLoop loop;
+  std::vector<TimerHandle> handles;
+  handles.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    handles.push_back(loop.schedule_after(Duration::millis(i + 1), [] {}));
+  }
+  for (int i = 0; i < 4; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(loop.pending_events(), 10u);  // lazy: entries still queued
+  EXPECT_EQ(loop.live_events(), 6u);
+  loop.run();
+  EXPECT_EQ(loop.events_executed(), 6u);
+  EXPECT_EQ(loop.live_events(), 0u);
+}
+
+TEST(EventLoop, CompactionDropsCancelledBacklog) {
+  // Cancel-heavy workloads (per-packet timeouts) must not accumulate
+  // dead entries: once cancelled entries dominate a large queue, the
+  // next step() physically drops them.
+  EventLoop loop;
+  std::vector<TimerHandle> handles;
+  handles.reserve(128);
+  for (int i = 0; i < 128; ++i) {
+    handles.push_back(loop.schedule_after(Duration::millis(i + 1), [] {}));
+  }
+  for (int i = 0; i < 100; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  EXPECT_EQ(loop.pending_events(), 128u);
+  EXPECT_EQ(loop.live_events(), 28u);
+  EXPECT_TRUE(loop.step());  // compacts, then fires the earliest live one
+  EXPECT_EQ(loop.pending_events(), 27u);
+  EXPECT_EQ(loop.live_events(), 27u);
+  loop.run();
+  EXPECT_EQ(loop.events_executed(), 28u);
+}
+
+TEST(EventLoop, PostEventHookFiresAtCadence) {
+  EventLoop loop;
+  int hook_calls = 0;
+  loop.set_post_event_hook(3, [&] { ++hook_calls; });
+  for (int i = 0; i < 10; ++i) loop.schedule_after(1_ms, [] {});
+  loop.run();
+  EXPECT_EQ(hook_calls, 3);  // after events 3, 6, 9
+  loop.set_post_event_hook(0, nullptr);
+  for (int i = 0; i < 5; ++i) loop.schedule_after(1_ms, [] {});
+  loop.run();
+  EXPECT_EQ(hook_calls, 3);  // cleared hook stays silent
+}
+
 // ---------------- Latency models ----------------
 
 TEST(LatencyModel, FixedAlwaysSame) {

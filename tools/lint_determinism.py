@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Determinism lint for the topomirage simulator core.
+
+The simulator's contract (src/sim/event_loop.hpp:1-5) is that every run
+is bit-reproducible: all randomness flows through the seeded tmg::sim::Rng
+and all time flows through the simulated clock. This checker bans the
+usual ways nondeterminism sneaks back in:
+
+  rule `wall-clock`     -- std::chrono system/steady/hires clocks,
+                           gettimeofday, clock_gettime, time(nullptr)
+  rule `libc-rand`      -- rand(), srand(), rand_r(), drand48(), random()
+  rule `random-device`  -- std::random_device (seeds differ per run)
+  rule `unordered-iter` -- range-for over a std::unordered_{map,set}
+                           member: iteration order is hash/libc++-version
+                           dependent, so anything it feeds (traces, alert
+                           order, CSV rows) varies run to run
+  rule `pointer-key`    -- std::map/std::set keyed on a raw pointer:
+                           ordering follows allocation addresses (ASLR)
+
+Scope: every .hpp/.cpp under src/, except src/sim/rng.* (the one module
+allowed to own entropy).
+
+Suppressions (use sparingly, always with a reason):
+  // determinism-lint: allow(<rule>) <why>      -- same or preceding line
+  // determinism-lint: skip-file <why>          -- whole file
+
+Exit status: 0 clean, 1 findings (printed as file:line: rule: excerpt).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([\w, -]+)\)")
+SKIP_FILE_RE = re.compile(r"determinism-lint:\s*skip-file")
+
+# Rules applied line by line.
+LINE_RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"\b(?:std::chrono::)?(?:system_clock|steady_clock|"
+            r"high_resolution_clock)\b"
+            r"|\bgettimeofday\s*\("
+            r"|\bclock_gettime\s*\("
+            r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+        ),
+    ),
+    (
+        "libc-rand",
+        re.compile(r"(?<![\w:.])(?:std::)?(?:s?rand|rand_r|drand48|random)\s*\("),
+    ),
+    ("random-device", re.compile(r"\bstd::random_device\b")),
+    (
+        "pointer-key",
+        re.compile(
+            r"\b(?:std::)?(?:unordered_)?map\s*<[^,;<>]*\*\s*,"
+            r"|\b(?:std::)?(?:unordered_)?set\s*<[^,;<>]*\*\s*>"
+        ),
+    ),
+]
+
+# Finds `std::unordered_map<...> name` declarations (whitespace-normalized
+# text, so multi-line declarations resolve). Backtracking lets the
+# character class swallow nested `>`.
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set)\s*<[^;{}]{0,300}?>\s+(\w+)\s*[;{=]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^)]*:\s*\*?(\w+)\s*\)")
+
+
+def unordered_members(*sources: str) -> set[str]:
+    names: set[str] = set()
+    for text in sources:
+        flat = re.sub(r"\s+", " ", text)
+        names.update(UNORDERED_DECL_RE.findall(flat))
+    return names
+
+
+def allowed(rule: str, lines: list[str], idx: int) -> bool:
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_RE.search(lines[probe])
+            if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                return True
+    return False
+
+
+def lint_file(path: Path, root: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    if SKIP_FILE_RE.search(text):
+        return []
+    lines = text.splitlines()
+
+    # Pair a .cpp with its header so members declared in the .hpp are
+    # known when the .cpp iterates them (and vice versa).
+    sibling = path.with_suffix(".hpp" if path.suffix == ".cpp" else ".cpp")
+    sibling_text = (
+        sibling.read_text(encoding="utf-8", errors="replace")
+        if sibling.exists()
+        else ""
+    )
+    unordered = unordered_members(text, sibling_text)
+
+    findings = []
+    rel = path.relative_to(root)
+    for i, line in enumerate(lines):
+        stripped = line.split("//", 1)[0]
+        for rule, rx in LINE_RULES:
+            if rx.search(stripped) and not allowed(rule, lines, i):
+                findings.append(f"{rel}:{i + 1}: {rule}: {line.strip()}")
+        m = RANGE_FOR_RE.search(stripped)
+        if (
+            m
+            and m.group(1) in unordered
+            and not allowed("unordered-iter", lines, i)
+        ):
+            findings.append(
+                f"{rel}:{i + 1}: unordered-iter: {line.strip()}"
+            )
+    return findings
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in {".hpp", ".cpp"}:
+            continue
+        if path.parent.name == "sim" and path.stem == "rng":
+            continue  # the one sanctioned entropy source
+        findings.extend(lint_file(path, root))
+
+    if findings:
+        print(f"determinism lint: {len(findings)} finding(s)")
+        for f in findings:
+            print("  " + f)
+        print(
+            "\nRoute randomness through tmg::sim::Rng and time through the"
+            "\nsimulated clock. If an occurrence is genuinely order-safe,"
+            "\nannotate it: // determinism-lint: allow(<rule>) <reason>"
+        )
+        return 1
+    print("determinism lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

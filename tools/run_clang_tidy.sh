@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# clang-tidy driver: runs the repo .clang-tidy profile over every
+# first-party translation unit using the compile database of an existing
+# build tree.
+#
+# Usage: tools/run_clang_tidy.sh [BUILD_DIR]
+#
+# Exit codes: 0 clean, 1 findings, 77 clang-tidy unavailable (ctest
+# maps 77 to SKIPPED via SKIP_RETURN_CODE).
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+
+TIDY="${CLANG_TIDY:-}"
+if [ -z "$TIDY" ]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: clang-tidy not found; skipping (exit 77)" >&2
+  exit 77
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile_commands.json under $BUILD_DIR." >&2
+  echo "Configure first: cmake --preset default" >&2
+  exit 1
+fi
+
+cd "$ROOT"
+FILES=$(find src tests examples -name '*.cpp' | sort)
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  # The parallel wrapper, when available, is much faster.
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet $FILES
+  exit $?
+fi
+
+status=0
+for f in $FILES; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+exit $status
