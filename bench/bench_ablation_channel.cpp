@@ -8,14 +8,16 @@
 // evidence disappears — quantifying exactly what "out of scope" costs.
 #include <cstdio>
 
+#include "bench_harness.hpp"
 #include "bench_util.hpp"
 #include "scenario/experiments.hpp"
+#include "scenario/trial_runner.hpp"
 
 using namespace tmg;
 using namespace tmg::bench;
 using namespace tmg::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Ablation",
          "Relay channel latency vs. LLI detection (Fig. 9 testbed)");
 
@@ -31,23 +33,35 @@ int main() {
       {"line-rate FPGA relay", 0.5, 0.05},
       {"point-to-point laser (scoped out)", 0.05, 0.005},
   };
+  constexpr std::size_t kSweeps = 5;
 
-  Table table({"Channel", "One-way + codec (ms)", "Relay attempts",
-               "Flagged", "Link ever registered"});
-  for (const Sweep& sweep : sweeps) {
+  const HarnessOptions opts = parse_harness_args(argc, argv);
+  scenario::TrialRunner runner{{opts.jobs}};
+  WallTimer timer;
+  const auto series_by_sweep = runner.map(kSweeps, [&](std::size_t i) {
+    const Sweep& sweep = sweeps[i];
     scenario::LliExperimentConfig cfg;
     cfg.seed = 42;
-    cfg.attack_window = 120_s;
+    cfg.attack_window = opts.quick ? 30_s : 120_s;
     cfg.channel.latency = sim::Duration::from_millis_f(sweep.latency_ms);
     cfg.channel.codec_overhead =
         sim::Duration::from_millis_f(sweep.codec_ms);
     cfg.channel.jitter = sim::Duration::from_millis_f(sweep.latency_ms / 20);
-    const auto series = scenario::run_lli_experiment(cfg);
-    table.add_row({sweep.label,
-                   fmt("%.2f", sweep.latency_ms + sweep.codec_ms),
+    return scenario::run_lli_experiment(cfg);
+  });
+  const double wall_ms = timer.elapsed_ms();
+
+  std::uint64_t events = 0;
+  Table table({"Channel", "One-way + codec (ms)", "Relay attempts",
+               "Flagged", "Link ever registered"});
+  for (std::size_t i = 0; i < kSweeps; ++i) {
+    const auto& series = series_by_sweep[i];
+    table.add_row({sweeps[i].label,
+                   fmt("%.2f", sweeps[i].latency_ms + sweeps[i].codec_ms),
                    fmt_u(series.fake_attempts),
                    fmt_u(series.fake_detections),
                    yes_no(series.fake_link_ever_registered)});
+    events += series.events_executed;
   }
   table.print();
 
@@ -58,5 +72,12 @@ int main() {
       "jitter envelope, the LLI goes blind — which is precisely why the\n"
       "paper scopes hardware-grade relays out and argues for *active*\n"
       "defenses (Sec. VI footnote, Sec. X).\n");
-  return 0;
+
+  BenchResult result;
+  result.bench = "ablation_channel";
+  result.trials = kSweeps;
+  result.jobs = runner.jobs();
+  result.wall_ms = wall_ms;
+  result.events = events;
+  return report_bench(opts, result) ? 0 : 1;
 }

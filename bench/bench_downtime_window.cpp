@@ -6,14 +6,16 @@
 // attack's own end-to-end latency?
 #include <cstdio>
 
+#include "bench_harness.hpp"
 #include "bench_util.hpp"
 #include "scenario/experiments.hpp"
+#include "scenario/trial_runner.hpp"
 
 using namespace tmg;
 using namespace tmg::bench;
 using namespace tmg::sim::literals;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Sec. IV-B2", "Downtime window vs. hijack viability");
 
   struct Row {
@@ -28,21 +30,35 @@ int main() {
       {"VM restart", 10_s, false},
       {"server patching", 60_s, false},
   };
+  constexpr std::size_t kRows = 5;
 
+  const HarnessOptions opts = parse_harness_args(argc, argv);
+  const std::size_t n = opts.trial_count(10, 3);  // seeds per scenario row
+
+  scenario::TrialRunner runner{{opts.jobs}};
+  WallTimer timer;
+  const auto outcomes =
+      runner.map(kRows * n, [&](std::size_t i) -> scenario::HijackOutcome {
+        const Row& row = rows[i / n];
+        scenario::HijackConfig cfg;
+        cfg.suite = scenario::DefenseSuite::TopoGuardAndSphinx;
+        cfg.seed = 300 + (i % n);
+        cfg.victim_downtime = row.downtime;
+        cfg.nmap_overhead = row.nmap;
+        cfg.confirm_failures = row.nmap ? 2 : 1;
+        return scenario::run_hijack(cfg);
+      });
+  const double wall_ms = timer.elapsed_ms();
+
+  std::uint64_t events = 0;
   Table table({"Scenario", "Window", "Hijacks won", "Mean claim (ms)",
                "Usable impersonation (% of window)"});
-  for (const Row& row : rows) {
-    int won = 0;
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const Row& row = rows[r];
+    std::size_t won = 0, claimed = 0;
     double claim_sum = 0.0, usable_sum = 0.0;
-    int n = 10, claimed = 0;
-    for (int s = 0; s < n; ++s) {
-      scenario::HijackConfig cfg;
-      cfg.suite = scenario::DefenseSuite::TopoGuardAndSphinx;
-      cfg.seed = 300 + s;
-      cfg.victim_downtime = row.downtime;
-      cfg.nmap_overhead = row.nmap;
-      cfg.confirm_failures = row.nmap ? 2 : 1;
-      const auto out = scenario::run_hijack(cfg);
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto& out = outcomes[r * n + s];
       if (out.hijack_succeeded) ++won;
       if (out.down_to_confirmed_ms) {
         ++claimed;
@@ -51,6 +67,7 @@ int main() {
         usable_sum +=
             100.0 * (window_ms - *out.down_to_confirmed_ms) / window_ms;
       }
+      events += out.events_executed;
     }
     table.add_row({row.scenario,
                    to_string(row.downtime),
@@ -66,5 +83,12 @@ int main() {
       "migration window; nmap-engine probing (~0.5 s) still fits typical\n"
       "windows; for maintenance-scale windows the attack is effectively\n"
       "instantaneous.\n");
-  return 0;
+
+  BenchResult result;
+  result.bench = "downtime_window";
+  result.trials = kRows * n;
+  result.jobs = runner.jobs();
+  result.wall_ms = wall_ms;
+  result.events = events;
+  return report_bench(opts, result) ? 0 : 1;
 }

@@ -8,15 +8,15 @@
 using namespace tmg;
 using namespace tmg::bench;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Fig. 5", "Victim Down -> Attacker Interface Up");
-  const auto series = collect_hijack_metric(
-      100, /*nmap_regime=*/true, [](const scenario::HijackOutcome& out) {
+  const int rc = run_hijack_figure(
+      argc, argv, "fig5_iface_up", 100, /*nmap_regime=*/true, "ms", 0.0,
+      1000.0, [](const scenario::HijackOutcome& out) {
         return out.down_to_iface_up_ms;
       });
-  print_series(series, "ms", 0.0, 1000.0);
   std::printf(
       "\nPaper reference: 478 ms mean; the bulk of the delay is spent in\n"
       "scan-engine overhead and waiting out probe timeouts (Sec. V-B).\n");
-  return 0;
+  return rc;
 }

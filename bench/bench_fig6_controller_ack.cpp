@@ -9,16 +9,16 @@
 using namespace tmg;
 using namespace tmg::bench;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Fig. 6", "Victim Down -> Controller acknowledges attacker");
-  const auto series = collect_hijack_metric(
-      100, /*nmap_regime=*/true, [](const scenario::HijackOutcome& out) {
+  const int rc = run_hijack_figure(
+      argc, argv, "fig6_controller_ack", 100, /*nmap_regime=*/true, "ms", 0.0,
+      1000.0, [](const scenario::HijackOutcome& out) {
         return out.down_to_confirmed_ms;
       });
-  print_series(series, "ms", 0.0, 1000.0);
   std::printf(
       "\nPaper reference: 549 ms mean from victim-down to controller\n"
       "recognition; live-migration downtime windows are seconds, so the\n"
       "majority of the window remains for attacker actions (Sec. V-B).\n");
-  return 0;
+  return rc;
 }

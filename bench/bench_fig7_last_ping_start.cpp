@@ -11,15 +11,15 @@
 using namespace tmg;
 using namespace tmg::bench;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Fig. 7", "Victim Down -> start of attacker's final probe");
-  const auto series = collect_hijack_metric(
-      200, /*nmap_regime=*/false, [](const scenario::HijackOutcome& out) {
+  const int rc = run_hijack_figure(
+      argc, argv, "fig7_last_ping_start", 200, /*nmap_regime=*/false, "ms",
+      -50.0, 50.0, [](const scenario::HijackOutcome& out) {
         return out.down_to_final_probe_start_ms;
       });
-  print_series(series, "ms", -50.0, 50.0);
   std::printf(
       "\nPaper reference: within ~0.5 ms of the victim going offline on\n"
       "average (raw 50 ms-cadence ARP probes, Sec. V-B1).\n");
-  return 0;
+  return rc;
 }

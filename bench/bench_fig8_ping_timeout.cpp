@@ -9,17 +9,17 @@
 using namespace tmg;
 using namespace tmg::bench;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Fig. 8", "Victim Down -> attack probe timeout");
-  const auto series = collect_hijack_metric(
-      200, /*nmap_regime=*/false, [](const scenario::HijackOutcome& out) {
+  const int rc = run_hijack_figure(
+      argc, argv, "fig8_ping_timeout", 200, /*nmap_regime=*/false, "ms", 0.0,
+      100.0, [](const scenario::HijackOutcome& out) {
         return out.down_to_declared_down_ms;
       });
-  print_series(series, "ms", 0.0, 100.0);
   std::printf(
       "\nPaper reference: the attacker realizes the victim is offline a\n"
       "handful of milliseconds to a few tens of milliseconds after the\n"
       "event; in ideal conditions the bound is the probe timeout derived\n"
       "from the RTT quantile (35 ms at a 1%% false-positive rate).\n");
-  return 0;
+  return rc;
 }

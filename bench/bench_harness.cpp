@@ -1,0 +1,82 @@
+#include "bench_harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "scenario/trial_runner.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace tmg::bench {
+
+HarnessOptions parse_harness_args(int argc, char** argv) {
+  HarnessOptions opts;
+  opts.jobs = scenario::parse_jobs_arg(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      opts.trials =
+          static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    } else if (std::strncmp(argv[i], "--trials=", 9) == 0) {
+      opts.trials =
+          static_cast<std::size_t>(std::strtoul(argv[i] + 9, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      opts.json_path = argv[i] + 7;
+    }
+  }
+  return opts;
+}
+
+WallTimer::WallTimer()
+    : start_ns_{std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count()} {}
+
+double WallTimer::elapsed_ms() const {
+  const std::int64_t now_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(now_ns - start_ns_) / 1e6;
+}
+
+bool report_bench(const HarnessOptions& opts, BenchResult result) {
+  if (result.jobs == 0) result.jobs = sim::ThreadPool::hardware_jobs();
+  if (result.wall_ms > 0.0) {
+    result.events_per_sec =
+        static_cast<double>(result.events) / (result.wall_ms / 1e3);
+  }
+  std::printf(
+      "\n[bench] %s: trials=%zu jobs=%zu wall=%.1f ms events=%llu "
+      "(%.3g events/s)\n",
+      result.bench.c_str(), result.trials, result.jobs, result.wall_ms,
+      static_cast<unsigned long long>(result.events), result.events_per_sec);
+  if (opts.json_path.empty()) return true;
+
+  std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", opts.json_path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"trials\": %zu,\n"
+               "  \"jobs\": %zu,\n"
+               "  \"wall_ms\": %.3f,\n"
+               "  \"events\": %llu,\n"
+               "  \"events_per_sec\": %.3f\n"
+               "}\n",
+               result.bench.c_str(), result.trials, result.jobs,
+               result.wall_ms,
+               static_cast<unsigned long long>(result.events),
+               result.events_per_sec);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace tmg::bench

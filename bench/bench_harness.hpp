@@ -1,0 +1,65 @@
+// Benchmark harness: shared CLI flags, wall-clock timing, and the
+// BENCH.json emitter used by tools/run_bench.py.
+//
+// Every trial-looping bench accepts:
+//   --trials N   trial count (0 = bench default)
+//   --jobs N     worker threads (default: hardware concurrency;
+//                --jobs 1 = legacy serial path)
+//   --quick      shrink the workload for smoke runs
+//   --json PATH  write a one-object JSON result file
+//
+// Wall-clock time is host time (std::chrono), which is fine here: it
+// never feeds simulation results, only the perf report. src/ stays under
+// the determinism lint; bench/ is outside its scope by design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tmg::bench {
+
+struct HarnessOptions {
+  std::size_t trials = 0;  // 0 = use the bench's default
+  std::size_t jobs = 0;    // 0 = hardware concurrency
+  bool quick = false;
+  std::string json_path;
+
+  /// Trial count to actually run: --trials if given, else the quick or
+  /// full default.
+  [[nodiscard]] std::size_t trial_count(std::size_t full_default,
+                                        std::size_t quick_default) const {
+    if (trials != 0) return trials;
+    return quick ? quick_default : full_default;
+  }
+};
+
+/// Parse the shared flags (unknown arguments are ignored so benches can
+/// layer their own).
+HarnessOptions parse_harness_args(int argc, char** argv);
+
+/// Monotonic stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer();
+  [[nodiscard]] double elapsed_ms() const;
+
+ private:
+  std::int64_t start_ns_;
+};
+
+struct BenchResult {
+  std::string bench;           // short workload id, e.g. "attack_matrix"
+  std::size_t trials = 0;      // trials executed
+  std::size_t jobs = 0;        // worker threads used
+  double wall_ms = 0.0;        // end-to-end wall-clock for the workload
+  std::uint64_t events = 0;    // simulator events executed, all trials
+  double events_per_sec = 0.0; // derived: events / wall seconds
+};
+
+/// Print a one-line summary and, when --json was given, write the result
+/// as a single JSON object ({bench, trials, jobs, wall_ms,
+/// events_per_sec, events}). Returns false if the file could not be
+/// written.
+bool report_bench(const HarnessOptions& opts, BenchResult result);
+
+}  // namespace tmg::bench

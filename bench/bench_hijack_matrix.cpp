@@ -5,14 +5,16 @@
 // one that stops it.
 #include <cstdio>
 
+#include "bench_harness.hpp"
 #include "bench_util.hpp"
 #include "scenario/experiments.hpp"
+#include "scenario/trial_runner.hpp"
 
 using namespace tmg;
 using namespace tmg::bench;
 using scenario::DefenseSuite;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Sec. IV-B / VI-A", "Hijack outcome per defense suite");
 
   const DefenseSuite suites[] = {
@@ -23,21 +25,34 @@ int main() {
       DefenseSuite::TopoGuardPlus,
       DefenseSuite::SecureBinding,
   };
+  constexpr std::size_t kSuites = 6;
 
+  const HarnessOptions opts = parse_harness_args(argc, argv);
+  // Aggregate over several seeds per suite for robustness.
+  const std::size_t runs = opts.trial_count(5, 2);
+
+  // One flat trial space (suite x seed) fanned across worker threads.
+  scenario::TrialRunner runner{{opts.jobs}};
+  WallTimer timer;
+  const auto outcomes = runner.map(
+      kSuites * runs, [&](std::size_t i) -> scenario::HijackOutcome {
+        scenario::HijackConfig cfg;
+        cfg.suite = suites[i / runs];
+        cfg.seed = 100 + (i % runs);
+        return scenario::run_hijack(cfg);
+      });
+  const double wall_ms = timer.elapsed_ms();
+
+  std::uint64_t events = 0;
   Table table({"Defense", "Hijack won", "Traffic redirected",
                "Alerts pre-rejoin", "Alerts post-rejoin",
                "Down->re-bind (ms)"});
-  for (const DefenseSuite suite : suites) {
-    // Aggregate over several seeds for robustness.
-    int won = 0, redirected = 0, runs = 5;
-    std::size_t pre = 0, post = 0;
+  for (std::size_t su = 0; su < kSuites; ++su) {
+    std::size_t won = 0, redirected = 0, pre = 0, post = 0;
     double rebind_sum = 0.0;
     int rebind_n = 0;
-    for (int s = 0; s < runs; ++s) {
-      scenario::HijackConfig cfg;
-      cfg.suite = suite;
-      cfg.seed = 100 + s;
-      const auto out = scenario::run_hijack(cfg);
+    for (std::size_t s = 0; s < runs; ++s) {
+      const auto& out = outcomes[su * runs + s];
       won += out.hijack_succeeded ? 1 : 0;
       redirected += out.traffic_redirected ? 1 : 0;
       pre += out.alerts_before_rejoin;
@@ -46,8 +61,9 @@ int main() {
         rebind_sum += *out.down_to_confirmed_ms;
         ++rebind_n;
       }
+      events += out.events_executed;
     }
-    table.add_row({scenario::to_string(suite),
+    table.add_row({scenario::to_string(suites[su]),
                    fmt_u(won) + "/" + fmt_u(runs),
                    fmt_u(redirected) + "/" + fmt_u(runs), fmt_u(pre),
                    fmt_u(post),
@@ -61,5 +77,12 @@ int main() {
       "not address identifier races, paper Sec. IV-B); with secure\n"
       "identifier binding (Sec. VI-A) every attempt is vetoed and the\n"
       "violation is attributed to the attacker's port.\n");
-  return 0;
+
+  BenchResult result;
+  result.bench = "hijack_matrix";
+  result.trials = kSuites * runs;
+  result.jobs = runner.jobs();
+  result.wall_ms = wall_ms;
+  result.events = events;
+  return report_bench(opts, result) ? 0 : 1;
 }

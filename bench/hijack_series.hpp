@@ -1,13 +1,17 @@
 // Shared driver for the hijack timing figures (Figs. 5-8): run many
-// seeded hijacks and collect one timeline metric from each.
+// seeded hijacks — fanned across worker threads by the TrialRunner,
+// results merged in trial-index order — and collect one timeline metric
+// from each.
 #pragma once
 
 #include <functional>
 #include <optional>
 #include <vector>
 
+#include "bench_harness.hpp"
 #include "bench_util.hpp"
 #include "scenario/experiments.hpp"
+#include "scenario/trial_runner.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
 
@@ -17,26 +21,36 @@ struct HijackSeries {
   std::vector<double> values;
   std::size_t runs = 0;
   std::size_t succeeded = 0;
+  std::uint64_t events = 0;  // simulator events across all trials
 };
 
 /// @param nmap_regime  true: nmap engine overhead + 2-scan confirmation
 ///        (the paper's Figs. 5-6 measurement regime); false: raw probe
 ///        exchanges with a single 35 ms timeout (Figs. 7-8 regime).
+/// @param jobs  worker threads (0 = hardware concurrency, 1 = serial).
 inline HijackSeries collect_hijack_metric(
     std::size_t n, bool nmap_regime,
     const std::function<std::optional<double>(
-        const scenario::HijackOutcome&)>& metric) {
+        const scenario::HijackOutcome&)>& metric,
+    std::size_t jobs = 0) {
   HijackSeries series;
   series.runs = n;
-  for (std::size_t i = 0; i < n; ++i) {
-    scenario::HijackConfig cfg;
-    cfg.suite = scenario::DefenseSuite::TopoGuard;
-    cfg.seed = 1000 + i;
-    cfg.nmap_overhead = nmap_regime;
-    cfg.confirm_failures = nmap_regime ? 2 : 1;
-    const auto out = scenario::run_hijack(cfg);
+  scenario::TrialRunner runner{{jobs}};
+  const auto outcomes =
+      runner.map(n, [&](std::size_t i) -> scenario::HijackOutcome {
+        scenario::HijackConfig cfg;
+        cfg.suite = scenario::DefenseSuite::TopoGuard;
+        cfg.seed = 1000 + i;
+        cfg.nmap_overhead = nmap_regime;
+        cfg.confirm_failures = nmap_regime ? 2 : 1;
+        return scenario::run_hijack(cfg);
+      });
+  // Aggregate on this thread, in trial-index order: identical output for
+  // every --jobs value.
+  for (const auto& out : outcomes) {
     if (out.hijack_succeeded) ++series.succeeded;
     if (const auto v = metric(out)) series.values.push_back(*v);
+    series.events += out.events_executed;
   }
   return series;
 }
@@ -58,6 +72,28 @@ inline void print_series(const HijackSeries& series, const char* unit,
   std::printf("%s", hist.render(48, unit).c_str());
   section("CSV (bin_lo,bin_hi,count)");
   std::printf("%s", hist.to_csv().c_str());
+}
+
+/// Full driver for one hijack-timing figure: parse flags, run the
+/// series (`full_default` trials; 25 under --quick), print, report JSON.
+inline int run_hijack_figure(int argc, char** argv, const char* bench_id,
+                             std::size_t full_default, bool nmap_regime,
+                             const char* unit, double hist_lo, double hist_hi,
+                             const std::function<std::optional<double>(
+                                 const scenario::HijackOutcome&)>& metric) {
+  const HarnessOptions opts = parse_harness_args(argc, argv);
+  const std::size_t n = opts.trial_count(full_default, 25);
+  WallTimer timer;
+  const auto series = collect_hijack_metric(n, nmap_regime, metric, opts.jobs);
+  const double wall_ms = timer.elapsed_ms();
+  print_series(series, unit, hist_lo, hist_hi);
+  BenchResult result;
+  result.bench = bench_id;
+  result.trials = n;
+  result.jobs = scenario::TrialRunner{{opts.jobs}}.jobs();
+  result.wall_ms = wall_ms;
+  result.events = series.events;
+  return report_bench(opts, result) ? 0 : 1;
 }
 
 }  // namespace tmg::bench

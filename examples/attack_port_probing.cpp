@@ -9,6 +9,7 @@
 
 #include "example_util.hpp"
 #include "scenario/experiments.hpp"
+#include "scenario/trial_runner.hpp"
 
 using namespace tmg;
 using namespace tmg::scenario;
@@ -55,19 +56,22 @@ int main(int argc, char** argv) {
       "from switch 0x1 port 2 to switch 0x2 port 4 with a ~3 s downtime\n"
       "window (VM live migration scale). The attacker sits on 0x2:5.\n\n");
 
-  HijackConfig cfg;
-  cfg.seed = 7;
+  // The three defense suites are independent trials; --jobs N runs
+  // them concurrently with byte-identical output (DESIGN.md §7).
+  const DefenseSuite suites[] = {DefenseSuite::TopoGuard,
+                                 DefenseSuite::Sphinx,
+                                 DefenseSuite::TopoGuardAndSphinx};
+  TrialRunner runner{{parse_jobs_arg(argc, argv)}};
+  const auto outcomes = runner.map(3, [&](std::size_t i) {
+    HijackConfig cfg;
+    cfg.seed = 7;
+    cfg.suite = suites[i];
+    return run_hijack(cfg);
+  });
 
-  cfg.suite = DefenseSuite::TopoGuard;
-  report("vs TopoGuard (migration pre/post-conditions):", run_hijack(cfg));
-
-  cfg.suite = DefenseSuite::Sphinx;
-  report("vs SPHINX (identifier-binding anomaly detection):",
-         run_hijack(cfg));
-
-  cfg.suite = DefenseSuite::TopoGuardAndSphinx;
-  report("vs both defenses together (the paper's headline):",
-         run_hijack(cfg));
+  report("vs TopoGuard (migration pre/post-conditions):", outcomes[0]);
+  report("vs SPHINX (identifier-binding anomaly detection):", outcomes[1]);
+  report("vs both defenses together (the paper's headline):", outcomes[2]);
 
   std::printf(
       "Observations (paper Sec. IV-B/V-B): the race is won because the\n"

@@ -7,6 +7,7 @@
 
 #include "example_util.hpp"
 #include "scenario/experiments.hpp"
+#include "scenario/trial_runner.hpp"
 
 using namespace tmg;
 using namespace tmg::sim::literals;
@@ -14,29 +15,39 @@ using attack::ProbeType;
 
 int main(int argc, char** argv) {
   const bool check = examples::check_flag(argc, argv);
+  // --jobs N fans the independent measurements below across N worker
+  // threads; output is identical for every N (see DESIGN.md §7).
+  scenario::TrialRunner runner{{scenario::parse_jobs_arg(argc, argv)}};
   std::printf("== Scan stealth lab ==\n\n");
   std::printf(
       "The port-probing attacker must poll the victim frequently enough\n"
       "to catch the migration window, without tripping the IDS. Paper\n"
       "Table I ranks the options; this reproduces the measurements.\n\n");
 
+  const ProbeType timing_types[] = {ProbeType::IcmpPing, ProbeType::TcpSyn,
+                                    ProbeType::ArpPing,
+                                    ProbeType::TcpIdleScan};
+  const auto rows = runner.map(4, [&](std::size_t i) {
+    return scenario::measure_probe_timing(timing_types[i], 200, 1);
+  });
   std::printf("%-14s %-10s %-28s\n", "Probe", "Stealth", "Per-scan timing");
-  for (ProbeType t : {ProbeType::IcmpPing, ProbeType::TcpSyn,
-                      ProbeType::ArpPing, ProbeType::TcpIdleScan}) {
-    const auto row = scenario::measure_probe_timing(t, 200, 1);
-    std::printf("%-14s %-10s %s\n", attack::to_string(t),
+  for (const auto& row : rows) {
+    std::printf("%-14s %-10s %s\n", attack::to_string(row.type),
                 attack::to_string(row.stealth),
                 stats::format_mean_pm(row.tool_overhead_ms, "ms").c_str());
   }
 
   std::printf("\nIDS verdicts at the attack rate (20 probes/s, 30 s):\n");
+  const ProbeType scan_types[] = {ProbeType::IcmpPing, ProbeType::TcpSyn,
+                                  ProbeType::ArpPing};
+  const auto verdicts = runner.map(3, [&](std::size_t i) {
+    return scenario::run_scan_detection(scan_types[i], 20.0, 30_s, 1);
+  });
   unsigned long long sweeps = 0;
   unsigned long long violations = 0;
-  for (ProbeType t : {ProbeType::IcmpPing, ProbeType::TcpSyn,
-                      ProbeType::ArpPing}) {
-    const auto r = scenario::run_scan_detection(t, 20.0, 30_s, 1);
+  for (const auto& r : verdicts) {
     std::printf("  %-14s %4llu probes -> %zu alerts (%s)\n",
-                attack::to_string(t),
+                attack::to_string(r.type),
                 static_cast<unsigned long long>(r.probes_sent), r.ids_alerts,
                 r.detected() ? "DETECTED" : "undetected");
     sweeps += r.invariant_sweeps;

@@ -121,15 +121,13 @@ void Controller::trace_event(trace::EventKind kind, std::string detail,
 void Controller::request_flow_stats(of::Dpid dpid) {
   const auto it = switches_.find(dpid);
   if (it == switches_.end()) return;
-  static std::uint32_t next_xid = 1;
-  it->second.channel->to_switch(of::FlowStatsRequest{next_xid++});
+  it->second.channel->to_switch(of::FlowStatsRequest{next_flow_stats_xid_++});
 }
 
 void Controller::request_port_stats(of::Dpid dpid) {
   const auto it = switches_.find(dpid);
   if (it == switches_.end()) return;
-  static std::uint32_t next_xid = 1;
-  it->second.channel->to_switch(of::PortStatsRequest{next_xid++});
+  it->second.channel->to_switch(of::PortStatsRequest{next_port_stats_xid_++});
 }
 
 void Controller::probe_reachability(of::Location loc, net::MacAddress dst_mac,

@@ -162,6 +162,10 @@ class Controller {
   crypto::XteaKey ts_key_;
   std::uint64_t next_echo_token_ = 1;
   std::uint16_t next_probe_ident_ = 1;
+  // Stats-request xids are per-controller (a function-local static here
+  // would leak state across trials and break parallel-trial determinism).
+  std::uint32_t next_flow_stats_xid_ = 1;
+  std::uint32_t next_port_stats_xid_ = 1;
   std::map<std::uint16_t, PendingProbe> pending_probes_;
   trace::Tracer* tracer_ = nullptr;
   bool started_ = false;

@@ -4,10 +4,13 @@
 
 namespace tmg::net {
 
-std::uint64_t next_trace_id() {
-  static std::uint64_t counter = 0;
-  return ++counter;
-}
+namespace {
+thread_local std::uint64_t g_next_trace_id = 1;
+}  // namespace
+
+std::uint64_t next_trace_id() { return g_next_trace_id++; }
+
+void reset_trace_ids(std::uint64_t next) { g_next_trace_id = next; }
 
 std::string TcpFlags::to_string() const {
   std::string s;

@@ -121,8 +121,15 @@ struct Packet {
   [[nodiscard]] std::string describe() const;
 };
 
-/// Monotone trace-id source (single-threaded simulation).
+/// Monotone trace-id source. Thread-local: each worker thread (and so
+/// each trial, which runs entirely on one thread) gets its own stream.
 std::uint64_t next_trace_id();
+
+/// Reset this thread's trace-id counter so the next packet gets id
+/// `next`. The TrialRunner calls this before every trial, making a
+/// trial's trace ids independent of whatever ran earlier on the thread
+/// (the `--jobs N` == `--jobs 1` byte-identity contract).
+void reset_trace_ids(std::uint64_t next = 1);
 
 // ---- Constructors for the common packet shapes ----
 

@@ -16,9 +16,13 @@ void DataLink::attach(Side side, Peer peer) {
 }
 
 void DataLink::send(Side from, net::Packet pkt) {
+  send(from, std::make_shared<const net::Packet>(std::move(pkt)));
+}
+
+void DataLink::send(Side from, std::shared_ptr<const net::Packet> pkt) {
   const Side to = other(from);
   if (!carrier_[idx(from)] || !carrier_[idx(to)]) return;  // no carrier: lost
-  if (drop_ && drop_(pkt)) return;  // injected in-transit loss
+  if (drop_ && drop_(*pkt)) return;  // injected in-transit loss
   // A wire is FIFO: jitter must not reorder packets in one direction.
   sim::SimTime at = loop_.now() + latency_->sample(rng_);
   if (at < last_delivery_[idx(to)]) at = last_delivery_[idx(to)];
@@ -27,8 +31,8 @@ void DataLink::send(Side from, net::Packet pkt) {
     auto& peer = peers_[idx(to)];
     if (!peer.on_packet) return;
     ++delivered_[idx(to)];
-    if (tap_) tap_(pkt, to);
-    peer.on_packet(pkt);
+    if (tap_) tap_(*pkt, to);
+    peer.on_packet(*pkt);
   });
 }
 

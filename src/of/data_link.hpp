@@ -42,6 +42,12 @@ class DataLink {
   /// either side's carrier is down at transmission time.
   void send(Side from, net::Packet pkt);
 
+  /// Zero-copy variant: the payload is shared, not copied into the
+  /// in-flight event (the switch flood path transmits one packet out
+  /// many ports). The callback captures only the shared_ptr, so it fits
+  /// the event loop's inline storage.
+  void send(Side from, std::shared_ptr<const net::Packet> pkt);
+
   /// Raise/lower this side's carrier. The opposite peer is informed
   /// immediately (signal propagation is negligible at these scales).
   void set_carrier(Side side, bool up);

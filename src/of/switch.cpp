@@ -156,22 +156,31 @@ void Switch::apply_action(const net::Packet& pkt, PortNo in_port,
 }
 
 void Switch::forward(const net::Packet& pkt, PortNo out_port) {
+  forward_shared(std::make_shared<const net::Packet>(pkt), out_port);
+}
+
+void Switch::forward_shared(std::shared_ptr<const net::Packet> pkt,
+                            PortNo out_port) {
   auto it = ports_.find(out_port);
   if (it == ports_.end()) return;
   Port& p = it->second;
   if (!p.oper_up) return;
   ++p.stats.tx_packets;
-  p.stats.tx_bytes += pkt.wire_size();
+  p.stats.tx_bytes += pkt->wire_size();
   DataLink* link = p.link;
   const Side side = p.side;
   loop_.schedule_after(config_.forward_delay,
-                       [link, side, pkt] { link->send(side, pkt); });
+                       [link, side, pkt = std::move(pkt)]() mutable {
+                         link->send(side, std::move(pkt));
+                       });
 }
 
 void Switch::flood(const net::Packet& pkt, PortNo except_port) {
+  // One shared copy feeds every egress port.
+  const auto shared = std::make_shared<const net::Packet>(pkt);
   for (auto& [no, p] : ports_) {
     if (no == except_port || !p.oper_up) continue;
-    forward(pkt, no);
+    forward_shared(shared, no);
   }
 }
 

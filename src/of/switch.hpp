@@ -77,6 +77,11 @@ class Switch {
   void on_rx(PortNo port, const net::Packet& pkt);
   void on_peer_carrier(PortNo port, bool up);
   void forward(const net::Packet& pkt, PortNo out_port);
+  /// Copy-free forwarding core: the packet is shared between the
+  /// forward-delay event, the wire event, and (on floods) every egress
+  /// port — one Packet copy total per switch traversal.
+  void forward_shared(std::shared_ptr<const net::Packet> pkt,
+                      PortNo out_port);
   void flood(const net::Packet& pkt, PortNo except_port);
   void apply_action(const net::Packet& pkt, PortNo in_port,
                     const FlowAction& action);

@@ -202,6 +202,7 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
     out.invariant_sweeps = checker->checks_run();
     out.invariant_violations = checker->violation_count();
   }
+  out.events_executed = loop.events_executed();
   return out;
 }
 
@@ -348,6 +349,7 @@ HijackOutcome run_hijack(const HijackConfig& config) {
     out.invariant_sweeps = checker->checks_run();
     out.invariant_violations = checker->violation_count();
   }
+  out.events_executed = loop.events_executed();
   return out;
 }
 
@@ -400,6 +402,7 @@ LliSeries run_lli_experiment(const LliExperimentConfig& config) {
   for (const auto& [link, samples] : per_link_samples) {
     series.per_link.emplace_back(link, stats::summarize(samples));
   }
+  series.events_executed = f.tb->loop().events_executed();
   return series;
 }
 
@@ -510,6 +513,7 @@ ProbeTimingRow measure_probe_timing(attack::ProbeType type, std::size_t n,
     overhead.push_back(attack::sample_tool_overhead(type, rng).to_millis_f());
   }
   row.tool_overhead_ms = stats::summarize(overhead);
+  row.events_executed = lab.tb.loop().events_executed();
   return row;
 }
 
@@ -561,6 +565,7 @@ ScanDetectionResult run_scan_detection(attack::ProbeType type,
     result.invariant_sweeps = checker->checks_run();
     result.invariant_violations = checker->violation_count();
   }
+  result.events_executed = lab.tb.loop().events_executed();
   return result;
 }
 

@@ -82,6 +82,8 @@ struct LinkAttackOutcome {
   /// over the whole experiment. Violations indicate a simulator bug.
   std::uint64_t invariant_sweeps = 0;
   std::uint64_t invariant_violations = 0;
+  /// Simulator events executed by this trial's loop (bench throughput).
+  std::uint64_t events_executed = 0;
   [[nodiscard]] bool detected() const {
     return alerts_total > alerts_before_attack;
   }
@@ -134,6 +136,8 @@ struct HijackOutcome {
   /// Runtime invariant checker counters (see LinkAttackOutcome).
   std::uint64_t invariant_sweeps = 0;
   std::uint64_t invariant_violations = 0;
+  /// Simulator events executed by this trial's loop (bench throughput).
+  std::uint64_t events_executed = 0;
 };
 
 HijackOutcome run_hijack(const HijackConfig& config);
@@ -157,6 +161,8 @@ struct LliSeries {
   bool fake_link_ever_registered = false;
   /// Fig. 10: per-real-link latency summaries.
   std::vector<std::pair<std::string, stats::Summary>> per_link;
+  /// Simulator events executed by this trial's loop (bench throughput).
+  std::uint64_t events_executed = 0;
 };
 
 struct LliExperimentConfig {
@@ -183,6 +189,8 @@ struct ProbeTimingRow {
   stats::Summary tool_overhead_ms;  // Table I "Timing" column model
   stats::Summary end_to_end_ms;     // full in-sim exchange incl. RTT
   std::size_t alive_detected = 0;   // sanity: probes that saw the target
+  /// Simulator events executed by this trial's loop (bench throughput).
+  std::uint64_t events_executed = 0;
 };
 
 ProbeTimingRow measure_probe_timing(attack::ProbeType type, std::size_t n,
@@ -196,6 +204,8 @@ struct ScanDetectionResult {
   /// Runtime invariant checker counters (see LinkAttackOutcome).
   std::uint64_t invariant_sweeps = 0;
   std::uint64_t invariant_violations = 0;
+  /// Simulator events executed by this trial's loop (bench throughput).
+  std::uint64_t events_executed = 0;
   [[nodiscard]] bool detected() const { return ids_alerts > 0; }
 };
 

@@ -1,0 +1,87 @@
+#include "scenario/trial_runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "net/packet.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace tmg::scenario {
+
+TrialRunner::TrialRunner(TrialRunnerOptions options)
+    : jobs_{options.jobs == 0 ? sim::ThreadPool::hardware_jobs()
+                              : options.jobs} {}
+
+std::uint64_t TrialRunner::trial_seed(std::uint64_t base_seed,
+                                      std::size_t trial_index) {
+  // SplitMix64 finalizer over base ^ index: consecutive indices map to
+  // decorrelated seeds, and the result depends only on (base, index).
+  std::uint64_t z = base_seed ^ static_cast<std::uint64_t>(trial_index);
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+/// Per-trial isolation: whatever ran on this worker thread before must
+/// not show through in the trial's packet trace ids.
+void run_one_trial(const std::function<void(std::size_t)>& fn,
+                   std::size_t index) {
+  net::reset_trace_ids();
+  fn(index);
+}
+
+}  // namespace
+
+void TrialRunner::run_indexed(
+    std::size_t trials, const std::function<void(std::size_t)>& fn) const {
+  if (trials == 0) return;
+
+  const std::size_t workers = jobs_ < trials ? jobs_ : trials;
+  if (workers <= 1) {
+    // Legacy serial path: same per-trial isolation, no threads at all.
+    for (std::size_t i = 0; i < trials; ++i) run_one_trial(fn, i);
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(trials);
+  std::atomic<bool> failed{false};
+  {
+    sim::ThreadPool pool{workers};
+    for (std::size_t i = 0; i < trials; ++i) {
+      pool.submit([&, i] {
+        if (failed.load(std::memory_order_relaxed)) return;  // fail fast
+        try {
+          run_one_trial(fn, i);
+        } catch (...) {
+          errors[i] = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (failed.load(std::memory_order_relaxed)) {
+    for (std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+}
+
+std::size_t parse_jobs_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      return static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+    }
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      return static_cast<std::size_t>(std::strtoul(argv[i] + 7, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+}  // namespace tmg::scenario

@@ -1,0 +1,77 @@
+// Parallel trial execution for the paper-reproduction benches.
+//
+// Every figure/table is an aggregate over hundreds of independent seeded
+// trials. Each trial builds its own EventLoop/Testbed/Rng, so trials are
+// embarrassingly parallel — provided no state crosses trial boundaries.
+// The determinism contract (DESIGN.md §7):
+//
+//   1. No cross-trial state. A trial may only touch objects it created.
+//      Process-wide counters that feed trial output (the per-thread
+//      trace-id counter) are reset by the runner before every trial.
+//   2. Seed derivation. Trial i's seed comes from
+//      TrialRunner::trial_seed(base_seed, i) — a pure function of the
+//      base seed and the trial index, never of scheduling order.
+//   3. Ordered merge. Results land in a vector indexed by trial number;
+//      aggregation happens on the caller's thread, in index order.
+//
+// Under that contract, `--jobs N` produces byte-identical per-trial
+// results for every N (the determinism test in
+// tests/trial_runner_test.cpp asserts exactly this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace tmg::scenario {
+
+struct TrialRunnerOptions {
+  /// Worker count. 0 = one per hardware thread; 1 = the legacy serial
+  /// path (no threads are created at all).
+  std::size_t jobs = 0;
+};
+
+class TrialRunner {
+ public:
+  explicit TrialRunner(TrialRunnerOptions options = {});
+
+  /// Effective worker count (never 0).
+  [[nodiscard]] std::size_t jobs() const { return jobs_; }
+
+  /// Deterministic per-trial seed: a SplitMix64 scramble of
+  /// `base_seed ^ trial_index`, so neighboring trials get decorrelated
+  /// streams while the mapping stays a pure function of (base, index).
+  static std::uint64_t trial_seed(std::uint64_t base_seed,
+                                  std::size_t trial_index);
+
+  /// Run `trials` independent trials of `fn` and return the results in
+  /// trial-index order. `fn` must be callable concurrently from multiple
+  /// threads and must not share mutable state across invocations.
+  template <typename Fn>
+  auto map(std::size_t trials, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    using Result = decltype(fn(std::size_t{0}));
+    std::vector<Result> results(trials);
+    run_indexed(trials, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+  /// Type-erased core: invoke `fn(i)` once for each i in [0, trials),
+  /// possibly concurrently, blocking until all trials finish. Each
+  /// invocation runs with a freshly reset trace-id counter. If any trial
+  /// throws, the exception from the lowest-numbered failing trial is
+  /// rethrown after the batch completes.
+  void run_indexed(std::size_t trials,
+                   const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  std::size_t jobs_;
+};
+
+/// Parse `--jobs N` / `--jobs=N` from a command line (0 when absent,
+/// meaning "hardware default"). Shared by the benches and examples.
+std::size_t parse_jobs_arg(int argc, char** argv);
+
+}  // namespace tmg::scenario

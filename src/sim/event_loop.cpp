@@ -1,5 +1,6 @@
 #include "sim/event_loop.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -18,16 +19,17 @@ bool TimerHandle::pending() const {
 EventLoop::EventLoop()
     : cancelled_in_queue_{std::make_shared<std::size_t>(0)} {}
 
-TimerHandle EventLoop::schedule_at(SimTime at, std::function<void()> fn) {
-  assert(fn);
+TimerHandle EventLoop::schedule_at(SimTime at, EventFn fn) {
+  assert(static_cast<bool>(fn));
   if (at < now_) at = now_;
   auto state = std::make_shared<TimerHandle::State>();
   state->cancelled_in_queue = cancelled_in_queue_;
-  queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), state});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return TimerHandle{std::move(state)};
 }
 
-TimerHandle EventLoop::schedule_after(Duration delay, std::function<void()> fn) {
+TimerHandle EventLoop::schedule_after(Duration delay, EventFn fn) {
   if (delay.is_negative()) delay = Duration::zero();
   return schedule_at(now_ + delay, std::move(fn));
 }
@@ -40,29 +42,26 @@ void EventLoop::set_post_event_hook(std::uint64_t every_n,
 
 void EventLoop::maybe_compact() {
   constexpr std::size_t kMinQueueForCompaction = 64;
-  if (queue_.size() < kMinQueueForCompaction ||
-      *cancelled_in_queue_ * 2 < queue_.size()) {
+  if (heap_.size() < kMinQueueForCompaction ||
+      *cancelled_in_queue_ * 2 < heap_.size()) {
     return;
   }
-  std::vector<Entry> live;
-  live.reserve(queue_.size() - *cancelled_in_queue_);
-  while (!queue_.empty()) {
-    Entry& top = const_cast<Entry&>(queue_.top());
-    if (!top.state->cancelled) live.push_back(std::move(top));
-    queue_.pop();
-  }
-  queue_ = std::priority_queue<Entry, std::vector<Entry>, Later>{
-      Later{}, std::move(live)};
+  std::erase_if(heap_, [](const Entry& e) { return e.state->cancelled; });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
   *cancelled_in_queue_ = 0;
+}
+
+EventLoop::Entry EventLoop::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  return entry;
 }
 
 bool EventLoop::step() {
   maybe_compact();
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; entries are popped exactly
-    // once, so moving out through const_cast is safe here.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
+  while (!heap_.empty()) {
+    Entry entry = pop_top();
     if (entry.state->cancelled) {
       --*cancelled_in_queue_;
       continue;
@@ -80,14 +79,14 @@ bool EventLoop::step() {
 }
 
 void EventLoop::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Skip cancelled entries without advancing the clock.
-    if (queue_.top().state->cancelled) {
+    if (heap_.front().state->cancelled) {
+      pop_top();
       --*cancelled_in_queue_;
-      queue_.pop();
       continue;
     }
-    if (queue_.top().at > deadline) break;
+    if (heap_.front().at > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;

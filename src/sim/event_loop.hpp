@@ -3,17 +3,27 @@
 // A single-threaded priority-queue scheduler. Events at equal timestamps
 // fire in insertion order, which (together with the deterministic Rng)
 // makes every experiment bit-reproducible.
+//
+// Hot-path layout: the pending queue is a binary heap over a flat
+// std::vector with sequence-number tie-breaking, and callbacks are
+// stored in a small-buffer-optimized InlineFn<64> — a scheduled lambda
+// capturing up to 64 bytes costs no callback allocation.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_fn.hpp"
 #include "sim/time.hpp"
 
 namespace tmg::sim {
+
+/// Callback type for scheduled events. 64 bytes of inline capture space
+/// covers every scheduling site in the simulator (the packet paths pass
+/// shared_ptr payloads precisely to stay under it).
+using EventFn = InlineFn<64>;
 
 /// Handle to a scheduled event; allows cancellation. Default-constructed
 /// handles are inert. Cancelling an already-fired event is a no-op.
@@ -53,11 +63,11 @@ class EventLoop {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `at` (>= now()).
-  TimerHandle schedule_at(SimTime at, std::function<void()> fn);
+  TimerHandle schedule_at(SimTime at, EventFn fn);
 
   /// Schedule `fn` to run `delay` from now. Negative delays are clamped
   /// to zero (models "immediately, after the current event").
-  TimerHandle schedule_after(Duration delay, std::function<void()> fn);
+  TimerHandle schedule_after(Duration delay, EventFn fn);
 
   /// Run events until the queue drains or the clock passes `deadline`.
   /// Events stamped exactly at `deadline` do run.
@@ -73,12 +83,12 @@ class EventLoop {
 
   /// Queue entries physically present, including cancelled-but-unpopped
   /// ones. Prefer live_events() for "how much work is left".
-  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
 
   /// Events that will actually fire: queue size minus cancelled entries
   /// still awaiting lazy removal. O(1).
   [[nodiscard]] std::size_t live_events() const {
-    return queue_.size() - *cancelled_in_queue_;
+    return heap_.size() - *cancelled_in_queue_;
   }
 
   /// Total events executed since construction (excludes cancelled).
@@ -93,7 +103,7 @@ class EventLoop {
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // tie-break: insertion order
-    std::function<void()> fn;
+    EventFn fn;
     std::shared_ptr<TimerHandle::State> state;
   };
   struct Later {
@@ -105,10 +115,16 @@ class EventLoop {
 
   /// Drop cancelled entries when they dominate the queue, so a workload
   /// that schedules-and-cancels heavily (e.g. per-packet timeouts) keeps
-  /// memory and pop cost proportional to *live* events.
+  /// memory and pop cost proportional to *live* events. In-place
+  /// erase + re-heapify: O(n), no element is copied more than once.
   void maybe_compact();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  /// Pop the heap top into a local Entry.
+  Entry pop_top();
+
+  // Min-heap on (at, seq) over a flat vector (std::push_heap/pop_heap
+  // with the inverted `Later` comparator).
+  std::vector<Entry> heap_;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

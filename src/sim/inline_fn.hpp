@@ -1,0 +1,119 @@
+// Small-buffer-optimized callable for the event-loop hot path.
+//
+// std::function heap-allocates once its (implementation-defined, ~16-32
+// byte) inline buffer overflows, and libstdc++'s requires the target to
+// be copyable. Event callbacks are scheduled and fired millions of times
+// per trial, so we use a move-only wrapper with a guaranteed inline
+// capacity instead: callables up to `InlineBytes` live inside the Entry
+// itself (no allocation); larger ones fall back to a single heap cell.
+// Move-only also lets callbacks own shared_ptr / unique_ptr captures,
+// which the packet-forwarding path relies on.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace tmg::sim {
+
+template <std::size_t InlineBytes>
+class InlineFn {
+ public:
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace<D>(std::forward<F>(fn));
+  }
+
+  InlineFn(InlineFn&& other) noexcept { move_from(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when the current target lives in the inline buffer (test hook).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_stored;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void*);
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline_v =
+      sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D, typename F>
+  void emplace(F&& fn) {
+    if constexpr (fits_inline_v<D>) {
+      ::new (static_cast<void*>(&storage_)) D(std::forward<F>(fn));
+      static constexpr Ops ops{
+          [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+          [](void* dst, void* src) {
+            D* from = std::launder(reinterpret_cast<D*>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+          },
+          [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); },
+          /*inline_stored=*/true,
+      };
+      ops_ = &ops;
+    } else {
+      ::new (static_cast<void*>(&storage_)) D*(new D(std::forward<F>(fn)));
+      static constexpr Ops ops{
+          [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+          [](void* dst, void* src) {
+            ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+          },
+          [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); },
+          /*inline_stored=*/false,
+      };
+      ops_ = &ops;
+    }
+  }
+
+  void move_from(InlineFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(&storage_, &other.storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace tmg::sim

@@ -1,0 +1,57 @@
+// Fixed-size thread pool for the parallel trial runner.
+//
+// Deliberately minimal: one shared FIFO queue, a fixed worker count, no
+// work stealing and no dynamic resizing. Simulation code itself stays
+// strictly single-threaded — each submitted job must own every object it
+// touches (its own EventLoop/Testbed/Rng). The determinism lint
+// (tools/lint_determinism.py, rule `threading`) bans threading
+// primitives everywhere in src/ except this file and the trial runner,
+// so concurrency cannot leak into the simulator core.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tmg::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding jobs, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Jobs must not submit further jobs to the same pool
+  /// and must not throw (wrap and capture exceptions at the call site).
+  void submit(std::function<void()> job);
+
+  /// Block until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Default parallelism: one worker per hardware thread (>= 1).
+  static std::size_t hardware_jobs();
+
+ private:
+  void worker_main();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for jobs / stop
+  std::condition_variable idle_cv_;   // wait_idle() waits for quiescence
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t active_ = 0;  // jobs currently executing
+  bool stop_ = false;
+};
+
+}  // namespace tmg::sim

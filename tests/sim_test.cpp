@@ -2,10 +2,14 @@
 // latency models.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/event_loop.hpp"
+#include "sim/inline_fn.hpp"
 #include "sim/latency_model.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -349,6 +353,150 @@ TEST(EventLoop, CompactionDropsCancelledBacklog) {
   EXPECT_EQ(loop.live_events(), 27u);
   loop.run();
   EXPECT_EQ(loop.events_executed(), 28u);
+}
+
+TEST(EventLoop, RunUntilWithCancelledThenRescheduledTimersNearDeadline) {
+  // Regression for the heap-based queue: a timer cancelled and then
+  // re-armed at the same tick near a run_until deadline must fire
+  // exactly once, and cancelled entries popped at the deadline must
+  // not advance the clock past it.
+  EventLoop loop;
+  int fired = 0;
+  TimerHandle first =
+      loop.schedule_after(Duration::millis(10), [&] { fired += 100; });
+  first.cancel();
+  // Re-arm at the same deadline; only this one may run.
+  loop.schedule_after(Duration::millis(10), [&] { ++fired; });
+  // A cancelled entry *behind* the deadline must be skipped silently.
+  TimerHandle behind =
+      loop.schedule_after(Duration::millis(5), [&] { fired += 100; });
+  behind.cancel();
+  // An entry beyond the deadline must stay queued.
+  loop.schedule_after(Duration::millis(20), [&] { fired += 100; });
+
+  loop.run_until(SimTime::from_nanos(0) + Duration::millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), SimTime::from_nanos(0) + Duration::millis(10));
+  EXPECT_EQ(loop.live_events(), 1u);  // only the 20 ms event remains
+  loop.run();
+  EXPECT_EQ(fired, 101);
+}
+
+TEST(EventLoop, LiveEventsExactAcrossCompaction) {
+  // live_events() must stay exact while compaction physically drops
+  // cancelled entries and while survivors are cancelled afterwards.
+  EventLoop loop;
+  std::vector<TimerHandle> handles;
+  handles.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(
+        loop.schedule_after(Duration::millis(i + 1), [] {}));
+  }
+  // Cancel 150 of 200: next step() triggers compaction (>= half dead).
+  for (int i = 0; i < 150; ++i) {
+    handles[static_cast<std::size_t>(i)].cancel();
+  }
+  EXPECT_EQ(loop.live_events(), 50u);
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(loop.pending_events(), 49u);  // compacted + one fired
+  EXPECT_EQ(loop.live_events(), 49u);
+  // Cancelling a survivor after compaction must still be counted.
+  handles[160].cancel();
+  EXPECT_EQ(loop.live_events(), 48u);
+  // Double-cancel of an already-compacted entry must not skew counts.
+  handles[0].cancel();
+  EXPECT_EQ(loop.live_events(), 48u);
+  loop.run();
+  EXPECT_EQ(loop.events_executed(), 49u);
+  EXPECT_EQ(loop.live_events(), 0u);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, CancelledTimerRescheduledAcrossCompactionFiresOnce) {
+  // A handle whose entry is compacted away must stay inert: re-arming
+  // the same logical timer is a fresh schedule_after, and the stale
+  // handle's cancel() must not affect the new entry.
+  EventLoop loop;
+  int fired = 0;
+  TimerHandle stale =
+      loop.schedule_after(Duration::millis(999), [&] { fired += 100; });
+  stale.cancel();
+  std::vector<TimerHandle> filler;
+  filler.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    filler.push_back(loop.schedule_after(Duration::millis(1), [] {}));
+  }
+  for (auto& h : filler) h.cancel();
+  // Queue: 101 entries, 101 cancelled -> step() compacts to empty and
+  // returns false without firing anything.
+  EXPECT_FALSE(loop.step());
+  TimerHandle fresh =
+      loop.schedule_after(Duration::millis(999), [&] { ++fired; });
+  stale.cancel();  // stale handle again: must be a no-op
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.events_executed(), 1u);
+}
+
+// ---------------- InlineFn ----------------
+
+TEST(InlineFn, SmallCallablesStoredInline) {
+  int hits = 0;
+  InlineFn<64> fn{[&hits] { ++hits; }};
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, LargeCallablesFallBackToHeap) {
+  std::array<std::uint64_t, 16> payload{};  // 128 bytes > 64-byte buffer
+  payload[0] = 7;
+  payload[15] = 9;
+  int sum = 0;
+  InlineFn<64> fn{[payload, &sum] {
+    sum += static_cast<int>(payload[0] + payload[15]);
+  }};
+  EXPECT_FALSE(fn.is_inline());
+  fn();
+  EXPECT_EQ(sum, 16);
+}
+
+TEST(InlineFn, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineFn<64> a{[counter] { ++*counter; }};
+  EXPECT_EQ(counter.use_count(), 2);
+  InlineFn<64> b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(*counter, 1);
+  InlineFn<64> c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(*counter, 2);
+  EXPECT_EQ(counter.use_count(), 2);  // exactly one live copy of the capture
+}
+
+TEST(InlineFn, MoveOnlyCapturesSupported) {
+  auto flag = std::make_unique<int>(41);
+  int out = 0;
+  InlineFn<64> fn{[flag = std::move(flag), &out] { out = *flag + 1; }};
+  InlineFn<64> moved{std::move(fn)};
+  moved();
+  EXPECT_EQ(out, 42);
+}
+
+TEST(InlineFn, DestructionReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    InlineFn<64> inline_fn{[counter] {}};
+    std::array<std::uint64_t, 16> big{};
+    InlineFn<64> heap_fn{[counter, big] { (void)big; }};
+    EXPECT_FALSE(heap_fn.is_inline());
+    EXPECT_EQ(counter.use_count(), 3);
+  }
+  EXPECT_EQ(counter.use_count(), 1);  // both storage modes destroyed
 }
 
 TEST(EventLoop, PostEventHookFiresAtCadence) {

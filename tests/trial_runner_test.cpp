@@ -1,0 +1,229 @@
+// TrialRunner determinism contract (DESIGN.md §7).
+//
+// The whole point of the parallel trial runner is that `--jobs N` is a
+// pure wall-clock knob: every simulated number must be byte-identical
+// to the serial run. These tests serialize full experiment outcomes —
+// including exact double bits and per-trial alert logs — and require
+// jobs 1/2/8 to agree on the paper's two headline experiment families
+// (port amnesia link fabrication, port probing hijack).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "scenario/experiments.hpp"
+#include "scenario/trial_runner.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace tmg::scenario {
+namespace {
+
+// Exact textual serialization: doubles are printed as hex-floats so
+// that "identical" means identical bits, not identical rounding.
+void put(std::ostream& os, double v) { os << std::hexfloat << v << ';'; }
+void put(std::ostream& os, const std::optional<double>& v) {
+  if (v) {
+    put(os, *v);
+  } else {
+    os << "nil;";
+  }
+}
+
+std::string serialize(const HijackOutcome& out) {
+  std::ostringstream os;
+  os << out.hijack_succeeded << ';' << out.traffic_redirected << ';';
+  put(os, out.down_to_final_probe_start_ms);
+  put(os, out.down_to_declared_down_ms);
+  put(os, out.down_to_iface_up_ms);
+  put(os, out.down_to_confirmed_ms);
+  put(os, out.ident_change_ms);
+  os << out.alerts_before_rejoin << ';' << out.alerts_after_rejoin << ';'
+     << out.events_executed << ';';
+  for (const ctrl::Alert& a : out.alerts) {
+    os << a.time.count_nanos() << ',' << a.module << ','
+       << static_cast<int>(a.type) << ',' << a.message << '|';
+  }
+  return std::move(os).str();
+}
+
+std::string serialize(const LinkAttackOutcome& out) {
+  std::ostringstream os;
+  os << out.link_registered << ';' << out.link_present_at_end << ';'
+     << out.mitm_traffic << ';' << out.lldp_relayed << ';'
+     << out.transit_bridged << ';' << out.flaps << ';'
+     << out.alerts_before_attack << ';' << out.alerts_total << ';'
+     << out.alerts_topoguard << ';' << out.alerts_sphinx << ';'
+     << out.alerts_cmm << ';' << out.alerts_lli << ';'
+     << out.events_executed;
+  return std::move(os).str();
+}
+
+std::vector<std::string> hijack_trials_at(std::size_t jobs,
+                                          std::size_t trials) {
+  TrialRunner runner{{jobs}};
+  const auto outcomes = runner.map(trials, [](std::size_t i) {
+    HijackConfig cfg;
+    // Alternate suites so trials exercise different code paths and
+    // alert volumes, not just different seeds.
+    cfg.suite = (i % 2 == 0) ? DefenseSuite::TopoGuardAndSphinx
+                             : DefenseSuite::Sphinx;
+    cfg.seed = 500 + i;
+    cfg.nmap_overhead = (i % 3 == 0);
+    return run_hijack(cfg);
+  });
+  std::vector<std::string> serialized;
+  serialized.reserve(outcomes.size());
+  for (const auto& out : outcomes) serialized.push_back(serialize(out));
+  return serialized;
+}
+
+std::vector<std::string> link_attack_trials_at(std::size_t jobs,
+                                               std::size_t trials) {
+  TrialRunner runner{{jobs}};
+  const auto outcomes = runner.map(trials, [](std::size_t i) {
+    LinkAttackConfig cfg;
+    cfg.kind = (i % 2 == 0) ? LinkAttackKind::OobAmnesia
+                            : LinkAttackKind::ClassicRelay;
+    cfg.suite = DefenseSuite::TopoGuardAndSphinx;
+    cfg.seed = 700 + i;
+    // Shortened windows keep the test fast; the attack still needs a
+    // few LLDP rounds to land (benign >= 10 s, attack >= 32 s).
+    cfg.benign_window = sim::Duration::seconds(12);
+    cfg.attack_window = sim::Duration::seconds(33);
+    return run_link_attack(cfg);
+  });
+  std::vector<std::string> serialized;
+  serialized.reserve(outcomes.size());
+  for (const auto& out : outcomes) serialized.push_back(serialize(out));
+  return serialized;
+}
+
+TEST(TrialRunnerTest, HijackTrialsIdenticalAcrossJobCounts) {
+  const auto serial = hijack_trials_at(1, 6);
+  const auto two = hijack_trials_at(2, 6);
+  const auto eight = hijack_trials_at(8, 6);
+  ASSERT_EQ(serial.size(), 6u);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+  // Sanity: the experiment actually produced signal, so equality above
+  // is not comparing six empty outcomes.
+  bool any_success = false;
+  for (const auto& s : serial) any_success |= (s.substr(0, 2) == "1;");
+  EXPECT_TRUE(any_success);
+}
+
+TEST(TrialRunnerTest, LinkAttackTrialsIdenticalAcrossJobCounts) {
+  const auto serial = link_attack_trials_at(1, 4);
+  const auto parallel = link_attack_trials_at(2, 4);
+  ASSERT_EQ(serial.size(), 4u);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(TrialRunnerTest, AggregatesIdenticalAcrossJobCounts) {
+  // Aggregation in trial-index order over parallel results must match
+  // the serial fold exactly (no floating-point reassociation).
+  const auto sum_at = [](std::size_t jobs) {
+    TrialRunner runner{{jobs}};
+    const auto outcomes = runner.map(5, [](std::size_t i) {
+      HijackConfig cfg;
+      cfg.seed = 900 + i;
+      return run_hijack(cfg);
+    });
+    double sum = 0.0;
+    std::uint64_t events = 0;
+    for (const auto& out : outcomes) {
+      if (out.down_to_confirmed_ms) sum += *out.down_to_confirmed_ms;
+      events += out.events_executed;
+    }
+    std::ostringstream os;
+    os << std::hexfloat << sum << ';' << events;
+    return std::move(os).str();
+  };
+  const std::string serial = sum_at(1);
+  EXPECT_EQ(serial, sum_at(2));
+  EXPECT_EQ(serial, sum_at(8));
+}
+
+TEST(TrialRunnerTest, TrialSeedIsPureAndWellSpread) {
+  // Same (base, index) -> same seed, every call.
+  EXPECT_EQ(TrialRunner::trial_seed(42, 0), TrialRunner::trial_seed(42, 0));
+  EXPECT_EQ(TrialRunner::trial_seed(7, 123),
+            TrialRunner::trial_seed(7, 123));
+  // Distinct indices must not collide over a realistic trial range,
+  // and far-apart bases land in distinct streams. (base and index are
+  // XOR-folded before scrambling, so trial_seed(b, 0) == trial_seed(
+  // b ^ i, i) by construction — bases below stay clear of 42 ^ [0,1000).)
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    seen.insert(TrialRunner::trial_seed(42, i));
+  }
+  for (std::uint64_t base : {0x10000ull, 0x20000ull, 0xdeadbeefull}) {
+    seen.insert(TrialRunner::trial_seed(base, 0));
+  }
+  EXPECT_EQ(seen.size(), 1003u);
+}
+
+TEST(TrialRunnerTest, JobsResolveAndSerialFallback) {
+  TrialRunner defaulted{{}};
+  EXPECT_GE(defaulted.jobs(), 1u);
+  EXPECT_EQ(defaulted.jobs(), sim::ThreadPool::hardware_jobs());
+  TrialRunner serial{{1}};
+  EXPECT_EQ(serial.jobs(), 1u);
+  TrialRunner four{{4}};
+  EXPECT_EQ(four.jobs(), 4u);
+}
+
+TEST(TrialRunnerTest, MapPreservesIndexOrder) {
+  TrialRunner runner{{4}};
+  const auto out =
+      runner.map(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TrialRunnerTest, ExceptionFromLowestFailingTrialPropagates) {
+  TrialRunner runner{{4}};
+  try {
+    runner.map(16, [](std::size_t i) -> int {
+      if (i == 3 || i == 11) {
+        throw std::runtime_error("trial " + std::to_string(i));
+      }
+      return 0;
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "trial 3");
+  }
+}
+
+TEST(TrialRunnerTest, ParallelTrialsActuallyRunOnPoolThreads) {
+  // Guard against a silent fallback to serial execution: 4 trials on 4
+  // workers rendezvous — each blocks until all 4 are resident at once.
+  // A serial runner can never satisfy the rendezvous; the wall-clock
+  // deadline keeps a broken pool from deadlocking the test.
+  TrialRunner runner{{4}};
+  std::atomic<int> inside{0};
+  std::atomic<bool> rendezvous{false};
+  runner.map(4, [&](std::size_t) {
+    if (++inside == 4) rendezvous.store(true);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!rendezvous.load() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    --inside;
+    return 0;
+  });
+  EXPECT_TRUE(rendezvous.load());
+}
+
+}  // namespace
+}  // namespace tmg::scenario

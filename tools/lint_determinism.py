@@ -16,6 +16,19 @@ usual ways nondeterminism sneaks back in:
                            order, CSV rows) varies run to run
   rule `pointer-key`    -- std::map/std::set keyed on a raw pointer:
                            ordering follows allocation addresses (ASLR)
+  rule `threading`      -- std::thread/jthread/async/mutex/atomic/
+                           condition_variable/future/latch/barrier:
+                           the simulator core is single-threaded by
+                           contract; the ONLY concurrency lives in
+                           src/sim/thread_pool.* and the trial fan-out
+                           in src/scenario/trial_runner.* (whole trials
+                           run in parallel, each on its own EventLoop)
+  rule `shared-rng`     -- a static/global sim::Rng, or an Rng held by
+                           reference/pointer member: sharing one Rng
+                           across trials makes draw order depend on
+                           thread scheduling. Each trial must own its
+                           Rng (seeded via TrialRunner::trial_seed or
+                           forked from the trial's own Testbed).
 
 Scope: every .hpp/.cpp under src/, except src/sim/rng.* (the one module
 allowed to own entropy).
@@ -60,7 +73,39 @@ LINE_RULES = [
             r"|\b(?:std::)?(?:unordered_)?set\s*<[^,;<>]*\*\s*>"
         ),
     ),
+    (
+        "threading",
+        re.compile(
+            r"\bstd::(?:thread|jthread|async|mutex|timed_mutex|"
+            r"recursive_mutex|shared_mutex|condition_variable(?:_any)?|"
+            r"atomic\w*|future|promise|packaged_task|latch|barrier|"
+            r"stop_token|stop_source|counting_semaphore|binary_semaphore|"
+            r"scoped_lock|unique_lock|lock_guard|shared_lock|call_once|"
+            r"once_flag|this_thread)\b"
+        ),
+    ),
+    (
+        "shared-rng",
+        re.compile(
+            # static/global Rng instances, and Rng held by ref/pointer
+            # as a member-style declaration (parameter lists are fine:
+            # they borrow within one trial's call stack).
+            r"\bstatic\s+(?:tmg::)?(?:sim::)?Rng\b"
+            r"|\b(?:thread_local|inline)\s+(?:tmg::)?(?:sim::)?Rng\b"
+            r"|^\s*(?:tmg::)?(?:sim::)?Rng\s*[&*]\s*\w+\s*(?:;|=[^=])"
+        ),
+    ),
 ]
+
+# Files allowed to use threading primitives: the pool itself and the
+# trial fan-out that drives it. Everything else in src/ is reached only
+# from within a single trial and must stay single-threaded.
+THREADING_ALLOWED_FILES = {
+    Path("src/sim/thread_pool.hpp"),
+    Path("src/sim/thread_pool.cpp"),
+    Path("src/scenario/trial_runner.hpp"),
+    Path("src/scenario/trial_runner.cpp"),
+}
 
 # Finds `std::unordered_map<...> name` declarations (whitespace-normalized
 # text, so multi-line declarations resolve). Backtracking lets the
@@ -109,6 +154,8 @@ def lint_file(path: Path, root: Path) -> list[str]:
     for i, line in enumerate(lines):
         stripped = line.split("//", 1)[0]
         for rule, rx in LINE_RULES:
+            if rule == "threading" and rel in THREADING_ALLOWED_FILES:
+                continue
             if rx.search(stripped) and not allowed(rule, lines, i):
                 findings.append(f"{rel}:{i + 1}: {rule}: {line.strip()}")
         m = RANGE_FOR_RE.search(stripped)

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Run the TopoMirage bench suite and aggregate a single BENCH.json.
+
+Each trial-looping bench binary under build/bench accepts the shared
+harness flags (bench/bench_harness.hpp):
+
+    --trials N    trials (meaning is bench-specific: per cell / per row)
+    --jobs N      worker threads (0/default = hardware concurrency)
+    --quick       smaller CI-friendly trial counts
+    --json PATH   write a one-object JSON result
+
+This driver runs the suite, collects the per-bench JSON objects, and
+writes them to one combined file:
+
+    {"benches": [{"bench": ..., "trials": ..., "jobs": ..., "wall_ms": ...,
+                  "events": ..., "events_per_sec": ...}, ...],
+     "speedup": {...}}          # only with --speedup
+
+--speedup additionally runs the 200-trial attack-matrix workload
+(bench_attack_matrix --trials 10) once at --jobs 1 and once at the
+requested job count, and records the wall-clock ratio. The tables the
+two runs print must be identical — the driver diffs them and fails if
+parallelism changed any simulated result.
+
+Usage:
+    python3 tools/run_bench.py [--quick] [--jobs N] [--build-dir build]
+                               [--out BENCH.json] [--speedup]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Benches that implement the harness flags. Order is the report order.
+BENCHES = [
+    "bench_event_loop",
+    "bench_table1_probes",
+    "bench_scan_detection",
+    "bench_fig5_iface_up",
+    "bench_fig6_controller_ack",
+    "bench_fig7_last_ping_start",
+    "bench_fig8_ping_timeout",
+    "bench_attack_matrix",
+    "bench_hijack_matrix",
+    "bench_downtime_window",
+    "bench_ablation_channel",
+]
+
+
+def run_bench(binary, extra_args, quiet=True):
+    """Run one bench with --json into a temp file; return (result, stdout)."""
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json",
+                                     delete=False) as tmp:
+        json_path = tmp.name
+    try:
+        cmd = [binary, "--json", json_path] + extra_args
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise RuntimeError(f"{os.path.basename(binary)} exited "
+                               f"{proc.returncode}")
+        with open(json_path) as f:
+            result = json.load(f)
+        if not quiet:
+            sys.stdout.write(proc.stdout)
+        return result, proc.stdout
+    finally:
+        os.unlink(json_path)
+
+
+def strip_bench_lines(text):
+    """Drop the timing footer so outputs can be compared across --jobs."""
+    return "\n".join(line for line in text.splitlines()
+                     if not line.startswith("[bench]"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory holding bench/ binaries")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="worker threads per bench (0 = hardware)")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI-sized trial counts")
+    ap.add_argument("--out", default="BENCH.json",
+                    help="combined output path (default BENCH.json)")
+    ap.add_argument("--speedup", action="store_true",
+                    help="also measure jobs=1 vs jobs=N on the 200-trial "
+                         "attack-matrix workload")
+    args = ap.parse_args()
+
+    bench_dir = os.path.join(args.build_dir, "bench")
+    if not os.path.isdir(bench_dir):
+        sys.exit(f"error: {bench_dir} not found — build the tree first "
+                 f"(cmake -B {args.build_dir} -S . && "
+                 f"cmake --build {args.build_dir} -j)")
+
+    common = []
+    if args.quick:
+        common.append("--quick")
+    if args.jobs:
+        common += ["--jobs", str(args.jobs)]
+
+    report = {"benches": []}
+    missing = []
+    for name in BENCHES:
+        binary = os.path.join(bench_dir, name)
+        if not os.path.exists(binary):
+            missing.append(name)
+            continue
+        result, _ = run_bench(binary, list(common))
+        print(f"[run_bench] {result['bench']}: trials={result['trials']} "
+              f"jobs={result['jobs']} wall={result['wall_ms']:.1f} ms "
+              f"({result['events_per_sec']:.3g} events/s)")
+        report["benches"].append(result)
+    if missing:
+        print(f"[run_bench] skipped (not built): {', '.join(missing)}")
+
+    if args.speedup:
+        binary = os.path.join(bench_dir, "bench_attack_matrix")
+        workload = ["--trials", "10"]  # 10 trials x 20 cells = 200 runs
+        serial, serial_out = run_bench(binary, workload + ["--jobs", "1"])
+        jobs = args.jobs if args.jobs else 0
+        par_args = workload + (["--jobs", str(jobs)] if jobs else [])
+        parallel, par_out = run_bench(binary, par_args)
+        if strip_bench_lines(serial_out) != strip_bench_lines(par_out):
+            sys.exit("error: attack-matrix output differs between "
+                     "--jobs 1 and parallel run — determinism violation")
+        ratio = serial["wall_ms"] / parallel["wall_ms"]
+        report["speedup"] = {
+            "workload": "attack_matrix --trials 10 (200 experiments)",
+            "jobs": parallel["jobs"],
+            "serial_wall_ms": serial["wall_ms"],
+            "parallel_wall_ms": parallel["wall_ms"],
+            "speedup": ratio,
+            "output_identical": True,
+        }
+        print(f"[run_bench] speedup: {serial['wall_ms']:.0f} ms @ jobs=1 -> "
+              f"{parallel['wall_ms']:.0f} ms @ jobs={parallel['jobs']} "
+              f"({ratio:.2f}x, identical output)")
+
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"[run_bench] wrote {args.out} ({len(report['benches'])} benches)")
+
+
+if __name__ == "__main__":
+    main()
