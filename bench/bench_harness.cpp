@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "scenario/trial_runner.hpp"
+#include "sim/fastpath.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace tmg::bench {
@@ -16,6 +17,8 @@ HarnessOptions parse_harness_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       opts.quick = true;
+    } else if (std::strcmp(argv[i], "--no-fastpath") == 0) {
+      opts.no_fastpath = true;
     } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
       opts.trials =
           static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
@@ -28,6 +31,9 @@ HarnessOptions parse_harness_args(int argc, char** argv) {
       opts.json_path = argv[i] + 7;
     }
   }
+  // Applied here so every bench honours the flag without plumbing it
+  // through its workload; worker threads inherit the process-global.
+  if (opts.no_fastpath) sim::set_fastpath_enabled(false);
   return opts;
 }
 

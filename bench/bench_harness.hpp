@@ -2,11 +2,16 @@
 // BENCH.json emitter used by tools/run_bench.py.
 //
 // Every trial-looping bench accepts:
-//   --trials N   trial count (0 = bench default)
-//   --jobs N     worker threads (default: hardware concurrency;
-//                --jobs 1 = legacy serial path)
-//   --quick      shrink the workload for smoke runs
-//   --json PATH  write a one-object JSON result file
+//   --trials N      trial count (0 = bench default)
+//   --jobs N        worker threads (default: hardware concurrency;
+//                   --jobs 1 = legacy serial path)
+//   --quick         shrink the workload for smoke runs
+//   --json PATH     write a one-object JSON result file
+//   --no-fastpath   disable the algorithmic fast paths (path cache,
+//                   indexed flow tables, incremental statistics) and run
+//                   the naive reference algorithms instead. Simulated
+//                   output must be byte-identical either way; CI diffs
+//                   the attack-matrix stdout across the two modes.
 //
 // Wall-clock time is host time (std::chrono), which is fine here: it
 // never feeds simulation results, only the perf report. src/ stays under
@@ -22,6 +27,7 @@ struct HarnessOptions {
   std::size_t trials = 0;  // 0 = use the bench's default
   std::size_t jobs = 0;    // 0 = hardware concurrency
   bool quick = false;
+  bool no_fastpath = false;  // already applied by parse_harness_args
   std::string json_path;
 
   /// Trial count to actually run: --trials if given, else the quick or

@@ -27,7 +27,7 @@ void AlertFloodAttack::tick() {
   // guaranteed to reach the Host Tracking Service as a Packet-In.
   host_.send(net::make_arp_request(id.mac, id.ip, id.ip));
   ++sent_;
-  loop_.schedule_after(config_.period, [this] { tick(); });
+  loop_.post_after(config_.period, [this] { tick(); });
 }
 
 }  // namespace tmg::attack

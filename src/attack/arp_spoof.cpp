@@ -23,7 +23,7 @@ void ArpSpoofAttack::tick() {
   host_.send(net::make_arp_reply(host_.mac(), config_.victim_ip,
                                  config_.target_mac, config_.target_ip));
   ++sent_;
-  loop_.schedule_after(config_.period, [this] { tick(); });
+  loop_.post_after(config_.period, [this] { tick(); });
 }
 
 }  // namespace tmg::attack

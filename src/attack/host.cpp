@@ -22,7 +22,7 @@ void Host::attach_link(of::DataLink& link, of::Side side) {
 
 void Host::maybe_authenticate() {
   if (config_.auth_token == 0) return;
-  loop_.schedule_after(config_.auth_delay, [this] {
+  loop_.post_after(config_.auth_delay, [this] {
     if (!up_ || !link_) return;
     send(net::make_auth_frame(config_.mac, config_.ip, config_.auth_token));
   });
@@ -49,7 +49,7 @@ void Host::change_identity_timed(net::MacAddress mac, net::Ipv4Address ip,
                                  std::function<void()> done) {
   set_interface(false);
   const sim::Duration latency = model.sample(rng_);
-  loop_.schedule_after(latency,
+  loop_.post_after(latency,
                        [this, mac, ip, done = std::move(done)]() {
                          set_identity(mac, ip);
                          set_interface(true);
@@ -66,7 +66,7 @@ void Host::set_interface(bool up) {
 
 void Host::flap_interface(sim::Duration hold, std::function<void()> done) {
   set_interface(false);
-  loop_.schedule_after(hold, [this, done = std::move(done)]() {
+  loop_.post_after(hold, [this, done = std::move(done)]() {
     set_interface(true);
     if (done) done();
   });
@@ -98,14 +98,14 @@ void Host::send_raw(net::MacAddress dst_mac, net::Ipv4Address dst_ip,
 }
 
 void Host::reply_later(net::Packet pkt) {
-  loop_.schedule_after(config_.reply_delay,
+  loop_.post_after(config_.reply_delay,
                        [this, pkt = std::move(pkt)]() mutable {
                          send(std::move(pkt));
                        });
 }
 
 void Host::reply_later_resolved(net::Ipv4Address dst_ip, net::Packet pkt) {
-  loop_.schedule_after(config_.reply_delay,
+  loop_.post_after(config_.reply_delay,
                        [this, dst_ip, pkt = std::move(pkt)]() mutable {
                          send_resolved(dst_ip, std::move(pkt));
                        });

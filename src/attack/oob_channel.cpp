@@ -21,7 +21,7 @@ sim::Duration OutOfBandChannel::sample_delay() {
 void OutOfBandChannel::transfer(net::Packet pkt,
                                 std::function<void(net::Packet)> deliver) {
   ++transfers_;
-  loop_.schedule_after(
+  loop_.post_after(
       sample_delay(),
       [pkt = std::move(pkt), deliver = std::move(deliver)]() mutable {
         deliver(std::move(pkt));
@@ -29,7 +29,7 @@ void OutOfBandChannel::transfer(net::Packet pkt,
 }
 
 void OutOfBandChannel::signal(std::function<void()> action) {
-  loop_.schedule_after(sample_delay(), std::move(action));
+  loop_.post_after(sample_delay(), std::move(action));
 }
 
 }  // namespace tmg::attack

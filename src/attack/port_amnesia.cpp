@@ -223,7 +223,7 @@ void PortAmnesiaAttack::flap_then(Endpoint& ep, std::function<void()> after) {
   ++flaps_;
   ep.host->flap_interface(config_.flap_hold, [this, &ep] {
     // Wait out the switch's Port-Up detection before transmitting.
-    loop_.schedule_after(config_.post_flap_settle, [this, &ep] {
+    loop_.post_after(config_.post_flap_settle, [this, &ep] {
       ep.flap_in_progress = false;
       ep.profile = Profile::Any;  // the amnesia: classification forgotten
       auto actions = std::move(ep.after_flap);

@@ -46,12 +46,12 @@ void PortProbingAttack::acquire_mac() {
   }
   host_.send_arp_request(config_.victim_ip);
   // Retry until the victim answers (it is online at attack start).
-  loop_.schedule_after(sim::Duration::millis(100), [this] { acquire_mac(); });
+  loop_.post_after(sim::Duration::millis(100), [this] { acquire_mac(); });
 }
 
 void PortProbingAttack::schedule_probe() {
   if (hijacking_) return;
-  loop_.schedule_after(config_.probe_period, [this] { run_probe(); });
+  loop_.post_after(config_.probe_period, [this] { run_probe(); });
 }
 
 void PortProbingAttack::run_probe() {
@@ -101,7 +101,7 @@ void PortProbingAttack::hijack() {
 
 void PortProbingAttack::maintain() {
   host_.send_arp_request(config_.victim_ip);
-  loop_.schedule_after(config_.maintain_period, [this] { maintain(); });
+  loop_.post_after(config_.maintain_period, [this] { maintain(); });
 }
 
 void PortProbingAttack::mark_hijack_confirmed(sim::SimTime at) {

@@ -98,7 +98,7 @@ LivenessProber::LivenessProber(sim::EventLoop& loop, sim::Rng rng,
                                    target_.mac, target_.ip, 40001,
                                    target_.tcp_port,
                                    net::TcpFlags{.syn = true}));
-          loop_.schedule_after(config_.idle_settle, [this] {
+          loop_.post_after(config_.idle_settle, [this] {
             if (!done_ || idle_phase_ != 2) return;
             idle_phase_ = 3;
             probe_port_ = next_port_++;
@@ -130,7 +130,7 @@ void LivenessProber::probe(const ProbeTarget& target,
   ++sent_;
   if (config_.tool_overhead) {
     const sim::Duration overhead = sample_tool_overhead(config_.type, rng_);
-    loop_.schedule_after(overhead,
+    loop_.post_after(overhead,
                          [this, target] { start_exchange(target); });
   } else {
     start_exchange(target);

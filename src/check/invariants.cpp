@@ -5,6 +5,7 @@
 #include "check/assert.hpp"
 #include "ctrl/host_tracker.hpp"
 #include "ctrl/link_discovery.hpp"
+#include "ctrl/routing.hpp"
 
 namespace tmg::check {
 
@@ -47,6 +48,10 @@ void InvariantChecker::watch_port_profiles(SnapshotFn snapshot,
   profile_snapshot_ = std::move(snapshot);
   profile_reset_ = std::move(last_reset);
   have_profile_baseline_ = false;
+}
+
+void InvariantChecker::add_audit(std::string name, AuditFn fn) {
+  audits_.emplace_back(std::move(name), std::move(fn));
 }
 
 void InvariantChecker::report(std::vector<std::string>& out, std::string what,
@@ -197,6 +202,25 @@ void InvariantChecker::check_lldp_conservation(
   }
 }
 
+void InvariantChecker::check_caches(std::vector<std::string>& out) {
+  // Routing path cache: every memoized path must equal a fresh BFS.
+  for (std::string& issue : ctrl_.routing().path_cache().audit()) {
+    report(out, "cache: routing: " + issue);
+  }
+  // Defense-module internal caches (e.g. LLI's incremental statistics).
+  for (const auto& module : ctrl_.defense_modules()) {
+    for (std::string& issue : module->audit()) {
+      report(out, "cache: " + module->name() + ": " + issue);
+    }
+  }
+  // Externally registered audits (indexed switch flow tables, etc.).
+  for (const auto& [name, fn] : audits_) {
+    for (std::string& issue : fn()) {
+      report(out, "cache: " + name + ": " + issue);
+    }
+  }
+}
+
 std::vector<std::string> InvariantChecker::run_checks() {
   ++checks_run_;
   std::vector<std::string> out;
@@ -206,6 +230,7 @@ std::vector<std::string> InvariantChecker::run_checks() {
   check_hosts(out);
   check_profiles(out);
   check_lldp_conservation(out);
+  check_caches(out);
   return out;
 }
 

@@ -20,6 +20,11 @@
 //   6. LLDP conservation — every probe emitted is matched, expired, or
 //      still outstanding exactly once, and every reception falls in
 //      exactly one classification bucket.
+//   7. Cache coherence — every fast-path structure must agree with the
+//      naive recomputation it replaces: the routing service's path cache
+//      against fresh BFS, each defense module's internal caches (LLI's
+//      incremental order statistics), and any externally registered
+//      audits (the Testbed wires in each switch's indexed flow table).
 //
 // Violations are raised on the controller's AlertBus as
 // AlertType::InvariantViolation (mirrored into an attached tracer) —
@@ -31,6 +36,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ctrl/controller.hpp"
@@ -69,6 +75,12 @@ class InvariantChecker {
       std::function<std::optional<sim::SimTime>(of::Location)>;
   void watch_port_profiles(SnapshotFn snapshot, ResetTimeFn last_reset);
 
+  /// Register an external coherence audit (invariant 7) run on every
+  /// check round; `fn` returns violation descriptions, empty = healthy.
+  /// `name` prefixes each violation for attribution.
+  using AuditFn = std::function<std::vector<std::string>()>;
+  void add_audit(std::string name, AuditFn fn);
+
   /// Run every invariant now. Returns the violations found this round
   /// (also raised as alerts). Deterministic order.
   std::vector<std::string> run_checks();
@@ -89,6 +101,7 @@ class InvariantChecker {
   void check_hosts(std::vector<std::string>& out);
   void check_profiles(std::vector<std::string>& out);
   void check_lldp_conservation(std::vector<std::string>& out);
+  void check_caches(std::vector<std::string>& out);
 
   ctrl::Controller& ctrl_;
   InvariantOptions options_;
@@ -98,6 +111,7 @@ class InvariantChecker {
   ProfileSnapshot last_profiles_;
   sim::SimTime last_profile_check_ = sim::SimTime::zero();
   bool have_profile_baseline_ = false;
+  std::vector<std::pair<std::string, AuditFn>> audits_;
   std::uint64_t checks_run_ = 0;
   std::uint64_t violations_ = 0;
 };

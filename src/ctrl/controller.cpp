@@ -278,7 +278,7 @@ void Controller::echo_tick() {
     conn.pending_echo.emplace(token, loop_.now());
     conn.channel->to_switch(of::EchoRequest{token});
   }
-  loop_.schedule_after(config_.echo_interval, [this] { echo_tick(); });
+  loop_.post_after(config_.echo_interval, [this] { echo_tick(); });
 }
 
 }  // namespace tmg::ctrl

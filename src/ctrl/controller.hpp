@@ -80,6 +80,10 @@ class Controller {
   [[nodiscard]] LinkDiscoveryService& link_discovery() { return *links_; }
   [[nodiscard]] HostTrackingService& host_tracker() { return *hosts_; }
   [[nodiscard]] RoutingService& routing() { return *routing_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<DefenseModule>>&
+  defense_modules() const {
+    return modules_;
+  }
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }

@@ -1,0 +1,69 @@
+// Fixed-capacity FIFO duplicate-suppression set.
+//
+// RoutingService remembers the last kDedupCapacity trace ids it routed
+// or flooded. The original implementation paired std::unordered_set
+// with a std::deque, paying one or two node allocations per packet.
+// DedupRing keeps the same observable behavior — membership over the
+// most recent `capacity` pushed ids, oldest evicted first — with a flat
+// ring buffer plus an open-addressed linear-probe table: zero per-push
+// allocations in steady state (storage doubles amortized until the
+// fixed capacity is reached, then is reused forever).
+//
+// push() returns the ring slot index the id landed in. Slots are stable
+// until evicted, which lets callers hang per-id payload off a parallel
+// array that is cleared and reused instead of reallocated (see the
+// flood state in routing.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tmg::ctrl {
+
+class DedupRing {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit DedupRing(std::size_t capacity);
+
+  [[nodiscard]] bool contains(std::uint64_t id) const {
+    return find(id) != npos;
+  }
+
+  /// Ring slot holding `id`, or npos if not present.
+  [[nodiscard]] std::size_t find(std::uint64_t id) const;
+
+  /// Record `id`, evicting the oldest id once `capacity` is reached.
+  /// Returns the ring slot used. Precondition: !contains(id) — callers
+  /// always test membership first.
+  std::size_t push(std::uint64_t id);
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  enum class State : std::uint8_t { kEmpty, kFull, kTombstone };
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t pos = 0;  // ring index
+    State state = State::kEmpty;
+  };
+
+  [[nodiscard]] static std::uint64_t mix(std::uint64_t x);
+  void insert(std::uint64_t id, std::size_t pos);
+  void erase(std::uint64_t id);
+  void grow();
+
+  std::size_t capacity_;
+  // FIFO of pushed ids; grows to capacity_ then wraps, overwriting the
+  // slot at head_ (the oldest entry).
+  std::vector<std::uint64_t> ring_;
+  std::size_t head_ = 0;
+  // Linear-probe table over (key -> ring pos); sized to a power of two,
+  // kept under ~3/4 occupancy counting tombstones.
+  std::vector<Slot> table_;
+  std::size_t live_ = 0;
+  std::size_t used_ = 0;  // live + tombstones
+};
+
+}  // namespace tmg::ctrl

@@ -10,6 +10,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "of/messages.hpp"
 #include "sim/time.hpp"
@@ -80,6 +81,12 @@ class DefenseModule {
 
   /// Periodic per-switch port counters (SPHINX link-symmetry checks).
   virtual void on_port_stats(const of::PortStatsReply&) {}
+
+  /// Internal-coherence self-check, polled by the invariant checker's
+  /// cache audit (e.g. the LLI's incremental order statistics against
+  /// their naive recompute). Returns violation descriptions, sorted;
+  /// empty when healthy.
+  [[nodiscard]] virtual std::vector<std::string> audit() const { return {}; }
 };
 
 }  // namespace tmg::ctrl

@@ -42,7 +42,7 @@ void LinkDiscoveryService::emit_round() {
                                std::move(lldp)));
     }
   }
-  ctrl_.loop().schedule_after(ctrl_.config().profile.lldp_interval,
+  ctrl_.loop().post_after(ctrl_.config().profile.lldp_interval,
                               [this] { emit_round(); });
 }
 
@@ -164,7 +164,7 @@ void LinkDiscoveryService::sweep() {
       ++it;
     }
   }
-  ctrl_.loop().schedule_after(ctrl_.config().link_sweep_interval,
+  ctrl_.loop().post_after(ctrl_.config().link_sweep_interval,
                               [this] { sweep(); });
 }
 

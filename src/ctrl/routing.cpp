@@ -1,5 +1,7 @@
 #include "ctrl/routing.hpp"
 
+#include <algorithm>
+
 #include "ctrl/controller.hpp"
 #include "ctrl/host_tracker.hpp"
 
@@ -9,18 +11,11 @@ namespace {
 constexpr std::size_t kDedupCapacity = 65536;
 }
 
-RoutingService::RoutingService(Controller& ctrl) : ctrl_{ctrl} {}
-
-void RoutingService::remember(std::unordered_set<std::uint64_t>& set,
-                              std::deque<std::uint64_t>& order,
-                              std::uint64_t id) {
-  set.insert(id);
-  order.push_back(id);
-  while (order.size() > kDedupCapacity) {
-    set.erase(order.front());
-    order.pop_front();
-  }
-}
+RoutingService::RoutingService(Controller& ctrl)
+    : ctrl_{ctrl},
+      path_cache_{ctrl.topology()},
+      flooded_{kDedupCapacity},
+      routed_{kDedupCapacity} {}
 
 void RoutingService::handle_packet_in(const of::PacketIn& pi) {
   const net::Packet& pkt = pi.packet;
@@ -43,7 +38,7 @@ void RoutingService::handle_packet_in(const of::PacketIn& pi) {
   if (routed_.contains(pkt.trace_id)) {
     // The packet outran its Flow-Mods (control-channel race): forward it
     // statelessly along the already-computed direction.
-    const auto path = ctrl_.topology().path(pi.dpid, dst->loc.dpid);
+    const auto path = path_cache_.path(pi.dpid, dst->loc.dpid);
     if (path && !path->empty()) {
       ctrl_.send_packet_out(pi.dpid, path->front().from.port, pkt);
     } else if (pi.dpid == dst->loc.dpid) {
@@ -73,12 +68,12 @@ bool RoutingService::route(const of::PacketIn& pi, const of::Location& dst) {
   if (pi.dpid == dst.dpid) {
     ctrl_.send_flow_mod(pi.dpid, make_mod(of::FlowAction::output(dst.port)));
     ctrl_.send_packet_out(pi.dpid, dst.port, pkt);
-    remember(routed_, routed_order_, pkt.trace_id);
+    routed_.push(pkt.trace_id);
     ++paths_;
     return true;
   }
 
-  const auto path = ctrl_.topology().path(pi.dpid, dst.dpid);
+  const auto path = path_cache_.path(pi.dpid, dst.dpid);
   if (!path || path->empty()) return false;
 
   // Install from the destination backwards (Floodlight's order, to
@@ -89,28 +84,27 @@ bool RoutingService::route(const of::PacketIn& pi, const of::Location& dst) {
                         make_mod(of::FlowAction::output(it->from.port)));
   }
   ctrl_.send_packet_out(pi.dpid, path->front().from.port, pkt);
-  remember(routed_, routed_order_, pkt.trace_id);
+  routed_.push(pkt.trace_id);
   ++paths_;
   return true;
 }
 
 void RoutingService::flood(const of::PacketIn& pi) {
   const std::uint64_t id = pi.packet.trace_id;
-  auto [it, fresh] = flood_state_.try_emplace(id);
-  if (fresh) {
-    flooded_order_.push_back(id);
-    while (flooded_order_.size() > kDedupCapacity) {
-      flood_state_.erase(flooded_order_.front());
-      flooded_order_.pop_front();
-    }
+  std::size_t slot = flooded_.find(id);
+  if (slot == DedupRing::npos) {
+    slot = flooded_.push(id);
+    if (slot >= flood_seen_.size()) flood_seen_.resize(slot + 1);
+    flood_seen_[slot].clear();  // reuse the evicted id's storage
     ++floods_;
   }
   // Storm suppression: each switch forwards a given packet once. The
   // flood then propagates hop-by-hop over real links, paying real
   // dataplane latency (copies arriving at already-flooded switches die
   // here).
-  if (it->second.contains(pi.dpid)) return;
-  it->second.insert(pi.dpid);
+  std::vector<of::Dpid>& seen = flood_seen_[slot];
+  if (std::find(seen.begin(), seen.end(), pi.dpid) != seen.end()) return;
+  seen.push_back(pi.dpid);
   ctrl_.send_packet_out(pi.dpid, of::kPortFlood, pi.packet, pi.in_port);
 }
 

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
+#include "ctrl/dedup_ring.hpp"
 #include "of/messages.hpp"
+#include "topo/path_cache.hpp"
 
 namespace tmg::ctrl {
 
@@ -33,6 +33,11 @@ class RoutingService {
   [[nodiscard]] std::uint64_t paths_installed() const { return paths_; }
   [[nodiscard]] std::uint64_t floods() const { return floods_; }
 
+  /// Epoch-keyed shortest-path memo (audited by the invariant checker).
+  [[nodiscard]] const topo::PathCache& path_cache() const {
+    return path_cache_;
+  }
+
  private:
   /// Hop-by-hop dataplane flooding with per-switch storm suppression:
   /// each switch floods a given packet at most once, so broadcasts
@@ -42,16 +47,17 @@ class RoutingService {
   /// Install per-hop rules toward dst and forward the packet. Returns
   /// false if no path exists.
   bool route(const of::PacketIn& pi, const of::Location& dst_loc);
-  void remember(std::unordered_set<std::uint64_t>& set,
-                std::deque<std::uint64_t>& order, std::uint64_t id);
 
   Controller& ctrl_;
-  /// trace_id -> switches that already flooded it.
-  std::unordered_map<std::uint64_t, std::unordered_set<of::Dpid>>
-      flood_state_;
-  std::deque<std::uint64_t> flooded_order_;
-  std::unordered_set<std::uint64_t> routed_;
-  std::deque<std::uint64_t> routed_order_;
+  /// All shortest-path queries go through the epoch-keyed cache; any
+  /// topology mutation (including a fabricated link) invalidates it.
+  topo::PathCache path_cache_;
+  /// Flood dedup: ring of recent trace ids; flood_seen_[slot] lists the
+  /// switches that already flooded that id. Slots are reused on eviction
+  /// so steady-state flooding allocates nothing.
+  DedupRing flooded_;
+  std::vector<std::vector<of::Dpid>> flood_seen_;
+  DedupRing routed_;
   std::uint64_t next_cookie_ = 1;
   std::uint64_t paths_ = 0;
   std::uint64_t floods_ = 0;

@@ -89,7 +89,7 @@ void ActiveLinkVerifier::send_probe(const topo::Link& link) {
   ctrl_.send_packet_out(v.src.dpid, v.src.port, std::move(probe));
 
   // Loss detection.
-  ctrl_.loop().schedule_after(config_.probe_timeout, [this, link, nonce] {
+  ctrl_.loop().post_after(config_.probe_timeout, [this, link, nonce] {
     auto vit = links_.find(link);
     if (vit == links_.end() || vit->second.state != State::Probing) return;
     if (vit->second.outstanding.erase(nonce) > 0) {
@@ -98,7 +98,7 @@ void ActiveLinkVerifier::send_probe(const topo::Link& link) {
   });
   // Next probe.
   if (v.sent < config_.probes) {
-    ctrl_.loop().schedule_after(config_.probe_gap,
+    ctrl_.loop().post_after(config_.probe_gap,
                                 [this, link] { send_probe(link); });
   }
 }

@@ -51,4 +51,12 @@ Verdict Lli::on_lldp_observation(const ctrl::LldpObservation& obs) {
   return Verdict::Allow;
 }
 
+std::vector<std::string> Lli::audit() const {
+  std::vector<std::string> issues;
+  for (std::string& issue : window_.audit()) {
+    issues.push_back("LLI: " + issue);
+  }
+  return issues;
+}
+
 }  // namespace tmg::defense

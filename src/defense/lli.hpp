@@ -37,6 +37,10 @@ class Lli : public ctrl::DefenseModule {
 
   ctrl::Verdict on_lldp_observation(const ctrl::LldpObservation& obs) override;
 
+  /// Cache-coherence self-check: the latency window's incremental
+  /// threshold must match the naive sort-based recompute.
+  [[nodiscard]] std::vector<std::string> audit() const override;
+
   /// Current anomaly threshold in ms (Fig. 11's upper series).
   [[nodiscard]] std::optional<double> threshold_ms() const {
     return window_.threshold();

@@ -22,7 +22,7 @@ void Sphinx::poll_stats() {
     ctrl_.request_flow_stats(dpid);
     if (config_.check_link_symmetry) ctrl_.request_port_stats(dpid);
   }
-  ctrl_.loop().schedule_after(config_.stats_poll, [this] { poll_stats(); });
+  ctrl_.loop().post_after(config_.stats_poll, [this] { poll_stats(); });
 }
 
 void Sphinx::on_port_stats(const of::PortStatsReply& psr) {

@@ -25,7 +25,7 @@ void ControlChannel::to_switch(CtrlToSwitch msg) {
   sim::SimTime at = loop_.now() + latency_->sample(rng_);
   if (at < last_down_delivery_) at = last_down_delivery_;
   last_down_delivery_ = at;
-  loop_.schedule_at(at, [this, msg = std::move(msg)]() {
+  loop_.post_at(at, [this, msg = std::move(msg)]() {
     if (switch_handler_) switch_handler_(msg);
   });
 }
@@ -35,7 +35,7 @@ void ControlChannel::to_controller(SwitchToCtrl msg) {
   sim::SimTime at = loop_.now() + latency_->sample(rng_);
   if (at < last_up_delivery_) at = last_up_delivery_;
   last_up_delivery_ = at;
-  loop_.schedule_at(at, [this, msg = std::move(msg)]() {
+  loop_.post_at(at, [this, msg = std::move(msg)]() {
     if (ctrl_handler_) ctrl_handler_(msg);
   });
 }

@@ -27,7 +27,7 @@ void DataLink::send(Side from, std::shared_ptr<const net::Packet> pkt) {
   sim::SimTime at = loop_.now() + latency_->sample(rng_);
   if (at < last_delivery_[idx(to)]) at = last_delivery_[idx(to)];
   last_delivery_[idx(to)] = at;
-  loop_.schedule_at(at, [this, to, pkt = std::move(pkt)]() {
+  loop_.post_at(at, [this, to, pkt = std::move(pkt)]() {
     auto& peer = peers_[idx(to)];
     if (!peer.on_packet) return;
     ++delivered_[idx(to)];

@@ -1,8 +1,35 @@
 // Switch flow table: priority-ordered rules with counters and timeouts.
+//
+// `entries_` (sorted by descending priority, stable for ties) remains
+// the source of truth and defines all observable semantics. On top of
+// it the fast path maintains:
+//
+//  * a dst-MAC index: for each concrete match.dst_mac, the ascending
+//    list of table positions holding that key, plus one list for
+//    wildcard-dst entries. A packet lookup merge-walks its dst bucket
+//    and the wildcard bucket in position order — entries keyed to a
+//    different dst MAC can never match the packet, so the walk visits
+//    exactly the candidates the full linear scan would test, in the
+//    same order. MAC keys are interned once into dense bucket numbers
+//    (bucket 0 = wildcard) and each table slot carries its bucket
+//    number, so the lazy rebuild after a structural change is pure
+//    array traffic — position pushes into flat vectors, no hashing.
+//
+//  * a lazy min-heap of (deadline, entry id) for timeout expiry. Heap
+//    deadlines are lower bounds: an idle deadline only moves later as
+//    the rule keeps matching, so a popped entry is re-checked against
+//    its true deadline and re-pushed if still alive. A sweep that
+//    expires nothing costs O(1) instead of O(table).
+//
+// With the fast path disabled (sim::fastpath_enabled() == false) every
+// operation runs the original linear algorithms; audit() cross-checks
+// the index and heap against the vector for the invariant checker.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "of/messages.hpp"
@@ -53,11 +80,63 @@ class FlowTable {
     return entries_;
   }
 
-  void clear() { entries_.clear(); }
+  void clear();
+
+  /// Coherence audit: index buckets must exactly partition the table in
+  /// ascending position order under the correct key, the table must be
+  /// priority-sorted, and every live entry with a timeout must be
+  /// covered by a heap entry at or before its true deadline (the
+  /// properties that make indexed lookup == linear scan and heap expiry
+  /// == linear expiry). Returns a sorted list of violations.
+  [[nodiscard]] std::vector<std::string> audit() const;
 
  private:
+  struct HeapItem {
+    sim::SimTime at;
+    std::uint64_t id;
+  };
+  // Min-heap comparator (std::push_heap builds a max-heap, so invert).
+  struct HeapLater {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  /// Earliest time at which the entry can expire, given its current
+  /// counters; nullopt if it has no timeouts.
+  [[nodiscard]] static std::optional<sim::SimTime> deadline_of(
+      const FlowEntry& e);
+
+  void ensure_index() const;
+  void push_deadline(const FlowEntry& e, std::uint64_t id);
+  /// Position of a live id, or npos. O(n), used on the rare expiry path.
+  [[nodiscard]] std::size_t pos_of(std::uint64_t id) const;
+  /// Dense bucket number for a match's dst key, interning new MACs
+  /// (insert path only; lookups use bucket_of_.find and never intern).
+  [[nodiscard]] std::uint32_t intern_bucket(const FlowMatch& match);
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static constexpr std::uint32_t kWildcardBucket = 0;
+
   // Kept sorted by descending priority (stable for equal priorities).
   std::vector<FlowEntry> entries_;
+  // Stable id per table slot, parallel to entries_ (heap references ids,
+  // not positions, because positions shift on erase).
+  std::vector<std::uint64_t> ids_;
+  std::uint64_t next_id_ = 1;
+  // Lazy min-heap on (at, id); may hold stale ids and outdated (always
+  // too-early) deadlines, resolved when popped.
+  std::vector<HeapItem> expiry_heap_;
+  // Grow-only interning of concrete dst MACs into bucket numbers >= 1
+  // (kWildcardBucket holds the entries with no dst constraint).
+  std::unordered_map<net::MacAddress, std::uint32_t> bucket_of_;
+  // Parallel to entries_: each slot's bucket number.
+  std::vector<std::uint32_t> bucket_no_;
+  // Bucket number -> ascending positions. Rebuilt on demand after
+  // structural mutations, without touching bucket_of_.
+  mutable std::vector<std::vector<std::uint32_t>> buckets_;
+  mutable bool index_dirty_ = true;
 };
 
 }  // namespace tmg::of

@@ -9,7 +9,7 @@ Switch::Switch(sim::EventLoop& loop, sim::Rng rng, Config config,
                ControlChannel& channel)
     : loop_{loop}, rng_{std::move(rng)}, config_{config}, channel_{channel} {
   channel_.attach_switch([this](const CtrlToSwitch& msg) { handle_ctrl(msg); });
-  loop_.schedule_after(config_.expiry_sweep, [this] { sweep_expired(); });
+  loop_.post_after(config_.expiry_sweep, [this] { sweep_expired(); });
 }
 
 void Switch::attach_link(PortNo port, DataLink& link, Side side) {
@@ -169,7 +169,7 @@ void Switch::forward_shared(std::shared_ptr<const net::Packet> pkt,
   p.stats.tx_bytes += pkt->wire_size();
   DataLink* link = p.link;
   const Side side = p.side;
-  loop_.schedule_after(config_.forward_delay,
+  loop_.post_after(config_.forward_delay,
                        [link, side, pkt = std::move(pkt)]() mutable {
                          link->send(side, std::move(pkt));
                        });
@@ -204,7 +204,7 @@ void Switch::on_peer_carrier(PortNo port, bool up) {
     const auto hi = config_.detect_max.count_nanos();
     const auto delay =
         sim::Duration::nanos(rng_.uniform_int(lo, hi > lo ? hi : lo));
-    loop_.schedule_after(delay, [this, port, epoch] {
+    loop_.post_after(delay, [this, port, epoch] {
       auto pit = ports_.find(port);
       if (pit == ports_.end()) return;
       Port& pp = pit->second;
@@ -217,7 +217,7 @@ void Switch::on_peer_carrier(PortNo port, bool up) {
       }
     });
   } else if (up && !p.oper_up) {
-    loop_.schedule_after(config_.up_detect, [this, port, epoch] {
+    loop_.post_after(config_.up_detect, [this, port, epoch] {
       auto pit = ports_.find(port);
       if (pit == ports_.end()) return;
       Port& pp = pit->second;
@@ -239,7 +239,7 @@ void Switch::sweep_expired() {
                       expired.entry.packet_count, expired.entry.byte_count});
     }
   }
-  loop_.schedule_after(config_.expiry_sweep, [this] { sweep_expired(); });
+  loop_.post_after(config_.expiry_sweep, [this] { sweep_expired(); });
 }
 
 }  // namespace tmg::of

@@ -115,13 +115,13 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
   // Poll the fabricated link while the sim runs.
   const std::function<void()> poll = [&]() {
     if (f.fabricated_link_present()) out.link_registered = true;
-    loop.schedule_after(Duration::millis(500),
+    loop.post_after(Duration::millis(500),
                         [&poll] { poll(); });
   };
 
   f.tb->start(Duration::seconds(2));
   fig9_warm_hosts(f);
-  loop.schedule_after(Duration::zero(), [&poll] { poll(); });
+  loop.post_after(Duration::zero(), [&poll] { poll(); });
 
   // Benign phase: periodic h1 <-> h2 traffic until shortly before the
   // attack (then pause so the flow rules idle out and the post-attack
@@ -135,9 +135,9 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
       // need real volume to distinguish blackholing from jitter.
       f.h1->send_raw(f.h2->mac(), f.h2->ip(), "bulk", 1400);
     }
-    loop.schedule_after(Duration::millis(500), [&ping_loop] { ping_loop(); });
+    loop.post_after(Duration::millis(500), [&ping_loop] { ping_loop(); });
   };
-  loop.schedule_after(Duration::zero(), [&ping_loop] { ping_loop(); });
+  loop.post_after(Duration::zero(), [&ping_loop] { ping_loop(); });
 
   f.tb->run_for(config.benign_window - Duration::seconds(10));
   benign_traffic = false;
@@ -272,7 +272,7 @@ HijackOutcome run_hijack(const HijackConfig& config) {
   // so verify the actual binding one tick later.
   auto observer = std::make_unique<HijackObserver>(
       f.victim_mac, f.attacker_loc, [&]() {
-        loop.schedule_after(Duration::zero(), [&] {
+        loop.post_after(Duration::zero(), [&] {
           const auto rec = ctrl.host_tracker().find(f.victim_mac);
           if (rec && rec->loc == f.attacker_loc) {
             attack.mark_hijack_confirmed(loop.now());
@@ -298,9 +298,9 @@ HijackOutcome run_hijack(const HijackConfig& config) {
   std::uint16_t seq = 0;
   const std::function<void()> peer_ping = [&]() {
     f.peer->send_ping(f.victim_mac, f.victim_ip, 0x2222, seq++);
-    loop.schedule_after(Duration::millis(200), [&peer_ping] { peer_ping(); });
+    loop.post_after(Duration::millis(200), [&peer_ping] { peer_ping(); });
   };
-  loop.schedule_after(Duration::zero(), [&peer_ping] { peer_ping(); });
+  loop.post_after(Duration::zero(), [&peer_ping] { peer_ping(); });
 
   attack.start();
   f.tb->run_for(Duration::seconds(2));  // MAC acquisition + steady probing
@@ -317,7 +317,7 @@ HijackOutcome run_hijack(const HijackConfig& config) {
     migrate_host(*f.tb, *f.victim, *f.migration_target,
                  config.victim_downtime);
     // On rejoin the victim announces itself (DHCP/ARP chatter).
-    loop.schedule_after(config.victim_downtime + Duration::millis(50),
+    loop.post_after(config.victim_downtime + Duration::millis(50),
                         [&f] { f.victim->send_arp_request(f.victim->ip()); });
   } else {
     f.victim->detach_link();
@@ -495,7 +495,7 @@ ProbeTimingRow measure_probe_timing(attack::ProbeType type, std::size_t n,
     prober.probe(target, [&](const attack::ProbeOutcome& outcome) {
       end_to_end.push_back(outcome.duration().to_millis_f());
       if (outcome.alive) ++alive;
-      lab.tb.loop().schedule_after(Duration::millis(1), [&next] { next(); });
+      lab.tb.loop().post_after(Duration::millis(1), [&next] { next(); });
     });
   };
   next();
@@ -550,9 +550,9 @@ ScanDetectionResult run_scan_detection(attack::ProbeType type,
     if (!prober.busy()) {
       prober.probe(target, [](const attack::ProbeOutcome&) {});
     }
-    lab.tb.loop().schedule_after(period, [&tick] { tick(); });
+    lab.tb.loop().post_after(period, [&tick] { tick(); });
   };
-  lab.tb.loop().schedule_after(Duration::zero(), [&tick] { tick(); });
+  lab.tb.loop().post_after(Duration::zero(), [&tick] { tick(); });
   lab.tb.run_for(window);
 
   ScanDetectionResult result;

@@ -113,7 +113,7 @@ void Hypervisor::tick() {
       }
     }
   }
-  loop_.schedule_after(config_.tick, [this] { tick(); });
+  loop_.post_after(config_.tick, [this] { tick(); });
 }
 
 void Hypervisor::migrate(Vm& vm, ServerId to) {
@@ -142,12 +142,12 @@ void Hypervisor::migrate(Vm& vm, ServerId to) {
   // its network stack re-announces itself.
   attack::Host* host = vm.host;
   of::DataLink* link = dst.slots[dst_slot];
-  loop_.schedule_after(downtime, [this, host, link] {
+  loop_.post_after(downtime, [this, host, link] {
     host->attach_link(*link, of::Side::B);
     migrating_ = false;
     // Gratuitous ARP once the switch has detected the port up (the
     // resumed VM's stack re-announces itself).
-    loop_.schedule_after(sim::Duration::millis(10),
+    loop_.post_after(sim::Duration::millis(10),
                          [host] { host->send_arp_request(host->ip()); });
   });
 }

@@ -27,6 +27,13 @@ check::InvariantChecker& Testbed::enable_invariant_checker(
     opts.assert_on_violation = true;
     checker_ =
         std::make_unique<check::InvariantChecker>(*controller_, opts);
+    // Cache-coherence audits: each switch's indexed flow table must keep
+    // agreeing with the plain priority-sorted vector it accelerates.
+    for (auto& [dpid, entry] : switches_) {
+      of::Switch* sw = entry.sw.get();
+      checker_->add_audit("flow table dpid " + std::to_string(dpid),
+                          [sw] { return sw->flow_table().audit(); });
+    }
   }
   if (topoguard) checker_->watch_topoguard(*topoguard);
   return *checker_;
@@ -137,7 +144,7 @@ void Testbed::run_until(sim::SimTime t) { loop_.run_until(t); }
 void migrate_host(Testbed& tb, attack::Host& host, of::DataLink& target,
                   sim::Duration downtime) {
   host.detach_link();
-  tb.loop().schedule_after(downtime, [&host, &target] {
+  tb.loop().post_after(downtime, [&host, &target] {
     host.attach_link(target, of::Side::B);
   });
 }

@@ -19,19 +19,56 @@ bool TimerHandle::pending() const {
 EventLoop::EventLoop()
     : cancelled_in_queue_{std::make_shared<std::size_t>(0)} {}
 
+std::uint32_t EventLoop::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventLoop::release_slot(std::uint32_t slot) {
+  slots_[slot].fn = EventFn{};
+  slots_[slot].state.reset();
+  slots_[slot].next_free = free_head_;
+  free_head_ = slot;
+}
+
+void EventLoop::push_entry(SimTime at, std::uint32_t slot) {
+  heap_.push_back(Entry{at, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 TimerHandle EventLoop::schedule_at(SimTime at, EventFn fn) {
   assert(static_cast<bool>(fn));
   if (at < now_) at = now_;
   auto state = std::make_shared<TimerHandle::State>();
   state->cancelled_in_queue = cancelled_in_queue_;
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), state});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  slots_[slot].state = state;
+  push_entry(at, slot);
   return TimerHandle{std::move(state)};
 }
 
 TimerHandle EventLoop::schedule_after(Duration delay, EventFn fn) {
   if (delay.is_negative()) delay = Duration::zero();
   return schedule_at(now_ + delay, std::move(fn));
+}
+
+void EventLoop::post_at(SimTime at, EventFn fn) {
+  assert(static_cast<bool>(fn));
+  if (at < now_) at = now_;
+  const std::uint32_t slot = acquire_slot();
+  slots_[slot].fn = std::move(fn);
+  push_entry(at, slot);
+}
+
+void EventLoop::post_after(Duration delay, EventFn fn) {
+  if (delay.is_negative()) delay = Duration::zero();
+  post_at(now_ + delay, std::move(fn));
 }
 
 void EventLoop::set_post_event_hook(std::uint64_t every_n,
@@ -46,14 +83,18 @@ void EventLoop::maybe_compact() {
       *cancelled_in_queue_ * 2 < heap_.size()) {
     return;
   }
-  std::erase_if(heap_, [](const Entry& e) { return e.state->cancelled; });
+  std::erase_if(heap_, [&](const Entry& e) {
+    if (!slot_cancelled(e.slot)) return false;
+    release_slot(e.slot);
+    return true;
+  });
   std::make_heap(heap_.begin(), heap_.end(), Later{});
   *cancelled_in_queue_ = 0;
 }
 
 EventLoop::Entry EventLoop::pop_top() {
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry entry = std::move(heap_.back());
+  const Entry entry = heap_.back();
   heap_.pop_back();
   return entry;
 }
@@ -61,15 +102,21 @@ EventLoop::Entry EventLoop::pop_top() {
 bool EventLoop::step() {
   maybe_compact();
   while (!heap_.empty()) {
-    Entry entry = pop_top();
-    if (entry.state->cancelled) {
+    const Entry entry = pop_top();
+    Slot& slot = slots_[entry.slot];
+    if (slot.state && slot.state->cancelled) {
       --*cancelled_in_queue_;
+      release_slot(entry.slot);
       continue;
     }
-    entry.state->fired = true;
+    if (slot.state) slot.state->fired = true;
+    // Move the callback out before releasing: the event may schedule new
+    // work that immediately reuses this slot.
+    EventFn fn = std::move(slot.fn);
+    release_slot(entry.slot);
     now_ = entry.at;
     ++executed_;
-    entry.fn();
+    fn();
     if (post_event_every_ != 0 && executed_ % post_event_every_ == 0) {
       post_event_hook_();
     }
@@ -81,8 +128,9 @@ bool EventLoop::step() {
 void EventLoop::run_until(SimTime deadline) {
   while (!heap_.empty()) {
     // Skip cancelled entries without advancing the clock.
-    if (heap_.front().state->cancelled) {
-      pop_top();
+    if (slot_cancelled(heap_.front().slot)) {
+      const Entry entry = pop_top();
+      release_slot(entry.slot);
       --*cancelled_in_queue_;
       continue;
     }

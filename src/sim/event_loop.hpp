@@ -8,6 +8,14 @@
 // std::vector with sequence-number tie-breaking, and callbacks are
 // stored in a small-buffer-optimized InlineFn<64> — a scheduled lambda
 // capturing up to 64 bytes costs no callback allocation.
+//
+// The heap itself holds only 24-byte POD records (time, seq, slot
+// index); the callback and cancellation state live in a stable slab
+// recycled through a free list. Heap sifts therefore move trivially
+// copyable structs instead of running InlineFn relocation thunks —
+// the dominant per-event cost before this layout. Fire-and-forget
+// events scheduled via post_at/post_after additionally skip the
+// TimerHandle control-block allocation entirely.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +77,14 @@ class EventLoop {
   /// to zero (models "immediately, after the current event").
   TimerHandle schedule_after(Duration delay, EventFn fn);
 
+  /// Fire-and-forget variants: identical ordering semantics to
+  /// schedule_at/schedule_after, but no TimerHandle is produced and no
+  /// per-event control block is allocated. Use for events that are never
+  /// cancelled (packet deliveries, flow-mod applies, periodic rounds that
+  /// re-arm themselves); keep schedule_* when the caller stores the handle.
+  void post_at(SimTime at, EventFn fn);
+  void post_after(Duration delay, EventFn fn);
+
   /// Run events until the queue drains or the clock passes `deadline`.
   /// Events stamped exactly at `deadline` do run.
   void run_until(SimTime deadline);
@@ -100,11 +116,11 @@ class EventLoop {
   void set_post_event_hook(std::uint64_t every_n, std::function<void()> hook);
 
  private:
+  /// POD heap record; the callback lives in slots_[slot].
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // tie-break: insertion order
-    EventFn fn;
-    std::shared_ptr<TimerHandle::State> state;
+    std::uint32_t slot;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -112,6 +128,22 @@ class EventLoop {
       return a.seq > b.seq;
     }
   };
+  /// Stable storage for a pending event's callback and (optional)
+  /// cancellation state; recycled through an intrusive free list.
+  struct Slot {
+    EventFn fn;
+    /// Null for post_at/post_after events (never cancellable).
+    std::shared_ptr<TimerHandle::State> state;
+    std::uint32_t next_free = 0;
+  };
+
+  [[nodiscard]] bool slot_cancelled(std::uint32_t slot) const {
+    const auto& state = slots_[slot].state;
+    return state && state->cancelled;
+  }
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void push_entry(SimTime at, std::uint32_t slot);
 
   /// Drop cancelled entries when they dominate the queue, so a workload
   /// that schedules-and-cancels heavily (e.g. per-packet timeouts) keeps
@@ -122,9 +154,13 @@ class EventLoop {
   /// Pop the heap top into a local Entry.
   Entry pop_top();
 
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
   // Min-heap on (at, seq) over a flat vector (std::push_heap/pop_heap
   // with the inverted `Later` comparator).
   std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

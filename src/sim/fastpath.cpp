@@ -1,0 +1,26 @@
+#include "sim/fastpath.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tmg::sim {
+
+namespace {
+
+bool env_default() {
+  const char* v = std::getenv("TMG_DISABLE_FASTPATH");
+  if (v == nullptr || *v == '\0') return true;
+  return std::strcmp(v, "0") == 0;  // "0" keeps the fast path on
+}
+
+// Written only during startup (env read / flag parsing), read-only once
+// trials run.
+bool g_fastpath = env_default();
+
+}  // namespace
+
+bool fastpath_enabled() { return g_fastpath; }
+
+void set_fastpath_enabled(bool enabled) { g_fastpath = enabled; }
+
+}  // namespace tmg::sim

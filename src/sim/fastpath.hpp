@@ -1,0 +1,32 @@
+// Global fast-path toggle (cross-check mode).
+//
+// The algorithmic fast paths — epoch-keyed route caching
+// (topo::PathCache), the dst-MAC-indexed flow table (of::FlowTable),
+// and the incremental LLI order statistics (stats::LatencyWindow) —
+// are required to be *byte-identical* to the naive recomputations they
+// replace. This switch keeps the naive implementations alive so any
+// run can be replayed with caching disabled and diffed:
+//
+//   TMG_DISABLE_FASTPATH=1 ./bench/bench_attack_matrix ...   (env)
+//   ./bench/bench_attack_matrix --no-fastpath ...            (flag)
+//
+// tools/run_bench.py --fastpath-check runs the attack matrix both ways
+// and fails if a single output byte differs.
+//
+// The flag is process-global and must only be flipped before any
+// simulation state exists (benches set it while parsing argv, before
+// the first trial). It is deliberately a plain bool: trials read it
+// concurrently but nobody writes after startup.
+#pragma once
+
+namespace tmg::sim {
+
+/// True (default) = incremental/caching implementations; false = naive
+/// reference implementations. Initialized from TMG_DISABLE_FASTPATH.
+[[nodiscard]] bool fastpath_enabled();
+
+/// Override the environment default. Call before constructing any
+/// simulation objects; switching mid-run is unsupported.
+void set_fastpath_enabled(bool enabled);
+
+}  // namespace tmg::sim

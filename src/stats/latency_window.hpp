@@ -4,10 +4,19 @@
 // Inspector (paper Sec. VI-D): a bounded ring of verified per-link
 // latency measurements over which Q1/Q3/IQR are computed, with threshold
 // Q3 + k*IQR (k = 3 in the paper).
+//
+// Fast path: alongside the ring the window maintains a sorted mirror of
+// the same samples (O(log n) search + O(n) memmove per add — cheap at
+// LLI window sizes) and a cached threshold recomputed only after the
+// contents change. Because the mirror holds the identical multiset of
+// doubles the naive copy+sort would produce, quantile_sorted sees the
+// same sorted sequence and the threshold is bit-identical. With the
+// fast path disabled every call recomputes from scratch.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "stats/quantile.hpp"
@@ -43,6 +52,11 @@ class LatencyWindow {
 
   void clear();
 
+  /// Coherence audit: the sorted mirror must hold exactly the ring's
+  /// samples in nondecreasing order, and the cached threshold must equal
+  /// the naive sort-and-compute reference. Sorted list of violations.
+  [[nodiscard]] std::vector<std::string> audit() const;
+
  private:
   std::size_t capacity_;
   double k_;
@@ -50,6 +64,10 @@ class LatencyWindow {
   std::vector<double> buf_;  // ring buffer
   std::size_t head_ = 0;     // insertion point once full
   bool full_ = false;
+  // Fast path: sorted mirror of buf_'s contents + memoized threshold.
+  std::vector<double> sorted_;
+  mutable std::optional<double> cached_threshold_;
+  mutable bool cache_dirty_ = true;
 };
 
 }  // namespace tmg::stats

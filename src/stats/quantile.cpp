@@ -26,6 +26,10 @@ double quantile(std::span<const double> samples, double q) {
 Iqr compute_iqr(std::span<const double> samples) {
   std::vector<double> sorted(samples.begin(), samples.end());
   std::sort(sorted.begin(), sorted.end());
+  return compute_iqr_sorted(sorted);
+}
+
+Iqr compute_iqr_sorted(std::span<const double> sorted) {
   return Iqr{quantile_sorted(sorted, 0.25), quantile_sorted(sorted, 0.75)};
 }
 

@@ -34,6 +34,11 @@ struct Iqr {
 /// Compute Q1/Q3 of a sample. Requires a non-empty input.
 Iqr compute_iqr(std::span<const double> samples);
 
+/// Q1/Q3 of an already-sorted sample: no copy, no re-sort. Callers that
+/// need several order statistics of one sample sort once and use the
+/// *_sorted entry points (LatencyWindow's incremental mirror does).
+Iqr compute_iqr_sorted(std::span<const double> sorted);
+
 /// Inverse CDF of the standard normal (Acklam's rational approximation,
 /// |relative error| < 1.15e-9). p in (0,1).
 double normal_quantile(double p);

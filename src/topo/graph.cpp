@@ -27,6 +27,7 @@ bool TopologyGraph::add_link(Location x, Location y) {
   const Link l{x, y};
   const auto [it, inserted] = links_.try_emplace(key(l), l);
   if (!inserted) return false;
+  ++epoch_;
   adj_[l.a.dpid].push_back(Traversal{l.a, l.b});
   adj_[l.b.dpid].push_back(Traversal{l.b, l.a});
   return true;
@@ -35,6 +36,7 @@ bool TopologyGraph::add_link(Location x, Location y) {
 bool TopologyGraph::remove_link(Location x, Location y) {
   const Link l{x, y};
   if (links_.erase(key(l)) == 0) return false;
+  ++epoch_;
   auto drop = [](std::vector<Traversal>& v, Location from, Location to) {
     std::erase_if(v, [&](const Traversal& t) {
       return t.from == from && t.to == to;
@@ -101,6 +103,7 @@ std::optional<std::vector<TopologyGraph::Traversal>> TopologyGraph::path(
 void TopologyGraph::clear() {
   links_.clear();
   adj_.clear();
+  ++epoch_;
 }
 
 std::vector<std::string> TopologyGraph::audit() const {

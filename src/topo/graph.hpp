@@ -40,6 +40,14 @@ class TopologyGraph {
   /// Remove a link. Returns true if it existed.
   bool remove_link(Location x, Location y);
 
+  /// Monotonically increasing mutation counter: bumped by every
+  /// successful add_link / remove_link and by clear(). Any structure
+  /// memoizing a function of the link set (e.g. topo::PathCache) keys
+  /// its entries on this epoch, so a fabricated or removed link — the
+  /// very state the paper's attacks poison — invalidates every cached
+  /// answer by construction.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
   [[nodiscard]] bool has_link(Location x, Location y) const;
 
   /// True if this (dpid, port) is an endpoint of any known link (i.e. a
@@ -75,6 +83,7 @@ class TopologyGraph {
   std::unordered_map<std::uint64_t, Link> links_;
   // Adjacency: dpid -> oriented traversals out of that switch.
   std::unordered_map<Dpid, std::vector<Traversal>> adj_;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace tmg::topo

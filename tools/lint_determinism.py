@@ -29,6 +29,15 @@ usual ways nondeterminism sneaks back in:
                            thread scheduling. Each trial must own its
                            Rng (seeded via TrialRunner::trial_seed or
                            forked from the trial's own Testbed).
+  rule `cache-coherence`-- a file that defines a cache (a `class *Cache`
+                           or a `*cache_` member) and touches the
+                           topology must reference the graph's mutation
+                           epoch -- or delegate to the epoch-keyed
+                           topo::PathCache. A topology-keyed cache with
+                           no epoch tie can serve results computed
+                           before a link was fabricated or torn down,
+                           which is exactly the stale state the paper's
+                           attacks exploit.
 
 Scope: every .hpp/.cpp under src/, except src/sim/rng.* (the one module
 allowed to own entropy).
@@ -115,6 +124,13 @@ UNORDERED_DECL_RE = re.compile(
 )
 RANGE_FOR_RE = re.compile(r"\bfor\s*\([^)]*:\s*\*?(\w+)\s*\)")
 
+# cache-coherence: cache definitions, topology use, and the two ways a
+# cache can prove it tracks topology mutations (the epoch counter
+# itself, or delegating to the epoch-keyed PathCache).
+CACHE_DECL_RE = re.compile(r"\bclass\s+\w*Cache\b|\b\w*cache_\s*[;{=]")
+TOPOLOGY_USE_RE = re.compile(r"\bTopologyGraph\b|\btopology\s*\(")
+EPOCH_TIE_RE = re.compile(r"\bepoch|\bPathCache\b")
+
 
 def unordered_members(*sources: str) -> set[str]:
     names: set[str] = set()
@@ -167,6 +183,19 @@ def lint_file(path: Path, root: Path) -> list[str]:
             findings.append(
                 f"{rel}:{i + 1}: unordered-iter: {line.strip()}"
             )
+
+    # cache-coherence is a file-pair property: the epoch reference may
+    # live in either the .hpp or the .cpp.
+    combined = text + sibling_text
+    if TOPOLOGY_USE_RE.search(combined) and not EPOCH_TIE_RE.search(combined):
+        for i, line in enumerate(lines):
+            stripped = line.split("//", 1)[0]
+            if CACHE_DECL_RE.search(stripped) and not allowed(
+                "cache-coherence", lines, i
+            ):
+                findings.append(
+                    f"{rel}:{i + 1}: cache-coherence: {line.strip()}"
+                )
     return findings
 
 

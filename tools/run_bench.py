@@ -22,9 +22,16 @@ requested job count, and records the wall-clock ratio. The tables the
 two runs print must be identical — the driver diffs them and fails if
 parallelism changed any simulated result.
 
+--fastpath-check runs the same serial attack-matrix workload once with
+the algorithmic fast paths enabled and once with --no-fastpath (naive
+reference algorithms), diffs the stdout (minus [bench] timing lines),
+and fails if the fast paths changed any simulated result. The
+wall-clock ratio is recorded as the fast paths' end-to-end speedup.
+
 Usage:
     python3 tools/run_bench.py [--quick] [--jobs N] [--build-dir build]
                                [--out BENCH.json] [--speedup]
+                               [--fastpath-check]
 """
 
 import argparse
@@ -37,6 +44,8 @@ import tempfile
 # Benches that implement the harness flags. Order is the report order.
 BENCHES = [
     "bench_event_loop",
+    "bench_routing",
+    "bench_flow_table",
     "bench_table1_probes",
     "bench_scan_detection",
     "bench_fig5_iface_up",
@@ -90,6 +99,10 @@ def main():
     ap.add_argument("--speedup", action="store_true",
                     help="also measure jobs=1 vs jobs=N on the 200-trial "
                          "attack-matrix workload")
+    ap.add_argument("--fastpath-check", action="store_true",
+                    help="also run the serial attack-matrix workload with "
+                         "and without --no-fastpath and fail unless the "
+                         "outputs are identical")
     args = ap.parse_args()
 
     bench_dir = os.path.join(args.build_dir, "bench")
@@ -140,6 +153,36 @@ def main():
         }
         print(f"[run_bench] speedup: {serial['wall_ms']:.0f} ms @ jobs=1 -> "
               f"{parallel['wall_ms']:.0f} ms @ jobs={parallel['jobs']} "
+              f"({ratio:.2f}x, identical output)")
+
+    if args.fastpath_check:
+        binary = os.path.join(bench_dir, "bench_attack_matrix")
+        workload = ["--trials", "10", "--jobs", "1"]
+        # Interleaved best-of-3 per mode: the equivalence gate needs one
+        # run, but a meaningful wall-clock ratio needs noise control.
+        fast, naive = None, None
+        for _ in range(3):
+            f, fast_out = run_bench(binary, list(workload))
+            n, naive_out = run_bench(binary, workload + ["--no-fastpath"])
+            if strip_bench_lines(fast_out) != strip_bench_lines(naive_out):
+                sys.exit("error: attack-matrix output differs between the "
+                         "fast-path and --no-fastpath runs — the fast "
+                         "paths changed a simulated result")
+            if fast is None or f["wall_ms"] < fast["wall_ms"]:
+                fast = f
+            if naive is None or n["wall_ms"] < naive["wall_ms"]:
+                naive = n
+        ratio = naive["wall_ms"] / fast["wall_ms"]
+        report["fastpath_check"] = {
+            "workload": "attack_matrix --trials 10 --jobs 1 "
+                        "(200 experiments)",
+            "fastpath_wall_ms": fast["wall_ms"],
+            "no_fastpath_wall_ms": naive["wall_ms"],
+            "speedup": ratio,
+            "output_identical": True,
+        }
+        print(f"[run_bench] fastpath: {naive['wall_ms']:.0f} ms naive -> "
+              f"{fast['wall_ms']:.0f} ms fast path "
               f"({ratio:.2f}x, identical output)")
 
     with open(args.out, "w") as f:
