@@ -10,7 +10,17 @@
 // held. All trials fan out across --jobs worker threads; results are
 // merged in trial-index order, so the table is identical for every
 // --jobs value.
+//
+// Extra flags on top of the shared harness set:
+//   --stacked          add a sixth defense column running TopoGuard,
+//                      SPHINX, CMM and LLI simultaneously as stacked
+//                      pipeline listeners (default table is unchanged)
+//   --pipeline-stats   print per-listener dispatch/stop counters per
+//                      defense suite after the matrix
 #include <cstdio>
+#include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_harness.hpp"
@@ -32,14 +42,24 @@ int main(int argc, char** argv) {
       LinkAttackKind::OobAmnesiaNaive,
       LinkAttackKind::InBandAmnesia,
   };
-  const DefenseSuite suites[] = {
+  std::vector<DefenseSuite> suites = {
       DefenseSuite::None,
       DefenseSuite::TopoGuard,
       DefenseSuite::Sphinx,
       DefenseSuite::TopoGuardAndSphinx,
       DefenseSuite::TopoGuardPlus,
   };
-  constexpr std::size_t kCells = 4 * 5;
+
+  bool stacked = false;
+  bool show_pipeline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stacked") stacked = true;
+    if (arg == "--pipeline-stats") show_pipeline = true;
+  }
+  if (stacked) suites.push_back(DefenseSuite::Stacked);
+  const std::size_t n_suites = suites.size();
+  const std::size_t kCells = 4 * n_suites;
 
   const HarnessOptions opts = parse_harness_args(argc, argv);
   // Default: 1 trial per cell with the canonical seed 42 (the classic
@@ -54,8 +74,9 @@ int main(int argc, char** argv) {
         const std::size_t cell = i % kCells;
         const std::size_t trial = i / kCells;
         scenario::LinkAttackConfig cfg;
-        cfg.kind = kinds[cell / 5];
-        cfg.suite = suites[cell % 5];
+        cfg.kind = kinds[cell / n_suites];
+        cfg.suite = suites[cell % n_suites];
+        cfg.collect_pipeline_stats = show_pipeline;
         // Trial 0 keeps the canonical seed so the default table matches
         // the paper walk-through; later trials draw derived seeds.
         cfg.seed = trial == 0 ? 42 : scenario::TrialRunner::trial_seed(42, trial);
@@ -88,8 +109,8 @@ int main(int argc, char** argv) {
       cmm += out.alerts_cmm;
       lli += out.alerts_lli;
     }
-    table.add_row({scenario::to_string(kinds[cell / 5]),
-                   scenario::to_string(suites[cell % 5]), frac(made),
+    table.add_row({scenario::to_string(kinds[cell / n_suites]),
+                   scenario::to_string(suites[cell % n_suites]), frac(made),
                    frac(held), frac(mitm), fmt_u(flaps), fmt_u(tg),
                    fmt_u(sphinx), fmt_u(cmm), fmt_u(lli), frac(detected)});
   }
@@ -105,6 +126,36 @@ int main(int argc, char** argv) {
       "  - naive oob (flap during propagation): CMM also fires;\n"
       "  - in-band: bypasses TopoGuard/SPHINX at the cost of repeated\n"
       "    context-switch flaps; CMM detects and blocks it.\n");
+
+  if (show_pipeline) {
+    // Per-listener dispatch counters aggregated over attacks and trials
+    // for each defense suite. Deliberately excludes wall time: counters
+    // are deterministic, host clocks are not.
+    std::printf("\nPipeline listener stats (summed over attacks/trials):\n");
+    Table pstats({"Defense", "Listener", "Prio", "Dispatches", "Stops"});
+    for (std::size_t s = 0; s < n_suites; ++s) {
+      // Keyed by (priority, name): the chain order within each suite.
+      std::map<std::pair<int, std::string>,
+               std::pair<std::uint64_t, std::uint64_t>>
+          agg;
+      for (std::size_t cell = 0; cell < kCells; ++cell) {
+        if (cell % n_suites != s) continue;
+        for (std::size_t t = 0; t < trials_per_cell; ++t) {
+          for (const auto& ls : outcomes[t * kCells + cell].pipeline_stats) {
+            auto& slot = agg[{ls.priority, ls.name}];
+            slot.first += ls.dispatches;
+            slot.second += ls.stops;
+          }
+        }
+      }
+      for (const auto& [key, counts] : agg) {
+        pstats.add_row({scenario::to_string(suites[s]), key.second,
+                        fmt_u(static_cast<std::uint64_t>(key.first)),
+                        fmt_u(counts.first), fmt_u(counts.second)});
+      }
+    }
+    pstats.print();
+  }
 
   BenchResult result;
   result.bench = "attack_matrix";

@@ -16,7 +16,8 @@ using namespace tmg::scenario;
 
 namespace {
 
-bool g_check = false;  // --check: print invariant-checker footers
+examples::ExampleArgs g_args;  // shared example flags (--check etc.)
+bool g_check = false;          // --check: print invariant-checker footers
 
 void report(const char* act, const LinkAttackOutcome& out) {
   std::printf("%s\n", act);
@@ -37,12 +38,15 @@ void report(const char* act, const LinkAttackOutcome& out) {
                 static_cast<unsigned long long>(out.invariant_sweeps),
                 static_cast<unsigned long long>(out.invariant_violations));
   }
+  examples::print_pipeline_stats(out.pipeline_stats, g_args);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_check = examples::check_flag(argc, argv);
+  g_args = examples::parse_example_args(argc, argv);
+  g_check = g_args.check;
+  examples::warn_modules_unavailable(g_args);
   std::printf("== Port Amnesia: link fabrication that survives TopoGuard ==\n\n");
   std::printf(
       "Two compromised hosts on switches 0x2 and 0x4 relay the\n"
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
 
   LinkAttackConfig cfg;
   cfg.seed = 42;
+  cfg.collect_pipeline_stats = g_args.pipeline_stats;
 
   cfg.kind = LinkAttackKind::ClassicRelay;
   cfg.suite = DefenseSuite::TopoGuard;

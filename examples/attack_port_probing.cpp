@@ -16,7 +16,8 @@ using namespace tmg::scenario;
 
 namespace {
 
-bool g_check = false;  // --check: print invariant-checker footers
+examples::ExampleArgs g_args;  // shared example flags (--check etc.)
+bool g_check = false;          // --check: print invariant-checker footers
 
 void report(const char* title, const HijackOutcome& out) {
   std::printf("%s\n", title);
@@ -44,12 +45,15 @@ void report(const char* title, const HijackOutcome& out) {
                 static_cast<unsigned long long>(out.invariant_sweeps),
                 static_cast<unsigned long long>(out.invariant_violations));
   }
+  examples::print_pipeline_stats(out.pipeline_stats, g_args);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_check = examples::check_flag(argc, argv);
+  g_args = examples::parse_example_args(argc, argv);
+  g_check = g_args.check;
+  examples::warn_modules_unavailable(g_args);
   std::printf("== Port Probing: hijacking a host in transit ==\n\n");
   std::printf(
       "Victim 10.0.0.1 (aa:aa:aa:aa:aa:aa) begins a planned migration\n"
@@ -66,6 +70,7 @@ int main(int argc, char** argv) {
     HijackConfig cfg;
     cfg.seed = 7;
     cfg.suite = suites[i];
+    cfg.collect_pipeline_stats = g_args.pipeline_stats;
     return run_hijack(cfg);
   });
 

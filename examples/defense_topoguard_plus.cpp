@@ -15,15 +15,17 @@ using namespace tmg;
 using namespace tmg::sim::literals;
 
 int main(int argc, char** argv) {
+  const examples::ExampleArgs args = examples::parse_example_args(argc, argv);
   std::printf("== Deploying TOPOGUARD+ ==\n\n");
 
   // The controller must sign LLDP and seal departure timestamps —
   // fig9_options enables both. The invariant checker is opt-in here.
   scenario::TestbedOptions opts = scenario::fig9_options();
-  opts.check_invariants = examples::check_flag(argc, argv);
+  opts.check_invariants = args.check;
   scenario::Fig9Testbed f = scenario::make_fig9_testbed(opts);
   const defense::TopoGuardPlus tgp =
       defense::install_topoguard_plus(f.tb->controller());
+  examples::apply_modules(f.tb->controller(), args);
 
   // Print every alert as the run unfolds.
   f.tb->controller().alerts().subscribe([](const ctrl::Alert& a) {
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
                                           : "no (blocked)");
   std::printf("  genuine links still healthy: %zu / 4\n",
               f.tb->controller().topology().link_count());
+  examples::print_pipeline_stats(f.tb->controller(), args);
   examples::print_check_summary(*f.tb);
   return 0;
 }

@@ -1,31 +1,136 @@
 // Shared helpers for the example programs.
 //
-// Every example accepts `--check`: it attaches the runtime invariant
-// checker (src/check) to the simulation and prints a verification
-// footer. A violation means the *simulator* is broken — the examples
-// abort rather than print numbers computed from corrupted state.
+// Every example parses its command line through parse_example_args, so
+// all of them accept the same flag set:
+//
+//   --check            attach the runtime invariant checker (src/check)
+//                      and print a verification footer. A violation
+//                      means the *simulator* is broken — the examples
+//                      abort rather than print numbers computed from
+//                      corrupted state.
+//   --modules=list     print the controller's message-pipeline chain
+//                      (priority order) and exit codes aside, continue.
+//   --modules=+X,-Y    enable (+) / disable (-) pipeline listeners by
+//                      name before the simulation starts.
+//   --pipeline-stats   print per-listener dispatch counters at the end.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "check/invariants.hpp"
+#include "ctrl/controller.hpp"
 #include "scenario/testbed.hpp"
 
 namespace tmg::examples {
 
-/// True when `--check` appears anywhere on the command line.
-inline bool check_flag(int argc, char** argv) {
+struct ExampleArgs {
+  bool check = false;
+  bool pipeline_stats = false;
+  bool list_modules = false;
+  std::vector<std::string> enable_modules;   // --modules=+Name
+  std::vector<std::string> disable_modules;  // --modules=-Name
+};
+
+/// Parse the shared example flags. Unknown arguments are ignored so
+/// individual examples can layer their own.
+inline ExampleArgs parse_example_args(int argc, char** argv) {
+  ExampleArgs args;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--check") == 0) return true;
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--check") == 0) {
+      args.check = true;
+    } else if (std::strcmp(arg, "--pipeline-stats") == 0) {
+      args.pipeline_stats = true;
+    } else if (std::strncmp(arg, "--modules=", 10) == 0) {
+      // Comma-separated list of "list", "+Name" or "-Name" tokens.
+      std::string rest = arg + 10;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string token = rest.substr(0, comma);
+        rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+        if (token.empty()) continue;
+        if (token == "list") {
+          args.list_modules = true;
+        } else if (token[0] == '+') {
+          args.enable_modules.push_back(token.substr(1));
+        } else if (token[0] == '-') {
+          args.disable_modules.push_back(token.substr(1));
+        } else {
+          std::fprintf(stderr,
+                       "warning: --modules token '%s' is not 'list', "
+                       "'+name' or '-name'; ignored\n",
+                       token.c_str());
+        }
+      }
+    }
   }
-  return false;
+  return args;
 }
 
 /// Apply `--check` to testbed options built by an example.
-inline void apply_check_flag(scenario::TestbedOptions& opts, int argc,
-                             char** argv) {
-  if (check_flag(argc, argv)) opts.check_invariants = true;
+inline void apply_check_flag(scenario::TestbedOptions& opts,
+                             const ExampleArgs& args) {
+  if (args.check) opts.check_invariants = true;
+}
+
+/// Apply `--modules=` to a controller whose defenses are installed:
+/// print the chain for "list", then flip the requested listeners.
+inline void apply_modules(ctrl::Controller& ctrl, const ExampleArgs& args) {
+  if (args.list_modules) {
+    std::printf("\n[--modules] pipeline chain (priority order):\n");
+    for (const auto& s : ctrl.pipeline_stats()) {
+      std::printf("  %4d  %-16s %s\n", s.priority, s.name.c_str(),
+                  s.enabled ? "enabled" : "disabled");
+    }
+  }
+  for (const std::string& name : args.enable_modules) {
+    if (!ctrl.pipeline().set_enabled(name, true)) {
+      std::fprintf(stderr, "warning: --modules: no listener named '%s'\n",
+                   name.c_str());
+    }
+  }
+  for (const std::string& name : args.disable_modules) {
+    if (!ctrl.pipeline().set_enabled(name, false)) {
+      std::fprintf(stderr, "warning: --modules: no listener named '%s'\n",
+                   name.c_str());
+    }
+  }
+}
+
+/// Footer for `--pipeline-stats`: per-listener dispatch counters. Wall
+/// time is deliberately omitted (counters are deterministic, host
+/// clocks are not).
+inline void print_pipeline_stats(
+    const std::vector<ctrl::MessagePipeline::ListenerStats>& stats,
+    const ExampleArgs& args) {
+  if (!args.pipeline_stats) return;
+  std::printf("\n[--pipeline-stats] listener dispatch counters:\n");
+  std::printf("  %4s  %-16s %10s %8s\n", "prio", "listener", "dispatches",
+              "stops");
+  for (const auto& s : stats) {
+    std::printf("  %4d  %-16s %10llu %8llu\n", s.priority, s.name.c_str(),
+                static_cast<unsigned long long>(s.dispatches),
+                static_cast<unsigned long long>(s.stops));
+  }
+}
+
+inline void print_pipeline_stats(const ctrl::Controller& ctrl,
+                                 const ExampleArgs& args) {
+  print_pipeline_stats(ctrl.pipeline_stats(), args);
+}
+
+/// Examples that delegate to the experiment drivers never own the
+/// controller, so `--modules=` has nothing to act on there.
+inline void warn_modules_unavailable(const ExampleArgs& args) {
+  if (args.list_modules || !args.enable_modules.empty() ||
+      !args.disable_modules.empty()) {
+    std::fprintf(stderr,
+                 "warning: --modules is ignored here: the experiment "
+                 "driver owns the controller\n");
+  }
 }
 
 /// Verification footer for a testbed the example built itself. Runs the

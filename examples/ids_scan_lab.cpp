@@ -14,7 +14,9 @@ using namespace tmg::sim::literals;
 using attack::ProbeType;
 
 int main(int argc, char** argv) {
-  const bool check = examples::check_flag(argc, argv);
+  const examples::ExampleArgs args = examples::parse_example_args(argc, argv);
+  const bool check = args.check;
+  examples::warn_modules_unavailable(args);
   // --jobs N fans the independent measurements below across N worker
   // threads; output is identical for every N (see DESIGN.md §7).
   scenario::TrialRunner runner{{scenario::parse_jobs_arg(argc, argv)}};
@@ -54,6 +56,9 @@ int main(int argc, char** argv) {
     violations += r.invariant_violations;
   }
   if (check) examples::print_check_summary(sweeps, violations);
+  if (!verdicts.empty()) {
+    examples::print_pipeline_stats(verdicts.front().pipeline_stats, args);
+  }
 
   std::printf(
       "\nConclusion (paper Sec. IV-B1): ARP pings — fast, same-subnet,\n"

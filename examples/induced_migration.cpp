@@ -20,10 +20,11 @@ using namespace tmg;
 using namespace tmg::sim::literals;
 
 int main(int argc, char** argv) {
+  const examples::ExampleArgs args = examples::parse_example_args(argc, argv);
   std::printf("== Inducing the migration you plan to hijack ==\n\n");
 
   scenario::TestbedOptions opts;
-  examples::apply_check_flag(opts, argc, argv);
+  examples::apply_check_flag(opts, args);
   scenario::Testbed tb{opts};
   tb.add_switch(0x1);
   tb.add_switch(0x2);
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
   attack::Host& prober_host = tb.add_host(0x2, 5, acfg);
 
   defense::install_topoguard(tb.controller());
+  examples::apply_modules(tb.controller(), args);
   hv.set_migration_listener([&](const std::string& vm,
                                 scenario::ServerId from,
                                 scenario::ServerId to, sim::Duration d) {
@@ -115,6 +117,7 @@ int main(int argc, char** argv) {
       "\nTopoGuard raised no alert before the victim resumed: the\n"
       "migration was genuine — the attacker merely chose when it\n"
       "happened (paper Sec. IV-B).\n");
+  examples::print_pipeline_stats(tb.controller(), args);
   examples::print_check_summary(tb);
   return 0;
 }

@@ -19,12 +19,13 @@ using namespace tmg;
 using namespace tmg::sim::literals;
 
 int main(int argc, char** argv) {
+  const examples::ExampleArgs args = examples::parse_example_args(argc, argv);
   std::printf("== TopoMirage quickstart ==\n\n");
 
   // 1. Wire the network: two switches, one inter-switch link, two hosts.
   scenario::TestbedOptions opts;
   opts.seed = 7;
-  examples::apply_check_flag(opts, argc, argv);
+  examples::apply_check_flag(opts, args);
   scenario::Testbed tb{opts};
   tb.add_switch(0x1);
   tb.add_switch(0x2);
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
   // controller: LLDP rounds, echo probes, sweeps begin.
   trace::Tracer tracer;
   tb.controller().set_tracer(&tracer);
+  examples::apply_modules(tb.controller(), args);
   tb.start(/*warmup=*/1_s);
 
   std::printf("After %s of warm-up, link discovery found:\n",
@@ -88,6 +90,7 @@ int main(int argc, char** argv) {
   std::printf("(%llu control-plane events recorded in total)\n",
               static_cast<unsigned long long>(tracer.total_recorded()));
 
+  examples::print_pipeline_stats(tb.controller(), args);
   examples::print_check_summary(tb);
   std::printf("\nDone. Next: run attack_port_amnesia / attack_port_probing\n"
               "to see the paper's attacks against this machinery.\n");

@@ -221,6 +221,20 @@ void InvariantChecker::check_caches(std::vector<std::string>& out) {
   }
 }
 
+void InvariantChecker::check_pipeline(std::vector<std::string>& out) {
+  for (std::string& issue : ctrl_.pipeline().audit()) {
+    report(out, "pipeline: " + issue);
+  }
+  for (const char* service :
+       {ctrl::kLinkDiscoveryServiceName, ctrl::kHostTrackingServiceName,
+        ctrl::kRoutingServiceName}) {
+    if (!ctrl_.services().has(service)) {
+      report(out, std::string{"registry: core service '"} + service +
+                      "' is not registered");
+    }
+  }
+}
+
 std::vector<std::string> InvariantChecker::run_checks() {
   ++checks_run_;
   std::vector<std::string> out;
@@ -231,6 +245,7 @@ std::vector<std::string> InvariantChecker::run_checks() {
   check_profiles(out);
   check_lldp_conservation(out);
   check_caches(out);
+  check_pipeline(out);
   return out;
 }
 

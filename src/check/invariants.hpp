@@ -25,6 +25,11 @@
 //      against fresh BFS, each defense module's internal caches (LLI's
 //      incremental order statistics), and any externally registered
 //      audits (the Testbed wires in each switch's indexed flow table).
+//   8. Pipeline/registry coherence — the message pipeline's listener
+//      chain is priority-sorted with unique names and sane counters
+//      (delegated to MessagePipeline::audit), and the service registry
+//      still exposes the three core services every listener resolves
+//      lazily (link-discovery, host-tracking, routing).
 //
 // Violations are raised on the controller's AlertBus as
 // AlertType::InvariantViolation (mirrored into an attached tracer) —
@@ -102,6 +107,7 @@ class InvariantChecker {
   void check_profiles(std::vector<std::string>& out);
   void check_lldp_conservation(std::vector<std::string>& out);
   void check_caches(std::vector<std::string>& out);
+  void check_pipeline(std::vector<std::string>& out);
 
   ctrl::Controller& ctrl_;
   InvariantOptions options_;

@@ -1,8 +1,8 @@
 #include "ctrl/controller.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
+#include "check/assert.hpp"
 #include "ctrl/host_tracker.hpp"
 #include "ctrl/link_discovery.hpp"
 #include "ctrl/routing.hpp"
@@ -10,9 +10,170 @@
 namespace tmg::ctrl {
 
 namespace {
+
 std::vector<std::uint8_t> to_bytes(const std::string& s) {
   return {s.begin(), s.end()};
 }
+
+void validate_config(const ControllerConfig& c) {
+  TMG_ASSERT(c.flow_idle_timeout.count_nanos() > 0,
+             "ControllerConfig: flow_idle_timeout must be positive");
+  TMG_ASSERT(c.host_probe_timeout.count_nanos() > 0,
+             "ControllerConfig: host_probe_timeout must be positive");
+  TMG_ASSERT(c.echo_interval.count_nanos() > 0,
+             "ControllerConfig: echo_interval must be positive");
+  TMG_ASSERT(c.link_sweep_interval.count_nanos() > 0,
+             "ControllerConfig: link_sweep_interval must be positive");
+  TMG_ASSERT(c.profile.lldp_interval.count_nanos() > 0,
+             "ControllerConfig: profile.lldp_interval must be positive");
+  TMG_ASSERT(c.profile.link_timeout.count_nanos() > 0,
+             "ControllerConfig: profile.link_timeout must be positive");
+}
+
+}  // namespace
+
+/// Priority 0: controller-internal consumption. Traces raw messages,
+/// answers ARP for the controller's identity, eats probe replies and
+/// echo bookkeeping before anything else sees them.
+class Controller::CoreListener final : public MessageListener {
+ public:
+  explicit CoreListener(Controller& c) : c_{c} {}
+
+  [[nodiscard]] std::string name() const override { return "controller-core"; }
+
+  [[nodiscard]] std::uint32_t subscriptions() const override {
+    return MessageType::PacketIn | MessageType::PortStatus |
+           MessageType::EchoReply | MessageType::FlowRemoved;
+  }
+
+  Disposition on_message(const PipelineMessage& msg,
+                         DispatchContext&) override {
+    switch (msg.type) {
+      case MessageType::PacketIn: return on_packet_in(*msg.packet_in);
+      case MessageType::PortStatus: {
+        const of::PortStatus& ps = *msg.port_status;
+        c_.trace_event(ps.reason == of::PortStatus::Reason::Down
+                           ? trace::EventKind::PortDown
+                           : trace::EventKind::PortUp,
+                       "", of::Location{ps.dpid, ps.port});
+        return Disposition::Continue;
+      }
+      case MessageType::EchoReply:
+        c_.handle_echo_reply(msg.dpid, *msg.echo_reply);
+        return Disposition::Stop;  // controller-internal RTT bookkeeping
+      case MessageType::FlowRemoved:
+        // Flow expiry needs no controller action in this model.
+        return Disposition::Stop;
+      default: return Disposition::Continue;
+    }
+  }
+
+ private:
+  Disposition on_packet_in(const of::PacketIn& pi) {
+    if (c_.tracer_) {
+      c_.trace_event(trace::EventKind::PacketIn, pi.packet.describe(),
+                     of::Location{pi.dpid, pi.in_port});
+    }
+    // Controller-internal probe replies never reach services or defenses.
+    if (c_.consume_probe_reply(pi)) return Disposition::Stop;
+    if (pi.in_port == of::kPortController) {
+      return Disposition::Stop;  // bounced LLI probe
+    }
+    // Answer ARP for the controller's own (virtual) identity, so probed
+    // hosts can resolve the source of reachability pings.
+    if (const auto* arp = pi.packet.arp();
+        arp != nullptr && arp->op == net::ArpPayload::Op::Request &&
+        arp->target_ip == c_.ip()) {
+      c_.send_packet_out(pi.dpid, pi.in_port,
+                         net::make_arp_reply(c_.mac(), c_.ip(),
+                                             arp->sender_mac, arp->sender_ip));
+      return Disposition::Stop;
+    }
+    return Disposition::Continue;
+  }
+
+  Controller& c_;
+};
+
+/// Priority 900: between the defense block and the services. Stops a
+/// Packet-In whose accumulated verdict is Block — every defense has
+/// seen the message by now (paper Sec. IV-B: alerting and blocking are
+/// independent), but no service commits state for it.
+class Controller::VerdictGate final : public MessageListener {
+ public:
+  [[nodiscard]] std::string name() const override { return "verdict-gate"; }
+
+  [[nodiscard]] std::uint32_t subscriptions() const override {
+    return mask_of(MessageType::PacketIn);
+  }
+
+  Disposition on_message(const PipelineMessage&,
+                         DispatchContext& ctx) override {
+    return ctx.verdict == Verdict::Block ? Disposition::Stop
+                                         : Disposition::Continue;
+  }
+};
+
+namespace {
+
+/// Adapts a DefenseModule's typed hooks onto the listener interface.
+/// Always returns Continue: defenses influence the dispatch only
+/// through the accumulated context verdict (the gate stops the chain),
+/// so sibling defenses never shadow each other.
+class DefenseListenerAdapter final : public MessageListener {
+ public:
+  explicit DefenseListenerAdapter(DefenseModule& module) : module_{module} {}
+
+  [[nodiscard]] std::string name() const override { return module_.name(); }
+
+  [[nodiscard]] std::uint32_t subscriptions() const override {
+    // Everything except EchoReply/FlowRemoved, which the core consumes.
+    return MessageType::PacketIn | MessageType::PortStatus |
+           MessageType::FlowStats | MessageType::PortStats |
+           MessageType::LldpObservation | MessageType::HostEvent |
+           MessageType::LinkRemoved | MessageType::FlowModOut;
+  }
+
+  Disposition on_message(const PipelineMessage& msg,
+                         DispatchContext& ctx) override {
+    switch (msg.type) {
+      case MessageType::PacketIn:
+        accumulate(module_.on_packet_in(*msg.packet_in), ctx);
+        break;
+      case MessageType::PortStatus:
+        module_.on_port_status(*msg.port_status);
+        break;
+      case MessageType::FlowStats:
+        module_.on_flow_stats(*msg.flow_stats);
+        break;
+      case MessageType::PortStats:
+        module_.on_port_stats(*msg.port_stats);
+        break;
+      case MessageType::LldpObservation:
+        accumulate(module_.on_lldp_observation(*msg.lldp_observation), ctx);
+        break;
+      case MessageType::HostEvent:
+        accumulate(module_.on_host_event(*msg.host_event), ctx);
+        break;
+      case MessageType::LinkRemoved:
+        module_.on_link_removed(*msg.link_removed);
+        break;
+      case MessageType::FlowModOut:
+        module_.on_flow_mod(msg.dpid, *msg.flow_mod);
+        break;
+      default: break;
+    }
+    return Disposition::Continue;
+  }
+
+ private:
+  static void accumulate(Verdict v, DispatchContext& ctx) {
+    if (v == Verdict::Block) ctx.verdict = Verdict::Block;
+  }
+
+  DefenseModule& module_;
+};
+
 }  // namespace
 
 Controller::Controller(sim::EventLoop& loop, sim::Rng rng,
@@ -22,9 +183,20 @@ Controller::Controller(sim::EventLoop& loop, sim::Rng rng,
       config_{std::move(config)},
       lldp_key_{crypto::Key::derive(to_bytes(config_.key_seed + "/lldp"))},
       ts_key_{crypto::XteaKey::derive(to_bytes(config_.key_seed + "/ts"))} {
+  validate_config(config_);
   links_ = std::make_unique<LinkDiscoveryService>(*this);
   hosts_ = std::make_unique<HostTrackingService>(*this);
   routing_ = std::make_unique<RoutingService>(*this);
+
+  services_.provide(kLinkDiscoveryServiceName, links_.get());
+  services_.provide(kHostTrackingServiceName, hosts_.get());
+  services_.provide(kRoutingServiceName, routing_.get());
+
+  pipeline_.add_owned(kPriorityCore, std::make_unique<CoreListener>(*this));
+  pipeline_.add_owned(kPriorityVerdictGate, std::make_unique<VerdictGate>());
+  pipeline_.add(kPriorityLinkDiscovery, *links_);
+  pipeline_.add(kPriorityHostTracking, *hosts_);
+  pipeline_.add(kPriorityRouting, *routing_);
 }
 
 Controller::~Controller() = default;
@@ -47,9 +219,15 @@ void Controller::start() {
 }
 
 DefenseModule& Controller::add_defense(std::unique_ptr<DefenseModule> module) {
-  assert(module);
+  TMG_ASSERT(module != nullptr, "add_defense: null module");
   modules_.push_back(std::move(module));
-  return *modules_.back();
+  DefenseModule& ref = *modules_.back();
+  const int priority =
+      kPriorityDefenseBase +
+      kPriorityDefenseStep * static_cast<int>(modules_.size() - 1);
+  pipeline_.add_owned(priority,
+                      std::make_unique<DefenseListenerAdapter>(ref));
+  return ref;
 }
 
 std::vector<of::Dpid> Controller::switch_dpids() const {
@@ -92,7 +270,7 @@ void Controller::send_packet_out(of::Dpid dpid, of::PortNo out_port,
 void Controller::send_flow_mod(of::Dpid dpid, of::FlowMod fm) {
   const auto it = switches_.find(dpid);
   if (it == switches_.end()) return;
-  for (const auto& m : modules_) m->on_flow_mod(dpid, fm);
+  pipeline_.dispatch(PipelineMessage::from(dpid, fm));
   if (tracer_) {
     trace_event(trace::EventKind::FlowMod,
                 (fm.command == of::FlowMod::Command::Add ? "add " : "del ") +
@@ -164,29 +342,15 @@ bool Controller::consume_probe_reply(const of::PacketIn& pi) {
 }
 
 Verdict Controller::notify_host_event(const HostEvent& ev) {
-  Verdict verdict = Verdict::Allow;
-  for (const auto& m : modules_) {
-    if (m->on_host_event(ev) == Verdict::Block) verdict = Verdict::Block;
-  }
-  return verdict;
+  return pipeline_.dispatch(PipelineMessage::from(ev));
 }
 
 Verdict Controller::notify_lldp_observation(const LldpObservation& obs) {
-  Verdict verdict = Verdict::Allow;
-  for (const auto& m : modules_) {
-    if (m->on_lldp_observation(obs) == Verdict::Block) {
-      verdict = Verdict::Block;
-    }
-  }
-  return verdict;
+  return pipeline_.dispatch(PipelineMessage::from(obs));
 }
 
 void Controller::notify_link_removed(const topo::Link& link) {
-  for (const auto& m : modules_) m->on_link_removed(link);
-}
-
-void Controller::notify_port_status(const of::PortStatus& ps) {
-  for (const auto& m : modules_) m->on_port_status(ps);
+  pipeline_.dispatch(PipelineMessage::from(link));
 }
 
 void Controller::dispatch(of::Dpid dpid, const of::SwitchToCtrl& msg) {
@@ -194,64 +358,25 @@ void Controller::dispatch(of::Dpid dpid, const of::SwitchToCtrl& msg) {
     Controller& c;
     of::Dpid dpid;
     void operator()(const of::PacketIn& pi) {
-      if (c.tracer_) {
-        c.trace_event(trace::EventKind::PacketIn, pi.packet.describe(),
-                      of::Location{pi.dpid, pi.in_port});
-      }
-      c.handle_packet_in(pi);
+      c.pipeline_.dispatch(PipelineMessage::from(pi));
     }
     void operator()(const of::PortStatus& ps) {
-      c.trace_event(ps.reason == of::PortStatus::Reason::Down
-                        ? trace::EventKind::PortDown
-                        : trace::EventKind::PortUp,
-                    "", of::Location{ps.dpid, ps.port});
-      c.notify_port_status(ps);
-      if (ps.reason == of::PortStatus::Reason::Down) {
-        c.links_->handle_port_down(of::Location{ps.dpid, ps.port});
-      }
+      c.pipeline_.dispatch(PipelineMessage::from(dpid, ps));
     }
-    void operator()(const of::EchoReply& er) { c.handle_echo_reply(dpid, er); }
-    void operator()(const of::FlowRemoved&) {
-      // Flow expiry needs no controller action in this model.
+    void operator()(const of::EchoReply& er) {
+      c.pipeline_.dispatch(PipelineMessage::from(dpid, er));
+    }
+    void operator()(const of::FlowRemoved& fr) {
+      c.pipeline_.dispatch(PipelineMessage::from(dpid, fr));
     }
     void operator()(const of::FlowStatsReply& fsr) {
-      for (const auto& m : c.modules_) m->on_flow_stats(fsr);
+      c.pipeline_.dispatch(PipelineMessage::from(dpid, fsr));
     }
     void operator()(const of::PortStatsReply& psr) {
-      for (const auto& m : c.modules_) m->on_port_stats(psr);
+      c.pipeline_.dispatch(PipelineMessage::from(dpid, psr));
     }
   };
   std::visit(Visitor{*this, dpid}, msg);
-}
-
-void Controller::handle_packet_in(const of::PacketIn& pi) {
-  // Controller-internal probe replies never reach services or defenses.
-  if (consume_probe_reply(pi)) return;
-  if (pi.in_port == of::kPortController) return;  // bounced LLI probe
-
-  // Answer ARP for the controller's own (virtual) identity, so probed
-  // hosts can resolve the source of reachability pings.
-  if (const auto* arp = pi.packet.arp();
-      arp != nullptr && arp->op == net::ArpPayload::Op::Request &&
-      arp->target_ip == ip()) {
-    send_packet_out(pi.dpid, pi.in_port,
-                    net::make_arp_reply(mac(), ip(), arp->sender_mac,
-                                        arp->sender_ip));
-    return;
-  }
-
-  Verdict verdict = Verdict::Allow;
-  for (const auto& m : modules_) {
-    if (m->on_packet_in(pi) == Verdict::Block) verdict = Verdict::Block;
-  }
-  if (verdict == Verdict::Block) return;
-
-  if (pi.packet.is_lldp()) {
-    links_->handle_lldp_packet_in(pi);
-    return;
-  }
-  hosts_->handle_packet_in(pi);
-  routing_->handle_packet_in(pi);
 }
 
 void Controller::handle_echo_reply(of::Dpid dpid, const of::EchoReply& er) {

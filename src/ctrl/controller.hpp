@@ -1,11 +1,15 @@
 // SDN controller core.
 //
-// Owns the control channels to all switches, the topology view, the
-// defense-module pipeline, and the three Floodlight-style services the
-// paper's attacks target: link discovery, host tracking, and reactive
-// routing. Also tracks per-switch control-link RTT (average of the
-// latest three echo exchanges), which TOPOGUARD+'s LLI subtracts from
-// LLDP propagation time (paper Sec. VI-D).
+// The controller is a thin host for two pieces of machinery (DESIGN.md
+// §9): the MessagePipeline — an ordered, observable chain of
+// MessageListeners through which every switch-originated message and
+// every controller-derived event flows — and the ServiceRegistry, where
+// the Floodlight-style services the paper's attacks target (link
+// discovery, host tracking, reactive routing) and the installed defense
+// modules publish themselves for cross-module lookup. The controller
+// also tracks per-switch control-link RTT (average of the latest three
+// echo exchanges), which TOPOGUARD+'s LLI subtracts from LLDP
+// propagation time (paper Sec. VI-D).
 #pragma once
 
 #include <cstdint>
@@ -20,7 +24,9 @@
 #include "crypto/xtea.hpp"
 #include "ctrl/alert_bus.hpp"
 #include "ctrl/defense_module.hpp"
+#include "ctrl/message_pipeline.hpp"
 #include "ctrl/profiles.hpp"
+#include "ctrl/service_registry.hpp"
 #include "of/control_channel.hpp"
 #include "of/messages.hpp"
 #include "sim/event_loop.hpp"
@@ -33,6 +39,17 @@ namespace tmg::ctrl {
 class LinkDiscoveryService;
 class HostTrackingService;
 class RoutingService;
+
+// Pipeline priorities (DESIGN.md §9 has the full table). Lower runs
+// first; defense module N installs at kPriorityDefenseBase +
+// N * kPriorityDefenseStep, preserving installation order.
+inline constexpr int kPriorityCore = 0;
+inline constexpr int kPriorityDefenseBase = 100;
+inline constexpr int kPriorityDefenseStep = 10;
+inline constexpr int kPriorityVerdictGate = 900;
+inline constexpr int kPriorityLinkDiscovery = 1000;
+inline constexpr int kPriorityHostTracking = 1100;
+inline constexpr int kPriorityRouting = 1200;
 
 struct ControllerConfig {
   ControllerProfile profile = floodlight_profile();
@@ -54,6 +71,8 @@ struct ControllerConfig {
 
 class Controller {
  public:
+  /// Validates `config` (every timeout/interval must be positive; see
+  /// ControllerConfig) — a non-positive knob is a TMG_ASSERT failure.
   Controller(sim::EventLoop& loop, sim::Rng rng, ControllerConfig config);
   ~Controller();
   Controller(const Controller&) = delete;
@@ -67,7 +86,9 @@ class Controller {
   /// Begin periodic work: LLDP rounds, echo probes, link sweeps.
   void start();
 
-  /// Install a defense module; runs after previously added modules.
+  /// Install a defense module: wraps it in a pipeline listener at the
+  /// next defense priority slot (so modules run in installation order,
+  /// between the controller core and the verdict gate).
   DefenseModule& add_defense(std::unique_ptr<DefenseModule> module);
 
   // --- State accessors ---
@@ -91,6 +112,18 @@ class Controller {
   [[nodiscard]] const std::vector<of::PortNo>& switch_ports(
       of::Dpid dpid) const;
 
+  // --- Pipeline & registry ---
+  [[nodiscard]] MessagePipeline& pipeline() { return pipeline_; }
+  [[nodiscard]] const MessagePipeline& pipeline() const { return pipeline_; }
+  [[nodiscard]] ServiceRegistry& services() { return services_; }
+  [[nodiscard]] const ServiceRegistry& services() const { return services_; }
+  /// Per-listener dispatch/stop/wall-time counters, in chain order
+  /// (surfaced by the --pipeline-stats flag in examples and benches).
+  [[nodiscard]] std::vector<MessagePipeline::ListenerStats> pipeline_stats()
+      const {
+    return pipeline_.stats();
+  }
+
   /// Average of the latest three control-link RTTs; nullopt until the
   /// first echo completes.
   [[nodiscard]] std::optional<sim::Duration> control_rtt(of::Dpid dpid) const;
@@ -110,7 +143,8 @@ class Controller {
 
   /// Send an ICMP echo out (dpid, port) and report whether a reply came
   /// back within config().host_probe_timeout. Probe replies are consumed
-  /// before the defense pipeline (they are controller-internal traffic).
+  /// by the controller-core listener before defenses or services see
+  /// them (they are controller-internal traffic).
   void probe_reachability(of::Location loc, net::MacAddress dst_mac,
                           net::Ipv4Address dst_ip,
                           std::function<void(bool reachable)> done);
@@ -127,11 +161,11 @@ class Controller {
   void trace_event(trace::EventKind kind, std::string detail,
                    std::optional<of::Location> loc = std::nullopt);
 
-  // --- Service-internal notification fan-out ---
+  // --- Derived-event publication (services dispatch through the
+  // pipeline; the returned verdict is the accumulated defense verdict)
   Verdict notify_host_event(const HostEvent& ev);
   Verdict notify_lldp_observation(const LldpObservation& obs);
   void notify_link_removed(const topo::Link& link);
-  void notify_port_status(const of::PortStatus& ps);
 
  private:
   struct SwitchConn {
@@ -144,9 +178,10 @@ class Controller {
     std::function<void(bool)> done;
     sim::TimerHandle timeout;
   };
+  class CoreListener;
+  class VerdictGate;
 
   void dispatch(of::Dpid dpid, const of::SwitchToCtrl& msg);
-  void handle_packet_in(const of::PacketIn& pi);
   void handle_echo_reply(of::Dpid dpid, const of::EchoReply& er);
   void echo_tick();
   /// True if the packet-in was a reply to a controller probe (consumed).
@@ -157,6 +192,8 @@ class Controller {
   ControllerConfig config_;
   AlertBus alerts_;
   topo::TopologyGraph topology_;
+  MessagePipeline pipeline_;
+  ServiceRegistry services_;
   std::map<of::Dpid, SwitchConn> switches_;
   std::vector<std::unique_ptr<DefenseModule>> modules_;
   std::unique_ptr<LinkDiscoveryService> links_;

@@ -7,6 +7,27 @@ namespace tmg::ctrl {
 
 HostTrackingService::HostTrackingService(Controller& ctrl) : ctrl_{ctrl} {}
 
+std::string HostTrackingService::name() const {
+  return kHostTrackingServiceName;
+}
+
+std::uint32_t HostTrackingService::subscriptions() const {
+  return mask_of(MessageType::PacketIn);
+}
+
+Disposition HostTrackingService::on_message(const PipelineMessage& msg,
+                                            DispatchContext&) {
+  handle_packet_in(*msg.packet_in);
+  return Disposition::Continue;
+}
+
+RoutingService& HostTrackingService::routing_service() {
+  if (routing_ == nullptr) {
+    routing_ = &ctrl_.services().require<RoutingService>(kRoutingServiceName);
+  }
+  return *routing_;
+}
+
 net::Ipv4Address HostTrackingService::source_ip_of(const net::Packet& pkt) {
   if (const auto* arp = pkt.arp()) return arp->sender_ip;
   if (pkt.ip) return pkt.ip->src;
@@ -76,7 +97,7 @@ void HostTrackingService::handle_packet_in(const of::PacketIn& pi) {
   rec.last_seen = now;
   if (src_ip != net::Ipv4Address::any()) rec.ip = src_ip;
   ++migrations_;
-  ctrl_.routing().on_host_moved(ev);
+  routing_service().on_host_moved(ev);
 }
 
 std::optional<HostRecord> HostTrackingService::find(

@@ -9,6 +9,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "ctrl/message_pipeline.hpp"
 #include "net/ipv4_address.hpp"
 #include "net/mac_address.hpp"
 #include "of/messages.hpp"
@@ -17,6 +18,7 @@
 namespace tmg::ctrl {
 
 class Controller;
+class RoutingService;
 
 struct HostRecord {
   net::MacAddress mac;
@@ -26,9 +28,15 @@ struct HostRecord {
   sim::SimTime last_seen;
 };
 
-class HostTrackingService {
+class HostTrackingService final : public MessageListener {
  public:
   explicit HostTrackingService(Controller& ctrl);
+
+  // --- MessageListener (registered at kPriorityHostTracking) ---
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t subscriptions() const override;
+  Disposition on_message(const PipelineMessage& msg,
+                         DispatchContext& ctx) override;
 
   /// Learn from a (non-LLDP) Packet-In. Ignores multicast sources and
   /// packets arriving on known switch-internal ports.
@@ -49,8 +57,12 @@ class HostTrackingService {
 
  private:
   static net::Ipv4Address source_ip_of(const net::Packet& pkt);
+  /// Peer service, resolved through the registry on first use (the
+  /// registry is populated after the services are constructed).
+  [[nodiscard]] RoutingService& routing_service();
 
   Controller& ctrl_;
+  RoutingService* routing_ = nullptr;  // lazily cached registry lookup
   std::unordered_map<net::MacAddress, HostRecord> hosts_;
   std::uint64_t migrations_ = 0;
   std::uint64_t blocked_ = 0;

@@ -11,6 +11,29 @@ void LinkDiscoveryService::start() {
   sweep();
 }
 
+std::string LinkDiscoveryService::name() const {
+  return kLinkDiscoveryServiceName;
+}
+
+std::uint32_t LinkDiscoveryService::subscriptions() const {
+  return MessageType::PacketIn | MessageType::PortStatus;
+}
+
+Disposition LinkDiscoveryService::on_message(const PipelineMessage& msg,
+                                             DispatchContext&) {
+  if (msg.type == MessageType::PacketIn) {
+    if (!msg.packet_in->packet.is_lldp()) return Disposition::Continue;
+    handle_lldp_packet_in(*msg.packet_in);
+    return Disposition::Stop;  // LLDP never reaches host tracking/routing
+  }
+  if (msg.type == MessageType::PortStatus &&
+      msg.port_status->reason == of::PortStatus::Reason::Down) {
+    handle_port_down(of::Location{msg.port_status->dpid,
+                                  msg.port_status->port});
+  }
+  return Disposition::Continue;
+}
+
 net::LldpPacket LinkDiscoveryService::construct_lldp(
     of::Dpid dpid, of::PortNo port, std::uint64_t nonce,
     sim::SimTime departure) const {

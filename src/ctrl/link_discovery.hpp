@@ -15,6 +15,7 @@
 #include <map>
 #include <optional>
 
+#include "ctrl/message_pipeline.hpp"
 #include "net/lldp.hpp"
 #include "of/messages.hpp"
 #include "sim/time.hpp"
@@ -24,14 +25,22 @@ namespace tmg::ctrl {
 
 class Controller;
 
-class LinkDiscoveryService {
+class LinkDiscoveryService final : public MessageListener {
  public:
   explicit LinkDiscoveryService(Controller& ctrl);
 
   /// Start periodic LLDP rounds and the link-timeout sweep.
   void start();
 
-  /// Handle an LLDP Packet-In (called by the controller dispatcher).
+  // --- MessageListener (registered at kPriorityLinkDiscovery) ---
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t subscriptions() const override;
+  /// LLDP Packet-Ins are consumed here (Stop); Port-Down status drops
+  /// every link with that endpoint and lets the chain continue.
+  Disposition on_message(const PipelineMessage& msg,
+                         DispatchContext& ctx) override;
+
+  /// Handle an LLDP Packet-In (called from on_message).
   void handle_lldp_packet_in(const of::PacketIn& pi);
 
   /// Port went down: drop every link with that endpoint immediately

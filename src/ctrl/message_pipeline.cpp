@@ -1,0 +1,275 @@
+#include "ctrl/message_pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "check/assert.hpp"
+
+namespace tmg::ctrl {
+
+namespace {
+
+/// Host-clock nanoseconds for the opt-in per-listener timing. Purely
+/// observability: the value is reported, never fed into the simulation.
+std::int64_t wall_now_ns() {
+  // determinism-lint: allow(wall-clock) perf observability only, opt-in
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(MessageType t) {
+  switch (t) {
+    case MessageType::PacketIn: return "packet-in";
+    case MessageType::PortStatus: return "port-status";
+    case MessageType::EchoReply: return "echo-reply";
+    case MessageType::FlowRemoved: return "flow-removed";
+    case MessageType::FlowStats: return "flow-stats";
+    case MessageType::PortStats: return "port-stats";
+    case MessageType::LldpObservation: return "lldp-observation";
+    case MessageType::HostEvent: return "host-event";
+    case MessageType::LinkRemoved: return "link-removed";
+    case MessageType::FlowModOut: return "flow-mod-out";
+  }
+  return "?";
+}
+
+PipelineMessage PipelineMessage::from(const of::PacketIn& pi) {
+  PipelineMessage m;
+  m.type = MessageType::PacketIn;
+  m.dpid = pi.dpid;
+  m.packet_in = &pi;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(of::Dpid dpid,
+                                      const of::PortStatus& ps) {
+  PipelineMessage m;
+  m.type = MessageType::PortStatus;
+  m.dpid = dpid;
+  m.port_status = &ps;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(of::Dpid dpid, const of::EchoReply& er) {
+  PipelineMessage m;
+  m.type = MessageType::EchoReply;
+  m.dpid = dpid;
+  m.echo_reply = &er;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(of::Dpid dpid,
+                                      const of::FlowRemoved& fr) {
+  PipelineMessage m;
+  m.type = MessageType::FlowRemoved;
+  m.dpid = dpid;
+  m.flow_removed = &fr;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(of::Dpid dpid,
+                                      const of::FlowStatsReply& fsr) {
+  PipelineMessage m;
+  m.type = MessageType::FlowStats;
+  m.dpid = dpid;
+  m.flow_stats = &fsr;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(of::Dpid dpid,
+                                      const of::PortStatsReply& psr) {
+  PipelineMessage m;
+  m.type = MessageType::PortStats;
+  m.dpid = dpid;
+  m.port_stats = &psr;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(const LldpObservation& obs) {
+  PipelineMessage m;
+  m.type = MessageType::LldpObservation;
+  m.dpid = obs.dst.dpid;
+  m.lldp_observation = &obs;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(const HostEvent& ev) {
+  PipelineMessage m;
+  m.type = MessageType::HostEvent;
+  m.dpid = ev.new_loc.dpid;
+  m.host_event = &ev;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(const topo::Link& link) {
+  PipelineMessage m;
+  m.type = MessageType::LinkRemoved;
+  m.dpid = link.a.dpid;
+  m.link_removed = &link;
+  return m;
+}
+
+PipelineMessage PipelineMessage::from(of::Dpid dpid, const of::FlowMod& fm) {
+  PipelineMessage m;
+  m.type = MessageType::FlowModOut;
+  m.dpid = dpid;
+  m.flow_mod = &fm;
+  return m;
+}
+
+void MessagePipeline::insert(Entry entry) {
+  // Deterministic duplicate-name resolution: the Nth registration of a
+  // base name becomes "name#N" (N >= 2).
+  std::size_t same = 0;
+  const std::string base = entry.name;
+  for (const Entry& e : chain_) {
+    if (e.name == base ||
+        (e.name.size() > base.size() && e.name.compare(0, base.size(), base) == 0 &&
+         e.name[base.size()] == '#')) {
+      ++same;
+    }
+  }
+  if (same > 0) entry.name = base + "#" + std::to_string(same + 1);
+  const auto pos = std::upper_bound(
+      chain_.begin(), chain_.end(), entry, [](const Entry& a, const Entry& b) {
+        if (a.priority != b.priority) return a.priority < b.priority;
+        return a.name < b.name;
+      });
+  chain_.insert(pos, std::move(entry));
+}
+
+void MessagePipeline::add(int priority, MessageListener& listener) {
+  Entry e;
+  e.priority = priority;
+  e.name = listener.name();
+  e.listener = &listener;
+  e.mask = listener.subscriptions();
+  insert(std::move(e));
+}
+
+MessageListener& MessagePipeline::add_owned(
+    int priority, std::unique_ptr<MessageListener> listener) {
+  TMG_ASSERT(listener != nullptr, "MessagePipeline: null listener");
+  MessageListener& ref = *listener;
+  Entry e;
+  e.priority = priority;
+  e.name = ref.name();
+  e.listener = &ref;
+  e.owned = std::move(listener);
+  e.mask = ref.subscriptions();
+  insert(std::move(e));
+  return ref;
+}
+
+void MessagePipeline::dispatch(const PipelineMessage& msg,
+                               DispatchContext& ctx) {
+  const std::uint32_t bit = mask_of(msg.type);
+  // Indexed walk: dispatch re-enters when a service publishes a derived
+  // event mid-chain, and registration during dispatch is forbidden, so
+  // the vector is stable for the whole walk.
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    Entry& e = chain_[i];
+    if (!e.enabled || (e.mask & bit) == 0) continue;
+    ++e.dispatches;
+    ++ctx.visited;
+    Disposition d;
+    if (timing_) {
+      const std::int64_t t0 = wall_now_ns();
+      d = e.listener->on_message(msg, ctx);
+      e.wall_ns += wall_now_ns() - t0;
+    } else {
+      d = e.listener->on_message(msg, ctx);
+    }
+    if (d == Disposition::Stop) {
+      ++e.stops;
+      ctx.stopped_by = e.name.c_str();
+      return;
+    }
+  }
+}
+
+Verdict MessagePipeline::dispatch(const PipelineMessage& msg) {
+  DispatchContext ctx;
+  dispatch(msg, ctx);
+  return ctx.verdict;
+}
+
+const MessagePipeline::Entry* MessagePipeline::find_entry(
+    const std::string& name) const {
+  for (const Entry& e : chain_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+bool MessagePipeline::set_enabled(const std::string& name, bool enabled) {
+  for (Entry& e : chain_) {
+    if (e.name == name) {
+      e.enabled = enabled;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MessagePipeline::is_enabled(const std::string& name) const {
+  const Entry* e = find_entry(name);
+  return e != nullptr && e->enabled;
+}
+
+std::vector<MessagePipeline::ListenerStats> MessagePipeline::stats() const {
+  std::vector<ListenerStats> out;
+  out.reserve(chain_.size());
+  for (const Entry& e : chain_) {
+    ListenerStats s;
+    s.name = e.name;
+    s.priority = e.priority;
+    s.enabled = e.enabled;
+    s.subscriptions = e.mask;
+    s.dispatches = e.dispatches;
+    s.stops = e.stops;
+    s.wall_ms = static_cast<double>(e.wall_ns) / 1e6;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> MessagePipeline::chain_names() const {
+  std::vector<std::string> out;
+  out.reserve(chain_.size());
+  for (const Entry& e : chain_) out.push_back(e.name);
+  return out;
+}
+
+std::vector<std::string> MessagePipeline::audit() const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i + 1 < chain_.size(); ++i) {
+    const Entry& a = chain_[i];
+    const Entry& b = chain_[i + 1];
+    if (a.priority > b.priority ||
+        (a.priority == b.priority && a.name >= b.name)) {
+      out.push_back("chain not sorted at " + a.name + " -> " + b.name);
+    }
+  }
+  for (std::size_t i = 0; i < chain_.size(); ++i) {
+    for (std::size_t j = i + 1; j < chain_.size(); ++j) {
+      if (chain_[i].name == chain_[j].name) {
+        out.push_back("duplicate listener name " + chain_[i].name);
+      }
+    }
+    if (chain_[i].stops > chain_[i].dispatches) {
+      out.push_back(chain_[i].name + " stopped more dispatches than it saw");
+    }
+    if (chain_[i].mask == 0) {
+      out.push_back(chain_[i].name + " subscribes to nothing");
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tmg::ctrl

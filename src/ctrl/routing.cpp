@@ -17,6 +17,26 @@ RoutingService::RoutingService(Controller& ctrl)
       flooded_{kDedupCapacity},
       routed_{kDedupCapacity} {}
 
+std::string RoutingService::name() const { return kRoutingServiceName; }
+
+std::uint32_t RoutingService::subscriptions() const {
+  return mask_of(MessageType::PacketIn);
+}
+
+Disposition RoutingService::on_message(const PipelineMessage& msg,
+                                       DispatchContext&) {
+  handle_packet_in(*msg.packet_in);
+  return Disposition::Continue;
+}
+
+const HostTrackingService& RoutingService::host_tracking() {
+  if (hosts_ == nullptr) {
+    hosts_ = &ctrl_.services().require<HostTrackingService>(
+        kHostTrackingServiceName);
+  }
+  return *hosts_;
+}
+
 void RoutingService::handle_packet_in(const of::PacketIn& pi) {
   const net::Packet& pkt = pi.packet;
 
@@ -29,7 +49,7 @@ void RoutingService::handle_packet_in(const of::PacketIn& pi) {
     return;
   }
 
-  const auto dst = ctrl_.host_tracker().find(pkt.dst_mac);
+  const auto dst = host_tracking().find(pkt.dst_mac);
   if (!dst) {
     flood(pi);
     return;

@@ -11,17 +11,24 @@
 #include <vector>
 
 #include "ctrl/dedup_ring.hpp"
+#include "ctrl/message_pipeline.hpp"
 #include "of/messages.hpp"
 #include "topo/path_cache.hpp"
 
 namespace tmg::ctrl {
 
 class Controller;
-struct HostEvent;
+class HostTrackingService;
 
-class RoutingService {
+class RoutingService final : public MessageListener {
  public:
   explicit RoutingService(Controller& ctrl);
+
+  // --- MessageListener (registered at kPriorityRouting, last) ---
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::uint32_t subscriptions() const override;
+  Disposition on_message(const PipelineMessage& msg,
+                         DispatchContext& ctx) override;
 
   /// Route or flood a (non-LLDP) Packet-In.
   void handle_packet_in(const of::PacketIn& pi);
@@ -47,8 +54,12 @@ class RoutingService {
   /// Install per-hop rules toward dst and forward the packet. Returns
   /// false if no path exists.
   bool route(const of::PacketIn& pi, const of::Location& dst_loc);
+  /// Peer service, resolved through the registry on first use (the
+  /// registry is populated after the services are constructed).
+  [[nodiscard]] const HostTrackingService& host_tracking();
 
   Controller& ctrl_;
+  const HostTrackingService* hosts_ = nullptr;  // lazily cached lookup
   /// All shortest-path queries go through the epoch-keyed cache; any
   /// topology mutation (including a fabricated link) invalidates it.
   topo::PathCache path_cache_;

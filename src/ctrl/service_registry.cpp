@@ -1,0 +1,12 @@
+#include "ctrl/service_registry.hpp"
+
+namespace tmg::ctrl {
+
+std::vector<std::string> ServiceRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, _] : services_) out.push_back(name);
+  return out;
+}
+
+}  // namespace tmg::ctrl

@@ -1,0 +1,84 @@
+// Service registry (Floodlight IFloodlightModuleContext analogue).
+//
+// Controller services and defense modules publish themselves under a
+// stable string name; peers resolve each other through the registry
+// instead of reaching through Controller accessors. That keeps the
+// dependency graph explicit (DESIGN.md §9 lists the registered names)
+// and lets experiments swap or stub a service without touching its
+// consumers. Lookups are type-checked: resolving a name under the wrong
+// type is a hard assertion, not a silent cast.
+#pragma once
+
+#include <map>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "check/assert.hpp"
+
+namespace tmg::ctrl {
+
+/// Canonical registry names for the controller-core services.
+inline constexpr const char* kLinkDiscoveryServiceName = "link-discovery";
+inline constexpr const char* kHostTrackingServiceName = "host-tracking";
+inline constexpr const char* kRoutingServiceName = "routing";
+
+class ServiceRegistry {
+ public:
+  /// Publish `service` under `name`. The registry does not own the
+  /// pointer; the provider must outlive every consumer. Re-registering
+  /// a taken name is a bug (use offer() for idempotent installers).
+  template <typename T>
+  void provide(const std::string& name, T* service) {
+    TMG_ASSERT(service != nullptr, "ServiceRegistry: null service " + name);
+    const bool fresh =
+        services_.emplace(name, Slot{&typeid(T), service}).second;
+    TMG_ASSERT(fresh, "ServiceRegistry: duplicate service " + name);
+  }
+
+  /// Like provide(), but a no-op when `name` is already taken (the first
+  /// instance wins). For installers that may legitimately run twice,
+  /// e.g. a stacked suite that includes TopoGuard through two paths.
+  template <typename T>
+  void offer(const std::string& name, T* service) {
+    if (services_.count(name) == 0) provide(name, service);
+  }
+
+  /// Resolve `name`, or nullptr when nothing is registered under it.
+  /// A name registered under a different type is a programming error.
+  template <typename T>
+  [[nodiscard]] T* find(const std::string& name) const {
+    const auto it = services_.find(name);
+    if (it == services_.end()) return nullptr;
+    TMG_ASSERT(*it->second.type == typeid(T),
+               "ServiceRegistry: " + name + " is not a " + typeid(T).name());
+    return static_cast<T*>(it->second.ptr);
+  }
+
+  /// Resolve `name` or die: for dependencies that must be present.
+  template <typename T>
+  [[nodiscard]] T& require(const std::string& name) const {
+    T* service = find<T>(name);
+    TMG_ASSERT(service != nullptr,
+               "ServiceRegistry: missing required service " + name);
+    return *service;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return services_.count(name) != 0;
+  }
+
+  /// All registered names, sorted (std::map order).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const { return services_.size(); }
+
+ private:
+  struct Slot {
+    const std::type_info* type = nullptr;
+    void* ptr = nullptr;
+  };
+  std::map<std::string, Slot> services_;
+};
+
+}  // namespace tmg::ctrl

@@ -21,6 +21,7 @@ void ControlChannel::attach_controller(CtrlHandler handler) {
 
 void ControlChannel::to_switch(CtrlToSwitch msg) {
   ++n_down_;
+  ++down_counts_[msg.index()];
   // The channel is a TCP session: per-message jitter must not reorder.
   sim::SimTime at = loop_.now() + latency_->sample(rng_);
   if (at < last_down_delivery_) at = last_down_delivery_;
@@ -32,6 +33,7 @@ void ControlChannel::to_switch(CtrlToSwitch msg) {
 
 void ControlChannel::to_controller(SwitchToCtrl msg) {
   ++n_up_;
+  ++up_counts_[msg.index()];
   sim::SimTime at = loop_.now() + latency_->sample(rng_);
   if (at < last_up_delivery_) at = last_up_delivery_;
   last_up_delivery_ = at;

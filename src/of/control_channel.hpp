@@ -6,8 +6,10 @@
 // so the latency model here matters for reproducing Figs. 10-11.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <variant>
 
 #include "of/messages.hpp"
 #include "sim/event_loop.hpp"
@@ -40,6 +42,18 @@ class ControlChannel {
   [[nodiscard]] std::uint64_t messages_to_switch() const { return n_down_; }
   [[nodiscard]] std::uint64_t messages_to_controller() const { return n_up_; }
 
+  /// Per-message-type counters, indexed by the variant alternative index
+  /// of CtrlToSwitch / SwitchToCtrl. Each array sums to the matching
+  /// total above; the pipeline observability layer reports them.
+  using DownCounts = std::array<std::uint64_t, std::variant_size_v<CtrlToSwitch>>;
+  using UpCounts = std::array<std::uint64_t, std::variant_size_v<SwitchToCtrl>>;
+  [[nodiscard]] const DownCounts& to_switch_counts() const {
+    return down_counts_;
+  }
+  [[nodiscard]] const UpCounts& to_controller_counts() const {
+    return up_counts_;
+  }
+
  private:
   sim::EventLoop& loop_;
   sim::Rng rng_;
@@ -48,6 +62,8 @@ class ControlChannel {
   CtrlHandler ctrl_handler_;
   std::uint64_t n_down_ = 0;
   std::uint64_t n_up_ = 0;
+  DownCounts down_counts_{};
+  UpCounts up_counts_{};
   sim::SimTime last_down_delivery_;
   sim::SimTime last_up_delivery_;
 };

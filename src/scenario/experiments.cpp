@@ -21,6 +21,7 @@ const char* to_string(DefenseSuite s) {
     case DefenseSuite::TopoGuardAndSphinx: return "TopoGuard+SPHINX";
     case DefenseSuite::TopoGuardPlus: return "TOPOGUARD+";
     case DefenseSuite::SecureBinding: return "TopoGuard+SecureBinding";
+    case DefenseSuite::Stacked: return "TopoGuard+SPHINX+TOPOGUARD+";
   }
   return "?";
 }
@@ -49,6 +50,7 @@ TestbedOptions suite_options(DefenseSuite suite, std::uint64_t seed) {
       opts.controller.authenticate_lldp = true;
       break;
     case DefenseSuite::TopoGuardPlus:
+    case DefenseSuite::Stacked:
       opts.controller.authenticate_lldp = true;
       opts.controller.lldp_timestamps = true;
       break;
@@ -83,6 +85,22 @@ DefenseHandles install_suite(ctrl::Controller& ctrl, DefenseSuite suite,
       handles.topoguard = plus.topoguard;
       handles.cmm = plus.cmm;
       handles.lli = plus.lli;
+      break;
+    }
+    case DefenseSuite::Stacked: {
+      // Union of TopoGuardAndSphinx and TopoGuardPlus, installed once
+      // each; pipeline priorities preserve this add order.
+      handles.topoguard = &defense::install_topoguard(ctrl);
+      handles.sphinx = &defense::install_sphinx(ctrl);
+      const defense::TopoGuardPlusConfig plus_cfg;
+      auto cmm = std::make_unique<defense::Cmm>(ctrl, plus_cfg.cmm);
+      handles.cmm = cmm.get();
+      ctrl.add_defense(std::move(cmm));
+      ctrl.services().offer("CMM", handles.cmm);
+      auto lli = std::make_unique<defense::Lli>(ctrl, plus_cfg.lli);
+      handles.lli = lli.get();
+      ctrl.add_defense(std::move(lli));
+      ctrl.services().offer("LLI", handles.lli);
       break;
     }
   }
@@ -203,6 +221,7 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
     out.invariant_violations = checker->violation_count();
   }
   out.events_executed = loop.events_executed();
+  if (config.collect_pipeline_stats) out.pipeline_stats = ctrl.pipeline().stats();
   return out;
 }
 
@@ -350,6 +369,7 @@ HijackOutcome run_hijack(const HijackConfig& config) {
     out.invariant_violations = checker->violation_count();
   }
   out.events_executed = loop.events_executed();
+  if (config.collect_pipeline_stats) out.pipeline_stats = ctrl.pipeline().stats();
   return out;
 }
 
@@ -566,6 +586,7 @@ ScanDetectionResult run_scan_detection(attack::ProbeType type,
     result.invariant_violations = checker->violation_count();
   }
   result.events_executed = lab.tb.loop().events_executed();
+  result.pipeline_stats = lab.tb.controller().pipeline().stats();
   return result;
 }
 

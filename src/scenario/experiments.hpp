@@ -11,6 +11,7 @@
 #include "attack/oob_channel.hpp"
 #include "attack/port_probing.hpp"
 #include "attack/probes.hpp"
+#include "ctrl/message_pipeline.hpp"
 #include "defense/secure_binding.hpp"
 #include "defense/topoguard_plus.hpp"
 #include "scenario/fig1_testbed.hpp"
@@ -32,6 +33,11 @@ enum class DefenseSuite {
   TopoGuardPlus,
   /// TopoGuard + cryptographic identifier binding (paper Sec. VI-A).
   SecureBinding,
+  /// Every detection defense at once — TopoGuard, SPHINX, and the
+  /// TOPOGUARD+ extensions (CMM + LLI) — stacked as ordered pipeline
+  /// listeners. Verdicts accumulate: each module sees every event and
+  /// a single Block wins (paper Sec. IV-B composition semantics).
+  Stacked,
 };
 const char* to_string(DefenseSuite s);
 
@@ -84,6 +90,8 @@ struct LinkAttackOutcome {
   std::uint64_t invariant_violations = 0;
   /// Simulator events executed by this trial's loop (bench throughput).
   std::uint64_t events_executed = 0;
+  /// Per-listener dispatch counters (filled when the config asks).
+  std::vector<ctrl::MessagePipeline::ListenerStats> pipeline_stats;
   [[nodiscard]] bool detected() const {
     return alerts_total > alerts_before_attack;
   }
@@ -99,6 +107,8 @@ struct LinkAttackConfig {
   sim::Duration attack_window = sim::Duration::seconds(60);
   /// Drop MITM transit instead of bridging it (SPHINX-visible DoS).
   bool blackhole = false;
+  /// Capture per-listener pipeline counters into the outcome.
+  bool collect_pipeline_stats = false;
 };
 
 LinkAttackOutcome run_link_attack(const LinkAttackConfig& config);
@@ -118,6 +128,8 @@ struct HijackConfig {
   /// Victim downtime window (VM live migration: seconds).
   sim::Duration victim_downtime = sim::Duration::seconds(3);
   bool victim_rejoins = true;
+  /// Capture per-listener pipeline counters into the outcome.
+  bool collect_pipeline_stats = false;
 };
 
 struct HijackOutcome {
@@ -138,6 +150,8 @@ struct HijackOutcome {
   std::uint64_t invariant_violations = 0;
   /// Simulator events executed by this trial's loop (bench throughput).
   std::uint64_t events_executed = 0;
+  /// Per-listener dispatch counters (filled when the config asks).
+  std::vector<ctrl::MessagePipeline::ListenerStats> pipeline_stats;
 };
 
 HijackOutcome run_hijack(const HijackConfig& config);
@@ -206,6 +220,8 @@ struct ScanDetectionResult {
   std::uint64_t invariant_violations = 0;
   /// Simulator events executed by this trial's loop (bench throughput).
   std::uint64_t events_executed = 0;
+  /// Per-listener dispatch counters (always filled: the chain is tiny).
+  std::vector<ctrl::MessagePipeline::ListenerStats> pipeline_stats;
   [[nodiscard]] bool detected() const { return ids_alerts > 0; }
 };
 

@@ -35,6 +35,11 @@ check::InvariantChecker& Testbed::enable_invariant_checker(
                           [sw] { return sw->flow_table().audit(); });
     }
   }
+  // No explicit handle: fall back to the service registry, where the
+  // TopoGuard installer publishes itself.
+  if (!topoguard) {
+    topoguard = controller_->services().find<defense::TopoGuard>("TopoGuard");
+  }
   if (topoguard) checker_->watch_topoguard(*topoguard);
   return *checker_;
 }

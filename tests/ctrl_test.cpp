@@ -2,8 +2,13 @@
 // tracking, routing), run over small scenario testbeds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "check/assert.hpp"
 #include "ctrl/host_tracker.hpp"
 #include "ctrl/link_discovery.hpp"
 #include "ctrl/routing.hpp"
@@ -502,6 +507,83 @@ TEST(Controller, ProbeRepliesInvisibleToModules) {
                  net.rec->packet_ins[i].packet.dst_mac ==
                      net.tb.controller().mac());
   }
+}
+
+// ---------------------------------------------------------------------
+// ControllerConfig validation (the constructor rejects non-positive
+// timeouts/intervals through TMG_ASSERT; one test per knob).
+// ---------------------------------------------------------------------
+
+/// Construct a Controller with `mutate` applied to a default config and
+/// return the assertion messages that fired.
+std::vector<std::string> config_violations(
+    const std::function<void(ControllerConfig&)>& mutate) {
+  ControllerConfig cfg;
+  mutate(cfg);
+  std::vector<std::string> messages;
+  check::FailureHandler previous = check::set_failure_handler(
+      [&](const char*, int, const char*, const std::string& msg) {
+        messages.push_back(msg);
+      });
+  {
+    sim::EventLoop loop;
+    Controller ctrl{loop, sim::Rng{1}, cfg};
+  }
+  check::set_failure_handler(std::move(previous));
+  return messages;
+}
+
+bool any_mentions(const std::vector<std::string>& messages,
+                  const std::string& knob) {
+  return std::any_of(messages.begin(), messages.end(),
+                     [&](const std::string& m) {
+                       return m.find(knob) != std::string::npos;
+                     });
+}
+
+TEST(ControllerConfig, DefaultConfigIsValid) {
+  EXPECT_TRUE(config_violations([](ControllerConfig&) {}).empty());
+}
+
+TEST(ControllerConfig, RejectsNonPositiveFlowIdleTimeout) {
+  const auto msgs = config_violations([](ControllerConfig& c) {
+    c.flow_idle_timeout = sim::Duration::zero();
+  });
+  EXPECT_TRUE(any_mentions(msgs, "flow_idle_timeout"));
+}
+
+TEST(ControllerConfig, RejectsNonPositiveHostProbeTimeout) {
+  const auto msgs = config_violations([](ControllerConfig& c) {
+    c.host_probe_timeout = sim::Duration::millis(-5);
+  });
+  EXPECT_TRUE(any_mentions(msgs, "host_probe_timeout"));
+}
+
+TEST(ControllerConfig, RejectsNonPositiveEchoInterval) {
+  const auto msgs = config_violations(
+      [](ControllerConfig& c) { c.echo_interval = sim::Duration::zero(); });
+  EXPECT_TRUE(any_mentions(msgs, "echo_interval"));
+}
+
+TEST(ControllerConfig, RejectsNonPositiveLinkSweepInterval) {
+  const auto msgs = config_violations([](ControllerConfig& c) {
+    c.link_sweep_interval = sim::Duration::seconds(-1);
+  });
+  EXPECT_TRUE(any_mentions(msgs, "link_sweep_interval"));
+}
+
+TEST(ControllerConfig, RejectsNonPositiveLldpInterval) {
+  const auto msgs = config_violations([](ControllerConfig& c) {
+    c.profile.lldp_interval = sim::Duration::zero();
+  });
+  EXPECT_TRUE(any_mentions(msgs, "lldp_interval"));
+}
+
+TEST(ControllerConfig, RejectsNonPositiveLinkTimeout) {
+  const auto msgs = config_violations([](ControllerConfig& c) {
+    c.profile.link_timeout = sim::Duration::zero();
+  });
+  EXPECT_TRUE(any_mentions(msgs, "link_timeout"));
 }
 
 }  // namespace

@@ -325,6 +325,36 @@ TEST(ControlChannel, RoundTripDelivery) {
   EXPECT_EQ(ch.messages_to_controller(), 1u);
 }
 
+TEST(ControlChannel, PerTypeCountersPartitionTheTotals) {
+  EventLoop loop;
+  ControlChannel ch{loop, Rng{5}, sim::make_fixed(1_ms)};
+  ch.attach_switch([](const CtrlToSwitch&) {});
+  ch.attach_controller([](const SwitchToCtrl&) {});
+  ch.to_switch(EchoRequest{1});
+  ch.to_switch(EchoRequest{2});
+  ch.to_switch(PacketOut{});
+  ch.to_controller(EchoReply{0x1, 1});
+  ch.to_controller(PacketIn{});
+  ch.to_controller(PacketIn{});
+  ch.to_controller(PortStatus{});
+  loop.run();
+
+  const auto& down = ch.to_switch_counts();
+  const auto& up = ch.to_controller_counts();
+  EXPECT_EQ(down[CtrlToSwitch{PacketOut{}}.index()], 1u);
+  EXPECT_EQ(down[CtrlToSwitch{EchoRequest{}}.index()], 2u);
+  EXPECT_EQ(up[SwitchToCtrl{PacketIn{}}.index()], 2u);
+  EXPECT_EQ(up[SwitchToCtrl{PortStatus{}}.index()], 1u);
+  EXPECT_EQ(up[SwitchToCtrl{EchoReply{}}.index()], 1u);
+
+  std::uint64_t down_sum = 0;
+  for (std::uint64_t c : down) down_sum += c;
+  std::uint64_t up_sum = 0;
+  for (std::uint64_t c : up) up_sum += c;
+  EXPECT_EQ(down_sum, ch.messages_to_switch());
+  EXPECT_EQ(up_sum, ch.messages_to_controller());
+}
+
 TEST(ControlChannel, FifoUnderJitter) {
   EventLoop loop;
   ControlChannel ch{loop, Rng{6},

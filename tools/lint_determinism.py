@@ -29,6 +29,15 @@ usual ways nondeterminism sneaks back in:
                            thread scheduling. Each trial must own its
                            Rng (seeded via TrialRunner::trial_seed or
                            forked from the trial's own Testbed).
+  rule `registry-bypass`-- inside src/ctrl and src/defense, a module
+                           reaching a peer module through the Controller
+                           accessors (`ctrl_.host_tracker()`,
+                           `ctrl_.routing()`, `ctrl_.link_discovery()`)
+                           instead of resolving it through the
+                           ServiceRegistry. Direct accessor calls pin
+                           the concrete core modules and break the
+                           pipeline's swap/disable semantics (DESIGN.md
+                           §9); use ctrl_.services().find<T>(name).
   rule `cache-coherence`-- a file that defines a cache (a `class *Cache`
                            or a `*cache_` member) and touches the
                            topology must reference the graph's mutation
@@ -94,6 +103,12 @@ LINE_RULES = [
         ),
     ),
     (
+        "registry-bypass",
+        re.compile(
+            r"\bctrl_\s*\.\s*(?:host_tracker|routing|link_discovery)\s*\("
+        ),
+    ),
+    (
         "shared-rng",
         re.compile(
             # static/global Rng instances, and Rng held by ref/pointer
@@ -115,6 +130,12 @@ THREADING_ALLOWED_FILES = {
     Path("src/scenario/trial_runner.hpp"),
     Path("src/scenario/trial_runner.cpp"),
 }
+
+# registry-bypass only applies where modules talk to *peer* modules:
+# the controller core and the defense listeners. Infrastructure outside
+# these directories (scenario drivers, the invariant checker) may use
+# the Controller accessors directly -- it is not part of the pipeline.
+REGISTRY_BYPASS_SCOPE = {("src", "ctrl"), ("src", "defense")}
 
 # Finds `std::unordered_map<...> name` declarations (whitespace-normalized
 # text, so multi-line declarations resolve). Backtracking lets the
@@ -171,6 +192,11 @@ def lint_file(path: Path, root: Path) -> list[str]:
         stripped = line.split("//", 1)[0]
         for rule, rx in LINE_RULES:
             if rule == "threading" and rel in THREADING_ALLOWED_FILES:
+                continue
+            if (
+                rule == "registry-bypass"
+                and tuple(rel.parts[:2]) not in REGISTRY_BYPASS_SCOPE
+            ):
                 continue
             if rx.search(stripped) and not allowed(rule, lines, i):
                 findings.append(f"{rel}:{i + 1}: {rule}: {line.strip()}")
