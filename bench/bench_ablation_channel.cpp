@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   BenchResult result;
   result.bench = "ablation_channel";
   result.trials = kSweeps;
+  result.base_seed = 42;
   result.jobs = runner.jobs();
   result.wall_ms = wall_ms;
   result.events = events;

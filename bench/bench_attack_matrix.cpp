@@ -25,6 +25,7 @@
 
 #include "bench_harness.hpp"
 #include "bench_util.hpp"
+#include "obs/observability.hpp"
 #include "scenario/experiments.hpp"
 #include "scenario/trial_runner.hpp"
 
@@ -160,8 +161,22 @@ int main(int argc, char** argv) {
   BenchResult result;
   result.bench = "attack_matrix";
   result.trials = total;
+  result.base_seed = 42;
   result.jobs = runner.jobs();
   result.wall_ms = wall_ms;
   result.events = events;
+  if (opts.obs) {
+    // Observed re-run of the headline cell (oob amnesia vs TOPOGUARD+):
+    // its metrics snapshot lands under "obs" in the JSON result. Kept
+    // out of the timed workload above.
+    obs::Observability obs;
+    scenario::LinkAttackConfig cfg;
+    cfg.kind = LinkAttackKind::OobAmnesia;
+    cfg.suite = DefenseSuite::TopoGuardPlus;
+    cfg.seed = 42;
+    cfg.obs = &obs;
+    (void)scenario::run_link_attack(cfg);
+    result.obs_metrics_json = obs.metrics_json(obs.final_time());
+  }
   return report_bench(opts, result) ? 0 : 1;
 }

@@ -87,6 +87,7 @@ int main(int argc, char** argv) {
   BenchResult result;
   result.bench = "downtime_window";
   result.trials = kRows * n;
+  result.base_seed = 300;
   result.jobs = runner.jobs();
   result.wall_ms = wall_ms;
   result.events = events;

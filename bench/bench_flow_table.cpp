@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   BenchResult result;
   result.bench = "flow_table";
   result.trials = ops;
+  result.base_seed = 0xF107u;
   result.jobs = 1;  // single-threaded by construction
   result.wall_ms = wall_ms;
   result.events = ops;

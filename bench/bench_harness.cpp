@@ -19,6 +19,8 @@ HarnessOptions parse_harness_args(int argc, char** argv) {
       opts.quick = true;
     } else if (std::strcmp(argv[i], "--no-fastpath") == 0) {
       opts.no_fastpath = true;
+    } else if (std::strcmp(argv[i], "--obs") == 0) {
+      opts.obs = true;
     } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
       opts.trials =
           static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
@@ -57,10 +59,12 @@ bool report_bench(const HarnessOptions& opts, BenchResult result) {
         static_cast<double>(result.events) / (result.wall_ms / 1e3);
   }
   std::printf(
-      "\n[bench] %s: trials=%zu jobs=%zu wall=%.1f ms events=%llu "
-      "(%.3g events/s)\n",
-      result.bench.c_str(), result.trials, result.jobs, result.wall_ms,
-      static_cast<unsigned long long>(result.events), result.events_per_sec);
+      "\n[bench] %s: trials=%zu base_seed=%llu jobs=%zu wall=%.1f ms "
+      "events=%llu (%.3g events/s)\n",
+      result.bench.c_str(), result.trials,
+      static_cast<unsigned long long>(result.base_seed), result.jobs,
+      result.wall_ms, static_cast<unsigned long long>(result.events),
+      result.events_per_sec);
   if (opts.json_path.empty()) return true;
 
   std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
@@ -68,19 +72,28 @@ bool report_bench(const HarnessOptions& opts, BenchResult result) {
     std::fprintf(stderr, "[bench] cannot write %s\n", opts.json_path.c_str());
     return false;
   }
+  // Contract: {trials, base_seed, jobs} are always present — they are
+  // the reproduction key for any bench artifact.
   std::fprintf(f,
                "{\n"
                "  \"bench\": \"%s\",\n"
                "  \"trials\": %zu,\n"
+               "  \"base_seed\": %llu,\n"
                "  \"jobs\": %zu,\n"
                "  \"wall_ms\": %.3f,\n"
                "  \"events\": %llu,\n"
-               "  \"events_per_sec\": %.3f\n"
-               "}\n",
-               result.bench.c_str(), result.trials, result.jobs,
+               "  \"events_per_sec\": %.3f",
+               result.bench.c_str(), result.trials,
+               static_cast<unsigned long long>(result.base_seed), result.jobs,
                result.wall_ms,
                static_cast<unsigned long long>(result.events),
                result.events_per_sec);
+  if (!result.obs_metrics_json.empty()) {
+    std::string snap = result.obs_metrics_json;
+    while (!snap.empty() && snap.back() == '\n') snap.pop_back();
+    std::fprintf(f, ",\n  \"obs\": %s", snap.c_str());
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
   return true;
 }

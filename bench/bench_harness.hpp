@@ -7,6 +7,9 @@
 //                   --jobs 1 = legacy serial path)
 //   --quick         shrink the workload for smoke runs
 //   --json PATH     write a one-object JSON result file
+//   --obs           attach the observability layer to a representative
+//                   trial and embed its metrics snapshot under "obs" in
+//                   the JSON result (benches that support it)
 //   --no-fastpath   disable the algorithmic fast paths (path cache,
 //                   indexed flow tables, incremental statistics) and run
 //                   the naive reference algorithms instead. Simulated
@@ -28,6 +31,7 @@ struct HarnessOptions {
   std::size_t jobs = 0;    // 0 = hardware concurrency
   bool quick = false;
   bool no_fastpath = false;  // already applied by parse_harness_args
+  bool obs = false;          // --obs: collect an observability snapshot
   std::string json_path;
 
   /// Trial count to actually run: --trials if given, else the quick or
@@ -56,16 +60,21 @@ class WallTimer {
 struct BenchResult {
   std::string bench;           // short workload id, e.g. "attack_matrix"
   std::size_t trials = 0;      // trials executed
+  std::uint64_t base_seed = 0; // seed the per-trial seeds derive from
   std::size_t jobs = 0;        // worker threads used
   double wall_ms = 0.0;        // end-to-end wall-clock for the workload
   std::uint64_t events = 0;    // simulator events executed, all trials
   double events_per_sec = 0.0; // derived: events / wall seconds
+  /// Optional observability snapshot (obs::Observability::metrics_json):
+  /// when non-empty it is embedded verbatim under the "obs" key.
+  std::string obs_metrics_json;
 };
 
 /// Print a one-line summary and, when --json was given, write the result
-/// as a single JSON object ({bench, trials, jobs, wall_ms,
-/// events_per_sec, events}). Returns false if the file could not be
-/// written.
+/// as a single JSON object. The {trials, base_seed, jobs} triple is
+/// always present (tools/run_bench.py keys reproduction off it), next to
+/// {bench, wall_ms, events, events_per_sec} and the optional "obs"
+/// snapshot. Returns false if the file could not be written.
 bool report_bench(const HarnessOptions& opts, BenchResult result);
 
 }  // namespace tmg::bench

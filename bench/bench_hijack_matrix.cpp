@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   BenchResult result;
   result.bench = "hijack_matrix";
   result.trials = kSuites * runs;
+  result.base_seed = 100;
   result.jobs = runner.jobs();
   result.wall_ms = wall_ms;
   result.events = events;

@@ -144,6 +144,7 @@ int main(int argc, char** argv) {
   BenchResult result;
   result.bench = "routing";
   result.trials = queries;
+  result.base_seed = 0xB010u;
   result.jobs = 1;  // single-threaded by construction
   result.wall_ms = wall_ms;
   result.events = queries;

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   BenchResult result;
   result.bench = "scan_detection";
   result.trials = kCells;
+  result.base_seed = 42;
   result.jobs = runner.jobs();
   result.wall_ms = wall_ms;
   result.events = events;

@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   BenchResult result;
   result.bench = "table1_probes";
   result.trials = kTypes * scans;
+  result.base_seed = 42;
   result.jobs = runner.jobs();
   result.wall_ms = wall_ms;
   result.events = events;

@@ -90,6 +90,7 @@ inline int run_hijack_figure(int argc, char** argv, const char* bench_id,
   BenchResult result;
   result.bench = bench_id;
   result.trials = n;
+  result.base_seed = 1000;
   result.jobs = scenario::TrialRunner{{opts.jobs}}.jobs();
   result.wall_ms = wall_ms;
   result.events = series.events;

@@ -72,11 +72,19 @@ int main(int argc, char** argv) {
       run_link_attack(cfg));
 
   cfg.suite = DefenseSuite::TopoGuardPlus;
+  // Act 3 carries the observability layer when asked: the exported
+  // trace holds the attack/flap + attack/relay spans and the lldp/rtt
+  // round-trips the LLI's detection is computed from.
+  const auto obs = examples::make_observability(g_args);
+  cfg.obs = obs.get();
   report(
       "Act 3 — the same attack vs TOPOGUARD+ (paper Sec. VII):\n"
       "  the relay adds ~11 ms that the encrypted-timestamp latency\n"
       "  check cannot be talked out of.",
       run_link_attack(cfg));
+  examples::export_observability(obs.get(),
+                                 obs ? obs->final_time() : sim::SimTime{},
+                                 g_args);
 
   std::printf(
       "Also try: the in-band variant (LinkAttackKind::InBandAmnesia),\n"

@@ -78,6 +78,24 @@ int main(int argc, char** argv) {
   report("vs SPHINX (identifier-binding anomaly detection):", outcomes[1]);
   report("vs both defenses together (the paper's headline):", outcomes[2]);
 
+  // --obs-out/--trace-out: rerun the headline trial with the
+  // observability layer attached. The exported span tree (attack/hijack
+  // -> probe / disconnect-detect / race / ident-change, measured from
+  // the scenario/victim.down instant) is what
+  // tools/render_timeline.py turns back into the Figs. 5-8 table.
+  if (g_args.obs_enabled()) {
+    const auto obs = examples::make_observability(g_args);
+    HijackConfig cfg;
+    cfg.seed = 7;
+    cfg.suite = DefenseSuite::TopoGuardAndSphinx;
+    cfg.obs = obs.get();
+    const HijackOutcome observed = run_hijack(cfg);
+    std::printf("\n[obs] re-ran the '%s' trial observed (hijack %s)\n",
+                to_string(cfg.suite),
+                observed.hijack_succeeded ? "succeeded" : "failed");
+    examples::export_observability(obs.get(), obs->final_time(), g_args);
+  }
+
   std::printf(
       "Observations (paper Sec. IV-B/V-B): the race is won because the\n"
       "victim's in-transit identifiers are bound to nothing; both\n"

@@ -31,6 +31,8 @@ int main(int argc, char** argv) {
   scenario::Fig9Testbed f = scenario::make_fig9_testbed(opts);
   ctrl::Controller& ctrl = f.tb->controller();
   scenario::install_suite(ctrl, scenario::DefenseSuite::Stacked);
+  const auto obs = examples::make_observability(args);
+  f.tb->set_observability(obs.get());
   examples::apply_modules(ctrl, args);
 
   std::printf("Pipeline chain (priority order):\n");
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   ac.preposition_flap = true;
   attack::PortAmnesiaAttack attack{f.tb->loop(), *f.attacker_a,
                                    *f.attacker_b, f.oob, ac};
+  attack.set_observability(obs.get());
   attack.start();
   f.tb->run_for(120_s);
 
@@ -79,5 +82,6 @@ int main(int argc, char** argv) {
   args.pipeline_stats = true;  // always: the counters are the point
   examples::print_pipeline_stats(ctrl, args);
   examples::print_check_summary(*f.tb);
+  examples::export_observability(obs.get(), f.tb->loop().now(), args);
   return 0;
 }

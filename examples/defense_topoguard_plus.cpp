@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   scenario::Fig9Testbed f = scenario::make_fig9_testbed(opts);
   const defense::TopoGuardPlus tgp =
       defense::install_topoguard_plus(f.tb->controller());
+  const auto obs = examples::make_observability(args);
+  f.tb->set_observability(obs.get());
   examples::apply_modules(f.tb->controller(), args);
 
   // Print every alert as the run unfolds.
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
   ac.preposition_flap = true;
   attack::PortAmnesiaAttack attack{f.tb->loop(), *f.attacker_a,
                                    *f.attacker_b, f.oob, ac};
+  attack.set_observability(obs.get());
   attack.start();
   f.tb->run_for(120_s);
 
@@ -73,5 +76,6 @@ int main(int argc, char** argv) {
               f.tb->controller().topology().link_count());
   examples::print_pipeline_stats(f.tb->controller(), args);
   examples::print_check_summary(*f.tb);
+  examples::export_observability(obs.get(), f.tb->loop().now(), args);
   return 0;
 }

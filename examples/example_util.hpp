@@ -13,15 +13,23 @@
 //   --modules=+X,-Y    enable (+) / disable (-) pipeline listeners by
 //                      name before the simulation starts.
 //   --pipeline-stats   print per-listener dispatch counters at the end.
+//   --obs-out=DIR      attach the observability layer and write
+//                      metrics.json / metrics.csv / trace.jsonl /
+//                      trace_chrome.json into DIR at the end.
+//   --trace-out=FILE   attach the observability layer and write the
+//                      span/instant trace (JSONL) to FILE.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "check/invariants.hpp"
 #include "ctrl/controller.hpp"
+#include "obs/observability.hpp"
 #include "scenario/testbed.hpp"
 
 namespace tmg::examples {
@@ -32,6 +40,13 @@ struct ExampleArgs {
   bool list_modules = false;
   std::vector<std::string> enable_modules;   // --modules=+Name
   std::vector<std::string> disable_modules;  // --modules=-Name
+  std::string obs_out;    // --obs-out=DIR (empty: disabled)
+  std::string trace_out;  // --trace-out=FILE (empty: disabled)
+
+  /// Either observability flag present?
+  [[nodiscard]] bool obs_enabled() const {
+    return !obs_out.empty() || !trace_out.empty();
+  }
 };
 
 /// Parse the shared example flags. Unknown arguments are ignored so
@@ -44,6 +59,10 @@ inline ExampleArgs parse_example_args(int argc, char** argv) {
       args.check = true;
     } else if (std::strcmp(arg, "--pipeline-stats") == 0) {
       args.pipeline_stats = true;
+    } else if (std::strncmp(arg, "--obs-out=", 10) == 0) {
+      args.obs_out = arg + 10;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      args.trace_out = arg + 12;
     } else if (std::strncmp(arg, "--modules=", 10) == 0) {
       // Comma-separated list of "list", "+Name" or "-Name" tokens.
       std::string rest = arg + 10;
@@ -150,6 +169,41 @@ inline void print_check_summary(unsigned long long sweeps,
                                 unsigned long long violations) {
   std::printf("\n[--check] invariant sweeps: %llu, violations: %llu\n",
               sweeps, violations);
+}
+
+/// Build the Observability object when either obs flag is present
+/// (callers keep it alive for the run); nullptr when disabled.
+inline std::unique_ptr<obs::Observability> make_observability(
+    const ExampleArgs& args) {
+  if (!args.obs_enabled()) return nullptr;
+  return std::make_unique<obs::Observability>();
+}
+
+/// Export footer for `--obs-out` / `--trace-out`: metrics snapshot (via
+/// the registered collectors) and the span trace, all sim-time based so
+/// reruns produce byte-identical files.
+inline void export_observability(obs::Observability* obs, sim::SimTime at,
+                                 const ExampleArgs& args) {
+  if (obs == nullptr) return;
+  if (!args.trace_out.empty()) {
+    obs::write_text_file(args.trace_out, obs->trace().to_jsonl());
+    std::printf("\n[--trace-out] %zu trace records -> %s\n",
+                obs->trace().size(), args.trace_out.c_str());
+  }
+  if (!args.obs_out.empty()) {
+    const std::string dir = args.obs_out;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // best effort
+    obs::write_text_file(dir + "/metrics.json", obs->metrics_json(at));
+    obs::write_text_file(dir + "/metrics.csv", obs->metrics_csv(at));
+    obs::write_text_file(dir + "/trace.jsonl", obs->trace().to_jsonl());
+    obs::write_text_file(dir + "/trace_chrome.json",
+                         obs->trace().to_chrome_trace());
+    std::printf(
+        "\n[--obs-out] %zu metrics, %zu trace records -> %s/"
+        "{metrics.json,metrics.csv,trace.jsonl,trace_chrome.json}\n",
+        obs->metrics().size(), obs->trace().size(), dir.c_str());
+  }
 }
 
 }  // namespace tmg::examples

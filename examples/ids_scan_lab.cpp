@@ -60,6 +60,17 @@ int main(int argc, char** argv) {
     examples::print_pipeline_stats(verdicts.front().pipeline_stats, args);
   }
 
+  // --obs-out/--trace-out: re-run the attack's chosen probe type (ARP)
+  // observed and export the lab's metrics and span trace.
+  if (args.obs_enabled()) {
+    const auto obs = examples::make_observability(args);
+    const auto observed = scenario::run_scan_detection(
+        ProbeType::ArpPing, 20.0, 30_s, 1, obs.get());
+    std::printf("\n[obs] re-ran the ARP scan observed (%llu probes)\n",
+                static_cast<unsigned long long>(observed.probes_sent));
+    examples::export_observability(obs.get(), obs->final_time(), args);
+  }
+
   std::printf(
       "\nConclusion (paper Sec. IV-B1): ARP pings — fast, same-subnet,\n"
       "and invisible to Snort/Bro rulesets — are the attack's choice.\n");

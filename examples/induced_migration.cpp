@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
   attack::Host& prober_host = tb.add_host(0x2, 5, acfg);
 
   defense::install_topoguard(tb.controller());
+  const auto obs = examples::make_observability(args);
+  tb.set_observability(obs.get());
   examples::apply_modules(tb.controller(), args);
   hv.set_migration_listener([&](const std::string& vm,
                                 scenario::ServerId from,
@@ -83,6 +85,7 @@ int main(int argc, char** argv) {
   attack::PortProbingConfig pc;
   pc.victim_ip = victim.ip();
   attack::PortProbingAttack probe{tb.loop(), tb.fork_rng(), prober_host, pc};
+  probe.set_observability(obs.get());
   probe.start();
   std::printf("[%7.1fs] attacker: ARP liveness probing armed (50 ms "
               "cadence)\n",
@@ -119,5 +122,6 @@ int main(int argc, char** argv) {
       "happened (paper Sec. IV-B).\n");
   examples::print_pipeline_stats(tb.controller(), args);
   examples::print_check_summary(tb);
+  examples::export_observability(obs.get(), tb.loop().now(), args);
   return 0;
 }

@@ -42,9 +42,13 @@ int main(int argc, char** argv) {
   attack::Host& bob = tb.add_host(0x2, 1, bob_cfg);
 
   // 2. Attach a tracer (optional but invaluable) and start the
-  // controller: LLDP rounds, echo probes, sweeps begin.
+  // controller: LLDP rounds, echo probes, sweeps begin. With
+  // --obs-out/--trace-out the tracer shares the observability span log,
+  // so controller events interleave with pipeline dispatch spans.
   trace::Tracer tracer;
   tb.controller().set_tracer(&tracer);
+  const auto obs = examples::make_observability(args);
+  tb.set_observability(obs.get());
   examples::apply_modules(tb.controller(), args);
   tb.start(/*warmup=*/1_s);
 
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
 
   examples::print_pipeline_stats(tb.controller(), args);
   examples::print_check_summary(tb);
+  examples::export_observability(obs.get(), tb.loop().now(), args);
   std::printf("\nDone. Next: run attack_port_amnesia / attack_port_probing\n"
               "to see the paper's attacks against this machinery.\n");
   return 0;

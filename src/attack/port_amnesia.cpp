@@ -3,6 +3,8 @@
 #include <cassert>
 #include <span>
 
+#include "obs/observability.hpp"
+
 namespace tmg::attack {
 
 namespace {
@@ -45,6 +47,20 @@ PortAmnesiaAttack::PortAmnesiaAttack(sim::EventLoop& loop, Host& a, Host& b,
   b_.host = &b;
   a_.peer = &b_;
   b_.peer = &a_;
+}
+
+void PortAmnesiaAttack::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  obs_->add_collector([this](obs::MetricsRegistry& m, sim::SimTime) {
+    m.gauge("attack.lldp_relayed").set(static_cast<double>(lldp_relayed_));
+    m.gauge("attack.flaps").set(static_cast<double>(flaps_));
+    m.gauge("attack.covert_sends").set(static_cast<double>(covert_sends_));
+    m.gauge("attack.transit_bridged")
+        .set(static_cast<double>(transit_bridged_));
+    m.gauge("attack.transit_dropped")
+        .set(static_cast<double>(transit_dropped_));
+  });
 }
 
 void PortAmnesiaAttack::start() {
@@ -204,6 +220,13 @@ void PortAmnesiaAttack::emit_lldp(Endpoint& ep, net::Packet pkt,
     ep.profile = Profile::Switch;
     if (captured_at) {
       relay_latencies_.push_back(loop_.now() - *captured_at);
+      if (obs_ != nullptr) {
+        // Retroactive: the capture instant rode along with the relayed
+        // LLDPDU, so the span covers the full capture -> re-emission leg.
+        const obs::SpanId s =
+            obs_->trace().begin_span(*captured_at, "attack", "relay");
+        obs_->trace().end_span(s, loop_.now());
+      }
     }
     ep.host->send(std::move(frame));
   };
@@ -221,11 +244,17 @@ void PortAmnesiaAttack::flap_then(Endpoint& ep, std::function<void()> after) {
   if (ep.flap_in_progress) return;
   ep.flap_in_progress = true;
   ++flaps_;
-  ep.host->flap_interface(config_.flap_hold, [this, &ep] {
+  obs::SpanId flap_span = 0;
+  if (obs_ != nullptr) {
+    flap_span = obs_->trace().begin_span(loop_.now(), "attack", "flap");
+    obs_->trace().annotate(flap_span, "endpoint", &ep == &a_ ? "a" : "b");
+  }
+  ep.host->flap_interface(config_.flap_hold, [this, &ep, flap_span] {
     // Wait out the switch's Port-Up detection before transmitting.
-    loop_.post_after(config_.post_flap_settle, [this, &ep] {
+    loop_.post_after(config_.post_flap_settle, [this, &ep, flap_span] {
       ep.flap_in_progress = false;
       ep.profile = Profile::Any;  // the amnesia: classification forgotten
+      if (obs_ != nullptr) obs_->trace().end_span(flap_span, loop_.now());
       auto actions = std::move(ep.after_flap);
       ep.after_flap.clear();
       for (auto& action : actions) action();

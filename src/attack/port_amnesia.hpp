@@ -24,7 +24,12 @@
 
 #include "attack/host.hpp"
 #include "attack/oob_channel.hpp"
+#include "obs/trace_log.hpp"
 #include "sim/event_loop.hpp"
+
+namespace tmg::obs {
+class Observability;
+}  // namespace tmg::obs
 
 namespace tmg::attack {
 
@@ -83,6 +88,13 @@ class PortAmnesiaAttack {
   [[nodiscard]] std::uint64_t flaps() const { return flaps_; }
   [[nodiscard]] std::uint64_t covert_sends() const { return covert_sends_; }
 
+  /// Attach observability (borrowed; nullptr detaches). Emits
+  /// "attack/flap" spans (carrier down -> settled, the profile-amnesia
+  /// window) and "attack/relay" spans (LLDP captured -> re-emitted at
+  /// the peer, the latency the LLI measures from the other side); relay
+  /// and flap totals mirror in at export time via a collector.
+  void set_observability(obs::Observability* obs);
+
  private:
   /// Attacker-side estimate of a port's TopoGuard profile.
   enum class Profile { Any, Host, Switch };
@@ -128,6 +140,7 @@ class PortAmnesiaAttack {
   std::uint64_t flaps_ = 0;
   std::uint64_t covert_sends_ = 0;
   std::vector<sim::Duration> relay_latencies_;
+  obs::Observability* obs_ = nullptr;
   bool started_ = false;
 };
 

@@ -1,5 +1,7 @@
 #include "attack/port_probing.hpp"
 
+#include "obs/observability.hpp"
+
 namespace tmg::attack {
 
 namespace {
@@ -30,12 +32,30 @@ PortProbingAttack::PortProbingAttack(sim::EventLoop& loop, sim::Rng rng,
         arp->sender_ip == config_.victim_ip) {
       victim_mac_ = arp->sender_mac;
       timeline_.victim_mac_acquired = loop_.now();
+      if (obs_ != nullptr) {
+        obs_->trace().instant(loop_.now(), "attack", "mac-acquired",
+                              victim_mac_->to_string(), span_root_);
+      }
     }
+  });
+}
+
+void PortProbingAttack::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs_ == nullptr) return;
+  obs_->add_collector([this](obs::MetricsRegistry& m, sim::SimTime) {
+    m.gauge("attack.probes_run").set(static_cast<double>(probes_run_));
+    m.gauge("attack.identity_claimed").set(identity_claimed() ? 1.0 : 0.0);
   });
 }
 
 void PortProbingAttack::start() {
   timeline_.started = loop_.now();
+  if (obs_ != nullptr) {
+    span_root_ = obs_->trace().begin_span(loop_.now(), "attack", "hijack");
+    obs_->trace().annotate(span_root_, "victim_ip",
+                           config_.victim_ip.to_string());
+  }
   acquire_mac();
 }
 
@@ -71,6 +91,14 @@ void PortProbingAttack::run_probe() {
 
 void PortProbingAttack::on_probe(const ProbeOutcome& outcome) {
   if (hijacking_) return;
+  if (obs_ != nullptr) {
+    // Retroactive span: the prober runs one probe at a time, so the
+    // outcome carries the exact send/decide instants.
+    const obs::SpanId s = obs_->trace().begin_span(outcome.started, "attack",
+                                                   "probe", span_root_);
+    obs_->trace().annotate(s, "alive", outcome.alive ? "true" : "false");
+    obs_->trace().end_span(s, outcome.finished);
+  }
   if (outcome.alive) {
     consecutive_failures_ = 0;
     return;
@@ -79,21 +107,41 @@ void PortProbingAttack::on_probe(const ProbeOutcome& outcome) {
   timeline_.final_probe_start = outcome.started;
   if (consecutive_failures_ < config_.confirm_failures) return;
   timeline_.victim_declared_down = outcome.finished;
+  if (obs_ != nullptr) {
+    const obs::SpanId detect = obs_->trace().begin_span(
+        outcome.started, "attack", "disconnect-detect", span_root_);
+    obs_->trace().annotate(detect, "confirm_failures",
+                           std::to_string(consecutive_failures_));
+    obs_->trace().end_span(detect, outcome.finished);
+    span_race_ = obs_->trace().begin_span(outcome.finished, "attack", "race",
+                                          span_root_);
+  }
   hijack();
 }
 
 void PortProbingAttack::hijack() {
   hijacking_ = true;
+  if (obs_ != nullptr) {
+    span_ident_ = obs_->trace().begin_span(loop_.now(), "attack",
+                                           "ident-change", span_race_);
+  }
   // "ifconfig can reset a NIC's MAC and IP rapidly enough that spoofing
   // via packet header rewriting is unnecessary" (paper Sec. IV-B).
   host_.change_identity_timed(
       *victim_mac_, config_.victim_ip, config_.ident_model, [this] {
         timeline_.interface_up_as_victim = loop_.now();
+        if (obs_ != nullptr) {
+          obs_->trace().end_span(span_ident_, loop_.now());
+        }
         // Originate traffic to generate a Packet-In and complete the
         // victim's "move" in the Host Tracking Service. A gratuitous
         // ARP is ordinary, expected dataplane traffic.
         host_.send_arp_request(config_.victim_ip);
         timeline_.traffic_sent = loop_.now();
+        if (obs_ != nullptr) {
+          obs_->trace().instant(loop_.now(), "attack", "traffic-sent", "",
+                                span_race_);
+        }
         if (on_claimed_) on_claimed_();
         if (config_.maintain_period > sim::Duration::zero()) maintain();
       });
@@ -105,7 +153,13 @@ void PortProbingAttack::maintain() {
 }
 
 void PortProbingAttack::mark_hijack_confirmed(sim::SimTime at) {
-  if (!timeline_.hijack_confirmed) timeline_.hijack_confirmed = at;
+  if (timeline_.hijack_confirmed) return;
+  timeline_.hijack_confirmed = at;
+  if (obs_ != nullptr) {
+    obs_->trace().annotate(span_race_, "outcome", "hijack-confirmed");
+    obs_->trace().end_span(span_race_, at);
+    obs_->trace().end_span(span_root_, at);
+  }
 }
 
 }  // namespace tmg::attack

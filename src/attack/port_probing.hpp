@@ -14,7 +14,12 @@
 #include "attack/host.hpp"
 #include "attack/nic_model.hpp"
 #include "attack/probes.hpp"
+#include "obs/trace_log.hpp"
 #include "sim/event_loop.hpp"
+
+namespace tmg::obs {
+class Observability;
+}  // namespace tmg::obs
 
 namespace tmg::attack {
 
@@ -81,6 +86,15 @@ class PortProbingAttack {
   /// Tracking Service re-bind the victim's MAC to the attacker's port.
   void mark_hijack_confirmed(sim::SimTime at);
 
+  /// Attach observability (borrowed; nullptr detaches). The attack then
+  /// emits a span tree mirroring the Timeline: a root "attack/hijack"
+  /// span with per-probe "attack/probe" children, the
+  /// "attack/disconnect-detect" window (final probe start -> declared
+  /// down), and the "attack/race" window (declared down -> hijack
+  /// confirmed) whose "attack/ident-change" child is the ifconfig
+  /// latency. Probe totals mirror in at export time via a collector.
+  void set_observability(obs::Observability* obs);
+
  private:
   void acquire_mac();
   void schedule_probe();
@@ -100,6 +114,10 @@ class PortProbingAttack {
   std::uint64_t probes_run_ = 0;
   bool hijacking_ = false;
   std::function<void()> on_claimed_;
+  obs::Observability* obs_ = nullptr;
+  obs::SpanId span_root_ = 0;   // attack/hijack, whole campaign
+  obs::SpanId span_race_ = 0;   // attack/race, down -> confirmed
+  obs::SpanId span_ident_ = 0;  // attack/ident-change
 };
 
 }  // namespace tmg::attack

@@ -6,6 +6,7 @@
 #include "ctrl/host_tracker.hpp"
 #include "ctrl/link_discovery.hpp"
 #include "ctrl/routing.hpp"
+#include "obs/observability.hpp"
 
 namespace tmg::ctrl {
 
@@ -70,7 +71,7 @@ class Controller::CoreListener final : public MessageListener {
 
  private:
   Disposition on_packet_in(const of::PacketIn& pi) {
-    if (c_.tracer_) {
+    if (c_.tracer_ != nullptr || c_.obs_ != nullptr) {
       c_.trace_event(trace::EventKind::PacketIn, pi.packet.describe(),
                      of::Location{pi.dpid, pi.in_port});
     }
@@ -271,7 +272,7 @@ void Controller::send_flow_mod(of::Dpid dpid, of::FlowMod fm) {
   const auto it = switches_.find(dpid);
   if (it == switches_.end()) return;
   pipeline_.dispatch(PipelineMessage::from(dpid, fm));
-  if (tracer_) {
+  if (tracer_ != nullptr || obs_ != nullptr) {
     trace_event(trace::EventKind::FlowMod,
                 (fm.command == of::FlowMod::Command::Add ? "add " : "del ") +
                     fm.match.to_string(),
@@ -283,17 +284,71 @@ void Controller::send_flow_mod(of::Dpid dpid, of::FlowMod fm) {
 void Controller::set_tracer(trace::Tracer* tracer) {
   tracer_ = tracer;
   if (tracer_) {
-    alerts_.subscribe([this](const Alert& alert) {
-      if (!tracer_) return;
-      trace_event(trace::EventKind::Alert,
-                  alert.module + ": " + alert.message, alert.location);
-    });
+    if (obs_ != nullptr) tracer_->bind(obs_->trace());
+    subscribe_alert_mirror();
   }
+}
+
+void Controller::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  pipeline_.set_observability(obs, &loop_);
+  if (obs_ == nullptr) {
+    obs_echo_rtt_ = nullptr;
+    return;
+  }
+  if (tracer_ != nullptr) tracer_->bind(obs_->trace());
+  subscribe_alert_mirror();
+  obs_echo_rtt_ =
+      &obs_->metrics().histogram("ctrl.echo_rtt_ms", 0.0, 50.0, 50);
+  // Export-time mirror: copies module totals into the registry right
+  // before a snapshot, so no hot path pays for bookkeeping it already
+  // does for its own accessors. Gauges are set absolutely — collecting
+  // twice is idempotent.
+  obs_->add_collector([this](obs::MetricsRegistry& m, sim::SimTime) {
+    m.gauge("ctrl.alerts_total").set(static_cast<double>(alerts_.count()));
+    m.gauge("ctrl.switches").set(static_cast<double>(switches_.size()));
+    const auto acc = links_->lldp_accounting();
+    m.gauge("lldp.emitted").set(static_cast<double>(acc.emitted));
+    m.gauge("lldp.matched").set(static_cast<double>(acc.matched));
+    m.gauge("lldp.expired").set(static_cast<double>(acc.expired));
+    m.gauge("lldp.duplicate").set(static_cast<double>(acc.duplicate));
+    m.gauge("lldp.unsolicited").set(static_cast<double>(acc.unsolicited));
+    m.gauge("lldp.reflected").set(static_cast<double>(acc.reflected));
+    m.gauge("lldp.invalid_signature")
+        .set(static_cast<double>(acc.invalid_signature));
+    m.gauge("lldp.links").set(static_cast<double>(links_->link_states().size()));
+    for (const auto& s : pipeline_.stats()) {
+      m.gauge("pipeline.listener_dispatches{listener=" + s.name + "}")
+          .set(static_cast<double>(s.dispatches));
+      m.gauge("pipeline.listener_stops{listener=" + s.name + "}")
+          .set(static_cast<double>(s.stops));
+    }
+  });
+}
+
+void Controller::subscribe_alert_mirror() {
+  if (alert_mirror_subscribed_) return;
+  alert_mirror_subscribed_ = true;
+  alerts_.subscribe([this](const Alert& alert) {
+    if (tracer_ == nullptr && obs_ == nullptr) return;
+    trace_event(trace::EventKind::Alert, alert.module + ": " + alert.message,
+                alert.location);
+  });
 }
 
 void Controller::trace_event(trace::EventKind kind, std::string detail,
                              std::optional<of::Location> loc) {
-  if (tracer_) tracer_->record(loop_.now(), kind, std::move(detail), loc);
+  if (tracer_ != nullptr) {
+    // The tracer is bound onto the shared TraceLog when obs is attached,
+    // so one record covers both sinks.
+    tracer_->record(loop_.now(), kind, std::move(detail), loc);
+    return;
+  }
+  if (obs_ != nullptr) {
+    const obs::SpanId id = obs_->trace().instant(
+        loop_.now(), trace::Tracer::kCategory, trace::to_string(kind), detail);
+    if (id != 0 && loc) obs_->trace().annotate(id, "loc", loc->to_string());
+  }
 }
 
 void Controller::request_flow_stats(of::Dpid dpid) {
@@ -316,11 +371,17 @@ void Controller::probe_reachability(of::Location loc, net::MacAddress dst_mac,
       net::make_icmp_echo(mac(), ip(), dst_mac, dst_ip, ident, 1);
   PendingProbe pending;
   pending.done = std::move(done);
+  if (obs_ != nullptr) {
+    pending.span =
+        obs_->trace().begin_span(loop_.now(), "ctrl", "probe.reachability");
+    obs_->trace().annotate(pending.span, "loc", loc.to_string());
+  }
   pending.timeout =
       loop_.schedule_after(config_.host_probe_timeout, [this, ident] {
         auto it = pending_probes_.find(ident);
         if (it == pending_probes_.end()) return;
         auto cb = std::move(it->second.done);
+        finish_probe_span(it->second.span, false);
         pending_probes_.erase(it);
         cb(false);
       });
@@ -336,9 +397,16 @@ bool Controller::consume_probe_reply(const of::PacketIn& pi) {
   if (it == pending_probes_.end()) return true;  // stale reply: still ours
   auto cb = std::move(it->second.done);
   it->second.timeout.cancel();
+  finish_probe_span(it->second.span, true);
   pending_probes_.erase(it);
   cb(true);
   return true;
+}
+
+void Controller::finish_probe_span(obs::SpanId span, bool reachable) {
+  if (span == 0 || obs_ == nullptr) return;
+  obs_->trace().annotate(span, "reachable", reachable ? "true" : "false");
+  obs_->trace().end_span(span, loop_.now());
 }
 
 Verdict Controller::notify_host_event(const HostEvent& ev) {
@@ -390,7 +458,8 @@ void Controller::handle_echo_reply(of::Dpid dpid, const of::EchoReply& er) {
   conn.recent_rtts.push_back(rtt);
   // Paper Sec. VI-D: average of the latest three measurements.
   while (conn.recent_rtts.size() > 3) conn.recent_rtts.pop_front();
-  if (tracer_) {
+  if (obs_echo_rtt_ != nullptr) obs_echo_rtt_->add(rtt.to_millis_f());
+  if (tracer_ != nullptr || obs_ != nullptr) {
     char buf[48];
     std::snprintf(buf, sizeof buf, "rtt=%.3fms", rtt.to_millis_f());
     trace_event(trace::EventKind::EchoRtt, buf, of::Location{dpid, 0});

@@ -156,6 +156,16 @@ class Controller {
   void set_tracer(trace::Tracer* tracer);
   [[nodiscard]] trace::Tracer* tracer() { return tracer_; }
 
+  /// Attach the observability layer (borrowed; nullptr detaches, the
+  /// default). Wires the pipeline's dispatch span tree, rebinds an
+  /// attached Tracer onto the shared TraceLog, registers the export-time
+  /// collector that mirrors pipeline/LLDP/alert totals into the metrics
+  /// registry, and starts the control-link echo RTT histogram. With a
+  /// null pointer every simulated behavior is bit-identical to an
+  /// unobserved controller.
+  void set_observability(obs::Observability* obs);
+  [[nodiscard]] obs::Observability* observability() const { return obs_; }
+
   /// Record a trace event if a tracer is attached (used by the services;
   /// cheap no-op otherwise).
   void trace_event(trace::EventKind kind, std::string detail,
@@ -177,11 +187,14 @@ class Controller {
   struct PendingProbe {
     std::function<void(bool)> done;
     sim::TimerHandle timeout;
+    obs::SpanId span = 0;  // open "ctrl/probe.reachability" span
   };
   class CoreListener;
   class VerdictGate;
 
   void dispatch(of::Dpid dpid, const of::SwitchToCtrl& msg);
+  void subscribe_alert_mirror();
+  void finish_probe_span(obs::SpanId span, bool reachable);
   void handle_echo_reply(of::Dpid dpid, const of::EchoReply& er);
   void echo_tick();
   /// True if the packet-in was a reply to a controller probe (consumed).
@@ -209,6 +222,9 @@ class Controller {
   std::uint32_t next_port_stats_xid_ = 1;
   std::map<std::uint16_t, PendingProbe> pending_probes_;
   trace::Tracer* tracer_ = nullptr;
+  obs::Observability* obs_ = nullptr;
+  stats::Histogram* obs_echo_rtt_ = nullptr;  // "ctrl.echo_rtt_ms"
+  bool alert_mirror_subscribed_ = false;
   bool started_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "ctrl/link_discovery.hpp"
 
 #include "ctrl/controller.hpp"
+#include "obs/observability.hpp"
 
 namespace tmg::ctrl {
 
@@ -49,6 +50,7 @@ net::LldpPacket LinkDiscoveryService::construct_lldp(
 
 void LinkDiscoveryService::emit_round() {
   const sim::SimTime now = ctrl_.loop().now();
+  obs::Observability* obs = ctrl_.observability();
   for (const of::Dpid dpid : ctrl_.switch_dpids()) {
     for (const of::PortNo port : ctrl_.switch_ports(dpid)) {
       const std::uint64_t nonce = next_nonce_++;
@@ -56,8 +58,20 @@ void LinkDiscoveryService::emit_round() {
       auto [slot, first] = outstanding_.try_emplace(of::Location{dpid, port});
       // Superseding a probe that was never answered retires it to the
       // "expired" bucket (LLDP conservation; see lldp_accounting()).
-      if (!first && !slot->second.matched) ++expired_;
-      slot->second = Emission{nonce, now, false};
+      if (!first && !slot->second.matched) {
+        ++expired_;
+        if (obs != nullptr && slot->second.span != 0) {
+          obs->trace().annotate(slot->second.span, "outcome", "expired");
+          obs->trace().end_span(slot->second.span, now);
+        }
+      }
+      obs::SpanId span = 0;
+      if (obs != nullptr) {
+        span = obs->trace().begin_span(now, "lldp", "rtt");
+        obs->trace().annotate(span,
+                              "src", of::Location{dpid, port}.to_string());
+      }
+      slot->second = Emission{nonce, now, false, span};
       ++emissions_;
       ctrl_.send_packet_out(
           dpid, port,
@@ -128,6 +142,12 @@ void LinkDiscoveryService::handle_lldp_packet_in(const of::PacketIn& pi) {
     } else {
       em->second.matched = true;
       ++matched_;
+      if (obs::Observability* obs = ctrl_.observability();
+          obs != nullptr && em->second.span != 0) {
+        obs->trace().annotate(em->second.span, "outcome", "matched");
+        obs->trace().annotate(em->second.span, "dst", dst.to_string());
+        obs->trace().end_span(em->second.span, now);
+      }
     }
   } else {
     obs.emitted_at = now;  // unsolicited (e.g. fully forged chassis/port)

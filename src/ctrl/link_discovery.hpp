@@ -87,6 +87,9 @@ class LinkDiscoveryService final : public MessageListener {
     std::uint64_t nonce = 0;
     sim::SimTime sent_at;
     bool matched = false;  // at least one reception referenced it
+    /// Open "lldp/rtt" span covering emission -> first reception (closed
+    /// as "expired" when a fresh probe supersedes an unanswered one).
+    obs::SpanId span = 0;
   };
 
   void sweep();

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "check/assert.hpp"
+#include "obs/observability.hpp"
 
 namespace tmg::ctrl {
 
@@ -165,9 +166,77 @@ MessageListener& MessagePipeline::add_owned(
   return ref;
 }
 
+void MessagePipeline::set_observability(obs::Observability* obs,
+                                        const sim::EventLoop* loop) {
+  obs_ = obs;
+  obs_loop_ = obs == nullptr ? nullptr : loop;
+  obs_parent_ = 0;
+  if (obs_ != nullptr) {
+    obs_dispatches_ = &obs_->metrics().counter("pipeline.dispatches");
+    obs_queue_depth_ =
+        &obs_->metrics().histogram("pipeline.queue_depth", 0.0, 4096.0, 64);
+    obs_visited_ = &obs_->metrics().histogram("pipeline.visited", 0.0, 32.0, 32);
+  } else {
+    obs_dispatches_ = nullptr;
+    obs_queue_depth_ = nullptr;
+    obs_visited_ = nullptr;
+  }
+}
+
+void MessagePipeline::reset_stats() {
+  for (Entry& e : chain_) {
+    e.dispatches = 0;
+    e.stops = 0;
+    e.wall_ns = 0;
+  }
+}
+
+obs::SpanId MessagePipeline::open_dispatch_span(const PipelineMessage& msg) {
+  if (!obs_->trace_dispatch()) return 0;
+  const sim::SimTime now =
+      obs_loop_ != nullptr ? obs_loop_->now() : sim::SimTime::zero();
+  return obs_->trace().begin_span(
+      now, "pipeline", std::string("dispatch:") + to_string(msg.type),
+      obs_parent_);
+}
+
+void MessagePipeline::close_listener_span(obs::SpanId span,
+                                          const DispatchContext& ctx,
+                                          Disposition d,
+                                          Verdict verdict_before) {
+  if (span == 0) return;
+  obs::TraceLog& trace = obs_->trace();
+  trace.annotate(span, "disposition",
+                 d == Disposition::Stop ? "stop" : "continue");
+  if (ctx.verdict != verdict_before) {
+    trace.annotate(span, "verdict",
+                   ctx.verdict == Verdict::Block ? "block" : "allow");
+  }
+  trace.end_span(span, obs_loop_ != nullptr ? obs_loop_->now()
+                                            : sim::SimTime::zero());
+}
+
 void MessagePipeline::dispatch(const PipelineMessage& msg,
                                DispatchContext& ctx) {
   const std::uint32_t bit = mask_of(msg.type);
+  // Observed dispatch: a span tree (dispatch -> per-listener children,
+  // nested dispatches parent under the listener that published them) and
+  // queue-depth/fanout histograms. obs_ == nullptr skips all of it; the
+  // simulated walk below is identical either way.
+  const bool observed = obs_ != nullptr;
+  obs::SpanId dispatch_span = 0;
+  obs::SpanId saved_parent = 0;
+  if (observed) {
+    dispatch_span = open_dispatch_span(msg);
+    saved_parent = obs_parent_;
+    if (dispatch_span != 0) obs_parent_ = dispatch_span;
+    obs_dispatches_->inc();
+    if (obs_loop_ != nullptr) {
+      obs_queue_depth_->add(static_cast<double>(obs_loop_->live_events()));
+    }
+  }
+  const std::size_t visited_at_entry = ctx.visited;
+
   // Indexed walk: dispatch re-enters when a service publishes a derived
   // event mid-chain, and registration during dispatch is forbidden, so
   // the vector is stable for the whole walk.
@@ -176,6 +245,14 @@ void MessagePipeline::dispatch(const PipelineMessage& msg,
     if (!e.enabled || (e.mask & bit) == 0) continue;
     ++e.dispatches;
     ++ctx.visited;
+    obs::SpanId listener_span = 0;
+    const Verdict verdict_before = ctx.verdict;
+    if (observed && dispatch_span != 0) {
+      listener_span = obs_->trace().begin_span(
+          obs_loop_ != nullptr ? obs_loop_->now() : sim::SimTime::zero(),
+          "pipeline.listener", e.name, dispatch_span);
+      if (listener_span != 0) obs_parent_ = listener_span;
+    }
     Disposition d;
     if (timing_) {
       const std::int64_t t0 = wall_now_ns();
@@ -184,11 +261,33 @@ void MessagePipeline::dispatch(const PipelineMessage& msg,
     } else {
       d = e.listener->on_message(msg, ctx);
     }
+    if (observed) {
+      if (dispatch_span != 0) obs_parent_ = dispatch_span;
+      close_listener_span(listener_span, ctx, d, verdict_before);
+    }
     if (d == Disposition::Stop) {
       ++e.stops;
       ctx.stopped_by = e.name.c_str();
-      return;
+      break;
     }
+  }
+
+  if (observed) {
+    obs_visited_->add(static_cast<double>(ctx.visited - visited_at_entry));
+    if (dispatch_span != 0) {
+      obs::TraceLog& trace = obs_->trace();
+      trace.annotate(dispatch_span, "visited",
+                     std::to_string(ctx.visited - visited_at_entry));
+      if (ctx.stopped_by != nullptr) {
+        trace.annotate(dispatch_span, "stopped_by", ctx.stopped_by);
+      }
+      trace.annotate(dispatch_span, "verdict",
+                     ctx.verdict == Verdict::Block ? "block" : "allow");
+      trace.end_span(dispatch_span, obs_loop_ != nullptr
+                                        ? obs_loop_->now()
+                                        : sim::SimTime::zero());
+    }
+    obs_parent_ = saved_parent;
   }
 }
 

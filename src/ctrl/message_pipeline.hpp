@@ -30,8 +30,19 @@
 #include <vector>
 
 #include "ctrl/defense_module.hpp"
+#include "obs/trace_log.hpp"
 #include "of/messages.hpp"
+#include "sim/event_loop.hpp"
 #include "topo/graph.hpp"
+
+namespace tmg::obs {
+class Observability;
+class Counter;
+}  // namespace tmg::obs
+
+namespace tmg::stats {
+class Histogram;
+}  // namespace tmg::stats
 
 namespace tmg::ctrl {
 
@@ -151,6 +162,20 @@ class MessagePipeline {
   void set_timing(bool on) { timing_ = on; }
   [[nodiscard]] bool timing() const { return timing_; }
 
+  /// Attach the observability layer (borrowed; nullptr detaches, which
+  /// is the default and the zero-cost path). `loop` supplies sim-time
+  /// stamps for dispatch spans and queue-depth readings. With a null
+  /// obs pointer dispatch behavior is bit-identical to an unobserved
+  /// pipeline — the fastpath-equivalence CI leg holds this to goldens.
+  void set_observability(obs::Observability* obs, const sim::EventLoop* loop);
+  [[nodiscard]] obs::Observability* observability() const { return obs_; }
+
+  /// Zero every per-listener dispatch/stop/wall-time counter (chain
+  /// membership and enabled flags are untouched). The trial-reset path
+  /// calls this so a pipeline reused across trials starts from zeroed
+  /// counters (tests/obs_test.cpp has the --jobs 8 regression test).
+  void reset_stats();
+
   [[nodiscard]] std::vector<ListenerStats> stats() const;
   /// Listener names in dispatch order.
   [[nodiscard]] std::vector<std::string> chain_names() const;
@@ -175,9 +200,23 @@ class MessagePipeline {
 
   void insert(Entry entry);
   [[nodiscard]] const Entry* find_entry(const std::string& name) const;
+  /// Observed-dispatch helpers (only reached when obs_ != nullptr).
+  [[nodiscard]] obs::SpanId open_dispatch_span(const PipelineMessage& msg);
+  void close_listener_span(obs::SpanId span, const DispatchContext& ctx,
+                           Disposition d, Verdict verdict_before);
 
   std::vector<Entry> chain_;  // sorted by (priority, name)
   bool timing_ = false;
+  obs::Observability* obs_ = nullptr;
+  const sim::EventLoop* obs_loop_ = nullptr;
+  // Metric handles, resolved once at attach (registry handles are stable
+  // and survive MetricsRegistry::reset()).
+  obs::Counter* obs_dispatches_ = nullptr;
+  stats::Histogram* obs_queue_depth_ = nullptr;
+  stats::Histogram* obs_visited_ = nullptr;
+  /// Innermost open span: dispatch re-enters when a listener publishes a
+  /// derived event, and the nested dispatch's span parents here.
+  obs::SpanId obs_parent_ = 0;
 };
 
 }  // namespace tmg::ctrl

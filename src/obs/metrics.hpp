@@ -1,0 +1,91 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Every metric is registered under a `module.metric` name, optionally
+// suffixed with `{label=value,...}` (DESIGN.md §10 has the naming
+// scheme). Handles returned by the registry are stable for the
+// registry's lifetime, so hot paths look a metric up once and then just
+// bump the handle. All values are simulation-derived quantities; the
+// registry never reads the host clock, so a snapshot taken at the same
+// sim time in two same-seed runs is byte-identical (the determinism
+// tests in tests/obs_test.cpp assert exactly this).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sim/time.hpp"
+#include "stats/histogram.hpp"
+
+namespace tmg::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n) { value_ += n; }
+  void inc() { ++value_; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depths, table sizes).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. The returned reference stays valid for the
+  /// registry's lifetime. Names must satisfy valid_name(); asking for an
+  /// existing histogram with different bucket parameters is an error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  stats::Histogram& histogram(const std::string& name, double lo, double hi,
+                              std::size_t bins);
+
+  /// `module.metric` in [a-z0-9_.], at least one dot, with an optional
+  /// trailing `{label=value,...}` selector.
+  [[nodiscard]] static bool valid_name(const std::string& name);
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Byte-stable JSON snapshot: keys sorted (std::map order), fixed
+  /// printf formats, trailing newline. Safe to diff across runs.
+  [[nodiscard]] std::string to_json(sim::SimTime at) const;
+
+  /// Byte-stable CSV snapshot: `type,name,field,value` rows after an
+  /// `# at_ns=<t>` header comment.
+  [[nodiscard]] std::string to_csv(sim::SimTime at) const;
+
+  /// Zero every counter/gauge and empty every histogram (bucket layouts
+  /// are kept). Used by the trial-reset path so a reused registry never
+  /// leaks one trial's totals into the next.
+  void reset();
+
+ private:
+  struct HistEntry {
+    double lo = 0.0;
+    double hi = 1.0;
+    std::size_t bins = 1;
+    std::unique_ptr<stats::Histogram> hist;
+  };
+
+  // std::map: deterministic export order by construction.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, HistEntry> histograms_;
+};
+
+}  // namespace tmg::obs

@@ -7,6 +7,7 @@
 #include "attack/port_amnesia.hpp"
 #include "ctrl/host_tracker.hpp"
 #include "ids/ids.hpp"
+#include "obs/observability.hpp"
 
 namespace tmg::scenario {
 
@@ -125,6 +126,7 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
   // Machine-checked self-consistency for every experiment run: attacks
   // may poison the controller's *view*, but never the simulator's state.
   f.tb->enable_invariant_checker(handles.topoguard);
+  if (config.obs != nullptr) f.tb->set_observability(config.obs);
 
   LinkAttackOutcome out;
   ctrl::Controller& ctrl = f.tb->controller();
@@ -161,6 +163,10 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
   benign_traffic = false;
   f.tb->run_for(Duration::seconds(10));
   out.alerts_before_attack = ctrl.alerts().count();
+  if (config.obs != nullptr) {
+    config.obs->trace().instant(loop.now(), "scenario", "attack-start",
+                                to_string(config.kind));
+  }
 
   // Launch the attack.
   std::unique_ptr<attack::ClassicLinkFabrication> classic;
@@ -188,6 +194,7 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
           ac.mode == attack::PortAmnesiaAttack::Mode::OutOfBand ? f.oob
                                                                 : nullptr,
           ac);
+      amnesia->set_observability(config.obs);
       amnesia->start();
       break;
     }
@@ -222,6 +229,9 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
   }
   out.events_executed = loop.events_executed();
   if (config.collect_pipeline_stats) out.pipeline_stats = ctrl.pipeline().stats();
+  // Mirror the final module counters into the registry and detach the
+  // collectors before the testbed (which they borrow) is destroyed.
+  if (config.obs != nullptr) config.obs->finalize(loop.now());
   return out;
 }
 
@@ -274,6 +284,7 @@ HijackOutcome run_hijack(const HijackConfig& config) {
       defense::Enrollment{"peer", f.peer->mac(), f.peer->ip()};
   const DefenseHandles handles = install_suite(ctrl, config.suite, &enrollment);
   f.tb->enable_invariant_checker(handles.topoguard);
+  if (config.obs != nullptr) f.tb->set_observability(config.obs);
 
   HijackOutcome out;
 
@@ -285,6 +296,7 @@ HijackOutcome run_hijack(const HijackConfig& config) {
   pc.confirm_failures = config.confirm_failures;
   pc.nmap_overhead = config.nmap_overhead;
   attack::PortProbingAttack attack{loop, f.tb->fork_rng(), *f.attacker, pc};
+  attack.set_observability(config.obs);
 
   // Observer: confirm when the HTS re-binds the victim to the attacker.
   // The event fires before the HTS commits (and a defense may veto it),
@@ -332,12 +344,22 @@ HijackOutcome run_hijack(const HijackConfig& config) {
   f.tb->run_for(phase);
 
   const SimTime victim_down = loop.now();
+  if (config.obs != nullptr) {
+    // The reference instant every Fig. 5-8 race window is measured from.
+    config.obs->trace().instant(victim_down, "scenario", "victim.down");
+  }
   if (config.victim_rejoins) {
     migrate_host(*f.tb, *f.victim, *f.migration_target,
                  config.victim_downtime);
     // On rejoin the victim announces itself (DHCP/ARP chatter).
     loop.post_after(config.victim_downtime + Duration::millis(50),
-                        [&f] { f.victim->send_arp_request(f.victim->ip()); });
+                    [&f, &config, &loop] {
+                      f.victim->send_arp_request(f.victim->ip());
+                      if (config.obs != nullptr) {
+                        config.obs->trace().instant(loop.now(), "scenario",
+                                                    "victim.rejoin");
+                      }
+                    });
   } else {
     f.victim->detach_link();
   }
@@ -370,6 +392,9 @@ HijackOutcome run_hijack(const HijackConfig& config) {
   }
   out.events_executed = loop.events_executed();
   if (config.collect_pipeline_stats) out.pipeline_stats = ctrl.pipeline().stats();
+  // Mirror the final module counters into the registry and detach the
+  // collectors before the testbed (which they borrow) is destroyed.
+  if (config.obs != nullptr) config.obs->finalize(loop.now());
   return out;
 }
 
@@ -382,6 +407,7 @@ LliSeries run_lli_experiment(const LliExperimentConfig& config) {
   const DefenseHandles handles =
       install_suite(f.tb->controller(), DefenseSuite::TopoGuardPlus);
   f.tb->enable_invariant_checker(handles.topoguard);
+  if (config.obs != nullptr) f.tb->set_observability(config.obs);
 
   f.tb->start(Duration::seconds(2));
   fig9_warm_hosts(f);
@@ -395,6 +421,7 @@ LliSeries run_lli_experiment(const LliExperimentConfig& config) {
     ac.preposition_flap = true;  // CMM-evasive: only the LLI can catch it
     amnesia = std::make_unique<attack::PortAmnesiaAttack>(
         f.tb->loop(), *f.attacker_a, *f.attacker_b, &channel, ac);
+    amnesia->set_observability(config.obs);
     amnesia->start();
   }
   f.tb->run_for(config.attack_window);
@@ -423,6 +450,7 @@ LliSeries run_lli_experiment(const LliExperimentConfig& config) {
     series.per_link.emplace_back(link, stats::summarize(samples));
   }
   series.events_executed = f.tb->loop().events_executed();
+  if (config.obs != nullptr) config.obs->finalize(f.tb->loop().now());
   return series;
 }
 
@@ -540,8 +568,10 @@ ProbeTimingRow measure_probe_timing(attack::ProbeType type, std::size_t n,
 ScanDetectionResult run_scan_detection(attack::ProbeType type,
                                        double rate_per_s,
                                        sim::Duration window,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       obs::Observability* obs) {
   ProbeLab lab{seed};
+  if (obs != nullptr) lab.tb.set_observability(obs);
   ids::Ids ids{lab.tb.loop()};
   ids.install_default_rules();
   // Monitor the victim's access link (the paper ran Snort on the
@@ -587,6 +617,7 @@ ScanDetectionResult run_scan_detection(attack::ProbeType type,
   }
   result.events_executed = lab.tb.loop().events_executed();
   result.pipeline_stats = lab.tb.controller().pipeline().stats();
+  if (obs != nullptr) obs->finalize(lab.tb.loop().now());
   return result;
 }
 

@@ -109,6 +109,10 @@ struct LinkAttackConfig {
   bool blackhole = false;
   /// Capture per-listener pipeline counters into the outcome.
   bool collect_pipeline_stats = false;
+  /// Observability layer to attach (borrowed; nullptr runs unobserved).
+  /// Wires the testbed (pipeline spans, loop probe) and the attack's
+  /// flap/relay spans, and emits "scenario" phase instants.
+  obs::Observability* obs = nullptr;
 };
 
 LinkAttackOutcome run_link_attack(const LinkAttackConfig& config);
@@ -130,6 +134,11 @@ struct HijackConfig {
   bool victim_rejoins = true;
   /// Capture per-listener pipeline counters into the outcome.
   bool collect_pipeline_stats = false;
+  /// Observability layer to attach (borrowed; nullptr runs unobserved).
+  /// Wires the testbed and the attack's probe/race span tree, and emits
+  /// the "scenario/victim.down" instant the race windows are measured
+  /// against (tools/render_timeline.py reconstructs Figs. 5-8 from it).
+  obs::Observability* obs = nullptr;
 };
 
 struct HijackOutcome {
@@ -188,6 +197,8 @@ struct LliExperimentConfig {
   /// attacker's side channel be before the LLI stops seeing it? The
   /// paper scopes out "point-to-point laser" hardware relays).
   attack::OobChannelConfig channel;
+  /// Observability layer to attach (borrowed; nullptr runs unobserved).
+  obs::Observability* obs = nullptr;
 };
 
 LliSeries run_lli_experiment(const LliExperimentConfig& config);
@@ -225,9 +236,12 @@ struct ScanDetectionResult {
   [[nodiscard]] bool detected() const { return ids_alerts > 0; }
 };
 
+/// `obs` (borrowed, may be null) attaches the observability layer to the
+/// lab testbed for the duration of the scan.
 ScanDetectionResult run_scan_detection(attack::ProbeType type,
                                        double rate_per_s,
                                        sim::Duration window,
-                                       std::uint64_t seed);
+                                       std::uint64_t seed,
+                                       obs::Observability* obs = nullptr);
 
 }  // namespace tmg::scenario

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/observability.hpp"
+
 namespace tmg::scenario {
 
 Testbed::Testbed(TestbedOptions options)
@@ -14,6 +16,11 @@ Testbed::~Testbed() {
   // Teardown validation: whatever state the experiment left behind must
   // still satisfy every invariant.
   if (checker_) checker_->final_check();
+}
+
+void Testbed::set_observability(obs::Observability* obs) {
+  controller_->set_observability(obs);
+  loop_.set_probe(obs == nullptr ? nullptr : &obs->loop_probe());
 }
 
 check::InvariantChecker& Testbed::enable_invariant_checker(

@@ -56,6 +56,15 @@ class Testbed {
   [[nodiscard]] const TestbedOptions& options() const { return options_; }
   sim::Rng fork_rng() { return rng_.fork(); }
 
+  /// Attach the observability layer (borrowed; nullptr detaches): wires
+  /// the controller (pipeline spans, collectors, echo RTT histogram) and
+  /// the event loop's profiling probe. A null pointer restores the
+  /// zero-cost unobserved configuration.
+  void set_observability(obs::Observability* obs);
+  [[nodiscard]] obs::Observability* observability() {
+    return controller_->observability();
+  }
+
   of::Switch& add_switch(of::Dpid dpid);
   [[nodiscard]] of::Switch& get_switch(of::Dpid dpid);
 

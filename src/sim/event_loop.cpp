@@ -114,9 +114,13 @@ bool EventLoop::step() {
     // work that immediately reuses this slot.
     EventFn fn = std::move(slot.fn);
     release_slot(entry.slot);
+    const SimTime before = now_;
     now_ = entry.at;
     ++executed_;
     fn();
+    if (probe_ != nullptr) {
+      probe_->on_event_executed(now_, entry.at - before, live_events());
+    }
     if (post_event_every_ != 0 && executed_ % post_event_every_ == 0) {
       post_event_hook_();
     }

@@ -60,6 +60,19 @@ class TimerHandle {
   std::shared_ptr<State> state_;
 };
 
+/// Profiling probe interface (implemented by obs::Observability). The
+/// loop calls it after every executed event when attached; detached
+/// (the default) costs one pointer compare per event, and the
+/// simulated results are identical either way — probes only read.
+class LoopProbe {
+ public:
+  virtual ~LoopProbe() = default;
+  /// `advanced` is how far the clock moved for this event (zero for
+  /// same-timestamp cascades); `live_after` is live_events() after it.
+  virtual void on_event_executed(SimTime now, Duration advanced,
+                                 std::size_t live_after) = 0;
+};
+
 /// The simulation clock plus the pending-event queue.
 class EventLoop {
  public:
@@ -115,6 +128,11 @@ class EventLoop {
   /// hook at a time. Passing a null hook clears it.
   void set_post_event_hook(std::uint64_t every_n, std::function<void()> hook);
 
+  /// Attach a profiling probe (borrowed; nullptr detaches). One probe at
+  /// a time; independent of the post-event hook.
+  void set_probe(LoopProbe* probe) { probe_ = probe; }
+  [[nodiscard]] LoopProbe* probe() const { return probe_; }
+
  private:
   /// POD heap record; the callback lives in slots_[slot].
   struct Entry {
@@ -167,6 +185,7 @@ class EventLoop {
   std::shared_ptr<std::size_t> cancelled_in_queue_;
   std::function<void()> post_event_hook_;
   std::uint64_t post_event_every_ = 0;
+  LoopProbe* probe_ = nullptr;
 };
 
 }  // namespace tmg::sim

@@ -25,6 +25,11 @@ void Histogram::add_all(std::span<const double> xs) {
   for (double x : xs) add(x);
 }
 
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
 double Histogram::bin_lo(std::size_t bin) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + width * static_cast<double>(bin);

@@ -20,6 +20,10 @@ class Histogram {
   void add(double x);
   void add_all(std::span<const double> xs);
 
+  /// Zero every bin (the bucket layout is kept). Lets long-lived handles
+  /// (obs::MetricsRegistry) survive a trial reset.
+  void reset();
+
   [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t total() const { return total_; }

@@ -1,6 +1,5 @@
 #include "trace/tracer.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -30,16 +29,11 @@ Tracer::Tracer(std::size_t capacity) : capacity_{capacity} {
 
 void Tracer::record(sim::SimTime at, EventKind kind, std::string detail,
                     std::optional<of::Location> loc) {
+  const obs::SpanId id = log_->instant(at, kCategory, to_string(kind), detail);
+  if (id != 0 && loc) log_->annotate(id, "loc", loc->to_string());
   events_.push_back(Event{at, kind, std::move(detail), loc});
-  ++recorded_;
   while (events_.size() > capacity_) events_.pop_front();
   for (const auto& l : listeners_) l(events_.back());
-}
-
-std::size_t Tracer::count(EventKind kind) const {
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(),
-                    [&](const Event& e) { return e.kind == kind; }));
 }
 
 std::vector<Event> Tracer::of_kind(EventKind kind) const {

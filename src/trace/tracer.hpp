@@ -5,6 +5,14 @@
 // Controller it yields the "controller console" view the paper's
 // figures 12-13 screenshot, and gives tests/examples a queryable record
 // of what the control plane actually did.
+//
+// The Tracer is a thin adapter over obs::TraceLog: every record()
+// lands as an instant in the log (category "ctrl", name = the event
+// kind), and count()/total_recorded() delegate to the log's cumulative
+// counters — the Tracer keeps only the bounded console ring for
+// render()/to_csv(). bind() points several Tracers (or a Tracer and
+// the observability layer) at one shared log so controller events
+// interleave with pipeline spans in the same JSONL export.
 #pragma once
 
 #include <cstddef>
@@ -14,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_log.hpp"
 #include "of/messages.hpp"
 #include "sim/time.hpp"
 
@@ -47,15 +56,28 @@ class Tracer {
  public:
   using Listener = std::function<void(const Event&)>;
 
+  /// Category every Tracer instant is filed under in the TraceLog.
+  static constexpr const char* kCategory = "ctrl";
+
   explicit Tracer(std::size_t capacity = 65536);
+
+  /// Rebind to a shared TraceLog (borrowed; must outlive the Tracer).
+  /// Until then the Tracer records into a private log of its own.
+  void bind(obs::TraceLog& log) { log_ = &log; }
+  [[nodiscard]] obs::TraceLog& log() { return *log_; }
+  [[nodiscard]] const obs::TraceLog& log() const { return *log_; }
 
   void record(sim::SimTime at, EventKind kind, std::string detail,
               std::optional<of::Location> loc = std::nullopt);
 
   [[nodiscard]] const std::deque<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t size() const { return events_.size(); }
-  [[nodiscard]] std::uint64_t total_recorded() const { return recorded_; }
-  [[nodiscard]] std::size_t count(EventKind kind) const;
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    return log_->category_total(kCategory);
+  }
+  [[nodiscard]] std::size_t count(EventKind kind) const {
+    return static_cast<std::size_t>(log_->count(kCategory, to_string(kind)));
+  }
   [[nodiscard]] std::vector<Event> of_kind(EventKind kind) const;
 
   /// Console-style rendering of the most recent `last_n` events.
@@ -67,13 +89,16 @@ class Tracer {
   /// Live listener invoked on every recorded event.
   void subscribe(Listener listener);
 
+  /// Drop the console ring. Cumulative counters live in the TraceLog
+  /// and survive (count()/total_recorded() keep their totals).
   void clear();
 
  private:
   std::size_t capacity_;
   std::deque<Event> events_;
   std::vector<Listener> listeners_;
-  std::uint64_t recorded_ = 0;
+  obs::TraceLog own_log_;
+  obs::TraceLog* log_ = &own_log_;
 };
 
 }  // namespace tmg::trace

@@ -55,6 +55,11 @@ Suppressions (use sparingly, always with a reason):
   // determinism-lint: allow(<rule>) <why>      -- same or preceding line
   // determinism-lint: skip-file <why>          -- whole file
 
+Hard rule: inside src/obs/ the `wall-clock` rule is absolute. The
+observability exports (metrics JSON/CSV, trace JSONL) are diffed byte
+for byte across runs and --jobs counts, so a host-clock read there is
+always a bug -- neither allow() nor skip-file can suppress it.
+
 Exit status: 0 clean, 1 findings (printed as file:line: rule: excerpt).
 """
 
@@ -172,7 +177,12 @@ def allowed(rule: str, lines: list[str], idx: int) -> bool:
 
 def lint_file(path: Path, root: Path) -> list[str]:
     text = path.read_text(encoding="utf-8", errors="replace")
-    if SKIP_FILE_RE.search(text):
+    rel = path.relative_to(root)
+    # src/obs exports are diffed byte-for-byte across runs, so its
+    # wall-clock ban is absolute: no allow()/skip-file escape hatch.
+    hard_wallclock = tuple(rel.parts[:2]) == ("src", "obs")
+    skipped = SKIP_FILE_RE.search(text) is not None
+    if skipped and not hard_wallclock:
         return []
     lines = text.splitlines()
 
@@ -187,10 +197,12 @@ def lint_file(path: Path, root: Path) -> list[str]:
     unordered = unordered_members(text, sibling_text)
 
     findings = []
-    rel = path.relative_to(root)
     for i, line in enumerate(lines):
         stripped = line.split("//", 1)[0]
         for rule, rx in LINE_RULES:
+            hard = rule == "wall-clock" and hard_wallclock
+            if skipped and not hard:
+                continue
             if rule == "threading" and rel in THREADING_ALLOWED_FILES:
                 continue
             if (
@@ -198,11 +210,19 @@ def lint_file(path: Path, root: Path) -> list[str]:
                 and tuple(rel.parts[:2]) not in REGISTRY_BYPASS_SCOPE
             ):
                 continue
-            if rx.search(stripped) and not allowed(rule, lines, i):
+            if not rx.search(stripped):
+                continue
+            if hard:
+                findings.append(
+                    f"{rel}:{i + 1}: wall-clock(hard, src/obs): "
+                    f"{line.strip()}"
+                )
+            elif not allowed(rule, lines, i):
                 findings.append(f"{rel}:{i + 1}: {rule}: {line.strip()}")
         m = RANGE_FOR_RE.search(stripped)
         if (
-            m
+            not skipped
+            and m
             and m.group(1) in unordered
             and not allowed("unordered-iter", lines, i)
         ):
@@ -213,7 +233,11 @@ def lint_file(path: Path, root: Path) -> list[str]:
     # cache-coherence is a file-pair property: the epoch reference may
     # live in either the .hpp or the .cpp.
     combined = text + sibling_text
-    if TOPOLOGY_USE_RE.search(combined) and not EPOCH_TIE_RE.search(combined):
+    if (
+        not skipped
+        and TOPOLOGY_USE_RE.search(combined)
+        and not EPOCH_TIE_RE.search(combined)
+    ):
         for i, line in enumerate(lines):
             stripped = line.split("//", 1)[0]
             if CACHE_DECL_RE.search(stripped) and not allowed(

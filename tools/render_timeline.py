@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Render an observability trace (JSONL) as a span tree and, when the
+trace holds a Port Probing hijack, the paper's race-window table.
+
+Usage:
+    tools/render_timeline.py TRACE.jsonl [--tree-limit N] [--no-tree]
+
+Input: the `--trace-out=FILE` / `--obs-out=DIR` (trace.jsonl) export of
+any example — one JSON object per line:
+
+    {"ph":"span","id":N,"parent":P,"cat":C,"name":S,
+     "t0_ns":T,"t1_ns":T|null,"args":{...}}
+    {"ph":"instant","id":N,"parent":P,"cat":C,"name":S,"t_ns":T,
+     "args":{...}}
+
+All timestamps are simulated nanoseconds, so output is deterministic.
+
+The race-window table reproduces Figs. 5-8 of the paper from the span
+tree alone, anchored at the `scenario/victim.down` instant:
+
+    Fig. 7  victim down -> final probe sent    attack/disconnect-detect t0
+    Fig. 8  victim down -> declared down       attack/disconnect-detect t1
+    Fig. 5  victim down -> attacker iface up   attack/ident-change t1
+    Fig. 6  victim down -> hijack confirmed    attack/race t1
+
+These are the same four quantities run_hijack() computes in-process
+(HijackOutcome::down_to_*); rendering them from the exported trace
+cross-checks the span instrumentation against the driver's bookkeeping.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_trace(path: Path) -> list[dict]:
+    records = []
+    with path.open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                sys.exit(f"{path}:{lineno}: not valid JSON: {exc}")
+    return records
+
+
+def fmt_ms(ns: int) -> str:
+    return f"{ns / 1e6:.2f} ms"
+
+
+def fmt_span(rec: dict) -> str:
+    label = f"{rec['cat']}/{rec['name']}"
+    args = rec.get("args") or {}
+    arg_s = " ".join(f"{k}={v}" for k, v in args.items())
+    if rec["ph"] == "instant":
+        head = f"@{rec['t_ns'] / 1e9:.6f}s  *{label}"
+    else:
+        t0, t1 = rec["t0_ns"], rec["t1_ns"]
+        dur = "open" if t1 is None else fmt_ms(t1 - t0)
+        head = f"@{t0 / 1e9:.6f}s  {label} [{dur}]"
+    return f"{head}  {arg_s}".rstrip()
+
+
+def render_tree(records: list[dict], limit: int) -> None:
+    children: dict[int, list[dict]] = {}
+    for rec in records:
+        children.setdefault(rec.get("parent", 0), []).append(rec)
+
+    printed = 0
+
+    def walk(rec: dict, depth: int) -> None:
+        nonlocal printed
+        if printed >= limit:
+            return
+        print("  " * depth + fmt_span(rec))
+        printed += 1
+        for child in children.get(rec["id"], []):
+            walk(child, depth + 1)
+
+    for root in children.get(0, []):
+        walk(root, 0)
+    total = len(records)
+    if printed < total:
+        print(f"... ({total - printed} more records; --tree-limit to raise)")
+
+
+def find_spans(records: list[dict], cat: str, name: str) -> list[dict]:
+    return [r for r in records if r["cat"] == cat and r["name"] == name]
+
+
+def race_window_table(records: list[dict]) -> bool:
+    """Print the Figs. 5-8 table; False when the trace has no hijack."""
+    downs = find_spans(records, "scenario", "victim.down")
+    races = find_spans(records, "attack", "race")
+    detects = find_spans(records, "attack", "disconnect-detect")
+    idents = find_spans(records, "attack", "ident-change")
+    if not downs or not (races or detects):
+        return False
+    t_down = downs[0]["t_ns"]
+
+    def delta(rec: dict | None, key: str) -> str:
+        if rec is None or rec.get(key) is None:
+            return "      --"
+        return f"{(rec[key] - t_down) / 1e6:8.2f}"
+
+    detect = detects[0] if detects else None
+    race = races[0] if races else None
+    ident = idents[0] if idents else None
+
+    print("Race windows from the victim unplugging (paper Figs. 5-8):")
+    print(f"  {'window':44s} {'ms':>8s}")
+    rows = [
+        ("victim down -> final probe sent    (Fig. 7)", detect, "t0_ns"),
+        ("victim down -> declared down       (Fig. 8)", detect, "t1_ns"),
+        ("victim down -> attacker iface up   (Fig. 5)", ident, "t1_ns"),
+        ("victim down -> hijack confirmed    (Fig. 6)", race, "t1_ns"),
+    ]
+    for label, rec, key in rows:
+        print(f"  {label:44s} {delta(rec, key)}")
+    if race is not None and (race.get("args") or {}).get("outcome"):
+        print(f"  outcome: {race['args']['outcome']}")
+    return True
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", type=Path, help="trace JSONL file")
+    ap.add_argument("--tree-limit", type=int, default=200,
+                    help="max records to render in the tree (default 200)")
+    ap.add_argument("--no-tree", action="store_true",
+                    help="only print the race-window table")
+    args = ap.parse_args()
+
+    records = load_trace(args.trace)
+    if not records:
+        sys.exit(f"{args.trace}: empty trace")
+    print(f"{args.trace}: {len(records)} records "
+          f"({sum(1 for r in records if r['ph'] == 'span')} spans, "
+          f"{sum(1 for r in records if r['ph'] == 'instant')} instants)\n")
+
+    if not args.no_tree:
+        render_tree(records, args.tree_limit)
+        print()
+    if not race_window_table(records):
+        print("(no hijack spans in this trace; race-window table skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
