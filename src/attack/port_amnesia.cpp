@@ -251,6 +251,7 @@ void PortAmnesiaAttack::flap_then(Endpoint& ep, std::function<void()> after) {
   }
   ep.host->flap_interface(config_.flap_hold, [this, &ep, flap_span] {
     // Wait out the switch's Port-Up detection before transmitting.
+    // tmglint: allow(callback-lifetime) ep aliases member a_/b_, lives as long as this
     loop_.post_after(config_.post_flap_settle, [this, &ep, flap_span] {
       ep.flap_in_progress = false;
       ep.profile = Profile::Any;  // the amnesia: classification forgotten

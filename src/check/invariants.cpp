@@ -103,7 +103,7 @@ void InvariantChecker::check_discovery_coherence(
 void InvariantChecker::check_hosts(std::vector<std::string>& out) {
   const sim::SimTime now = ctrl_.loop().now();
   std::vector<std::pair<std::string, of::Location>> found;
-  // determinism-lint: allow(unordered-iter) findings are sorted below
+  // hash-order iteration is fine here: findings are sorted below
   for (const auto& [mac, rec] : ctrl_.host_tracker().hosts()) {
     if (rec.mac != mac) {
       found.emplace_back("host record keyed by " + mac.to_string() +

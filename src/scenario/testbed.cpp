@@ -156,6 +156,7 @@ void Testbed::run_until(sim::SimTime t) { loop_.run_until(t); }
 void migrate_host(Testbed& tb, attack::Host& host, of::DataLink& target,
                   sim::Duration downtime) {
   host.detach_link();
+  // tmglint: allow(callback-lifetime) fixture owns host+target all trial
   tb.loop().post_after(downtime, [&host, &target] {
     host.attach_link(target, of::Side::B);
   });

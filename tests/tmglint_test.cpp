@@ -1,0 +1,390 @@
+// tmglint: fixture-driven pins for every rule (positive AND negative),
+// byte-identical report output, and the two cross-checks that make the
+// analyzer trustworthy on this repo:
+//
+//   * the real source tree is clean (findings in src/ get fixed or
+//     deliberately annotated in the same change that introduces them);
+//   * the checked-in pipeline_spec.txt equals BOTH the statically
+//     extracted chain and the chain a live Controller actually builds
+//     (names, priorities, subscription masks — band entries expanded).
+//
+// TMGLINT_FIXTURES and TMG_SOURCE_ROOT are compile definitions set in
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "ctrl/controller.hpp"
+#include "ctrl/message_pipeline.hpp"
+#include "defense/sphinx.hpp"
+#include "defense/topoguard.hpp"
+#include "sim/event_loop.hpp"
+#include "sim/rng.hpp"
+
+namespace tmg::tmglint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string{TMGLINT_FIXTURES} + "/" + name;
+}
+
+/// (file, rule) pairs, for order-insensitive presence checks.
+std::multiset<std::pair<std::string, std::string>> keyed(
+    const std::vector<Finding>& findings) {
+  std::multiset<std::pair<std::string, std::string>> out;
+  for (const auto& f : findings) out.emplace(f.file, f.rule);
+  return out;
+}
+
+int count_of(const std::vector<Finding>& findings, const std::string& file,
+             const std::string& rule) {
+  int n = 0;
+  for (const auto& f : findings) {
+    if (f.file == file && f.rule == rule) ++n;
+  }
+  return n;
+}
+
+bool any_message_contains(const std::vector<Finding>& findings,
+                          const std::string& needle) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       return f.message.find(needle) != std::string::npos;
+                     });
+}
+
+// ---------------------------------------------------------------------
+// Determinism rules: each fixture pins one rule both ways.
+// ---------------------------------------------------------------------
+
+class DeterminismFixtures : public ::testing::Test {
+ protected:
+  static const std::vector<Finding>& findings() {
+    static const std::vector<Finding> kFindings = [] {
+      const SourceTree tree = load_source_tree(fixture("rules"));
+      std::vector<Finding> out;
+      run_determinism_pass(tree, out);
+      sort_findings(out);
+      return out;
+    }();
+    return kFindings;
+  }
+};
+
+TEST_F(DeterminismFixtures, WallClockPositiveAndNegative) {
+  EXPECT_GE(count_of(findings(), "src/sim/wallclock_bad.cpp", "wall-clock"),
+            2);  // system_clock::now() and time(nullptr)
+  EXPECT_EQ(count_of(findings(), "src/sim/wallclock_good.cpp", "wall-clock"),
+            0);  // strings, comments, raw strings, time(x) with an arg
+}
+
+TEST_F(DeterminismFixtures, WallClockIsHardInObsDespiteAllow) {
+  EXPECT_EQ(count_of(findings(), "src/obs/hard_wallclock.cpp", "wall-clock"),
+            1);
+  EXPECT_TRUE(any_message_contains(findings(), "(hard, src/obs)"));
+}
+
+TEST_F(DeterminismFixtures, LibcRandPositiveAndNegative) {
+  EXPECT_GE(count_of(findings(), "src/sim/rand_bad.cpp", "libc-rand"), 3);
+  EXPECT_EQ(count_of(findings(), "src/sim/rand_good.cpp", "libc-rand"), 0);
+}
+
+TEST_F(DeterminismFixtures, RandomDevicePositiveAndNegative) {
+  EXPECT_EQ(
+      count_of(findings(), "src/sim/random_device_bad.cpp", "random-device"),
+      1);
+  EXPECT_EQ(
+      count_of(findings(), "src/sim/random_device_good.cpp", "random-device"),
+      0);
+}
+
+TEST_F(DeterminismFixtures, UnorderedIterPairsHeaderWithImpl) {
+  // The member is declared in the .hpp; the range-for lives in the .cpp.
+  EXPECT_EQ(
+      count_of(findings(), "src/net/flow_table_bad.cpp", "unordered-iter"),
+      1);
+  EXPECT_EQ(
+      count_of(findings(), "src/net/flow_table_good.cpp", "unordered-iter"),
+      0);  // iterates a sorted snapshot
+}
+
+TEST_F(DeterminismFixtures, PointerKeyPositiveAndNegative) {
+  EXPECT_EQ(count_of(findings(), "src/sim/ptrkey_bad.hpp", "pointer-key"), 2);
+  EXPECT_EQ(count_of(findings(), "src/sim/ptrkey_good.hpp", "pointer-key"),
+            0);  // pointer in the mapped position is fine
+}
+
+TEST_F(DeterminismFixtures, ThreadingScopedToAllowlist) {
+  EXPECT_GE(count_of(findings(), "src/net/threading_bad.cpp", "threading"),
+            1);
+  // src/sim/thread_pool.hpp is the sanctioned worker pool.
+  EXPECT_EQ(count_of(findings(), "src/sim/thread_pool.hpp", "threading"), 0);
+}
+
+TEST_F(DeterminismFixtures, SharedRngPositiveAndNegative) {
+  EXPECT_GE(
+      count_of(findings(), "src/scenario/shared_rng_bad.hpp", "shared-rng"),
+      2);  // static global + reference member
+  EXPECT_EQ(
+      count_of(findings(), "src/scenario/shared_rng_good.hpp", "shared-rng"),
+      0);  // owned member + borrowed parameter
+}
+
+TEST_F(DeterminismFixtures, RegistryBypassScopedToCtrlAndDefense) {
+  EXPECT_EQ(
+      count_of(findings(), "src/ctrl/bypass_bad.cpp", "registry-bypass"), 2);
+  EXPECT_EQ(
+      count_of(findings(), "src/ctrl/bypass_good.cpp", "registry-bypass"), 0);
+  // Same accessor text, but src/ids is outside the rule's scope.
+  EXPECT_EQ(count_of(findings(), "src/ids/bypass_out_of_scope.cpp",
+                     "registry-bypass"),
+            0);
+}
+
+TEST_F(DeterminismFixtures, CacheCoherencePositiveAndNegative) {
+  EXPECT_EQ(
+      count_of(findings(), "src/topo/route_cache_bad.hpp", "cache-coherence"),
+      1);
+  EXPECT_EQ(count_of(findings(), "src/topo/route_cache_good.hpp",
+                     "cache-coherence"),
+            0);  // epoch_seen_ ties the cache to the graph's epoch
+}
+
+TEST_F(DeterminismFixtures, NoFindingsOutsideTheBadFixtures) {
+  static const std::set<std::string> kExpectedDirty = {
+      "src/sim/wallclock_bad.cpp",   "src/obs/hard_wallclock.cpp",
+      "src/sim/rand_bad.cpp",        "src/sim/random_device_bad.cpp",
+      "src/net/flow_table_bad.cpp",  "src/sim/ptrkey_bad.hpp",
+      "src/net/threading_bad.cpp",   "src/scenario/shared_rng_bad.hpp",
+      "src/ctrl/bypass_bad.cpp",     "src/topo/route_cache_bad.hpp",
+  };
+  for (const auto& f : findings()) {
+    EXPECT_TRUE(kExpectedDirty.count(f.file) != 0)
+        << f.file << ":" << f.line << ": " << f.rule << ": " << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Callback lifetimes
+// ---------------------------------------------------------------------
+
+TEST(LifetimeFixtures, FlagsEscapingCapturesAndBorrowedThis) {
+  const SourceTree tree = load_source_tree(fixture("rules"));
+  std::vector<Finding> out;
+  run_lifetime_pass(tree, out);
+  EXPECT_EQ(count_of(out, "src/of/lifetime_bad.cpp", "callback-lifetime"), 2);
+  EXPECT_EQ(count_of(out, "src/of/lifetime_good.cpp", "callback-lifetime"),
+            0);  // drained driver, member-loop `this`, by-value capture
+  for (const auto& f : out) {
+    EXPECT_EQ(f.file, "src/of/lifetime_bad.cpp") << f.file << ": " << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Suppression audit
+// ---------------------------------------------------------------------
+
+TEST(SuppressionAudit, LiveDirectivesPassStaleOnesFail) {
+  const SourceTree tree = load_source_tree(fixture("suppression"));
+  std::vector<Finding> findings;
+  run_determinism_pass(tree, findings);
+  run_lifetime_pass(tree, findings);
+  // fresh.cpp's rand() is allowed, skipped.cpp is skip-file'd: no rule
+  // findings anywhere.
+  EXPECT_TRUE(findings.empty());
+
+  run_suppression_audit(tree, findings);
+  sort_findings(findings);
+  const auto keys = keyed(findings);
+  EXPECT_EQ(keys.count({"src/sim/stale.cpp", "stale-suppression"}), 1u);
+  EXPECT_EQ(keys.count({"src/sim/skip_stale.cpp", "stale-suppression"}), 1u);
+  EXPECT_EQ(keys.count({"src/sim/fresh.cpp", "stale-suppression"}), 0u);
+  EXPECT_EQ(keys.count({"src/sim/skipped.cpp", "stale-suppression"}), 0u);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline wiring
+// ---------------------------------------------------------------------
+
+TEST(PipelineFixtures, GoodWiringMatchesItsSpec) {
+  const SourceTree tree = load_source_tree(fixture("pipeline_good"));
+  std::vector<Finding> findings;
+  const PipelineSpec extracted = run_pipeline_pass(
+      tree, fixture("pipeline_good") + "/pipeline_spec.txt", false, findings);
+  EXPECT_TRUE(findings.empty()) << render_report(findings);
+  ASSERT_EQ(extracted.entries.size(), 3u);
+  EXPECT_EQ(to_line(extracted.entries[0]), "0 core PacketIn");
+  EXPECT_EQ(to_line(extracted.entries[1]),
+            "100+10N <dynamic> PacketIn|PortStatus");
+  EXPECT_EQ(to_line(extracted.entries[2]),
+            "500 audit-listener FlowStats|PacketIn");
+}
+
+TEST(PipelineFixtures, BadWiringYieldsAllThreeDefects) {
+  const SourceTree tree = load_source_tree(fixture("pipeline_bad"));
+  std::vector<Finding> findings;
+  (void)run_pipeline_pass(
+      tree, fixture("pipeline_bad") + "/pipeline_spec.txt", false, findings);
+  EXPECT_TRUE(any_message_contains(findings, "duplicate chain priority 500"));
+  EXPECT_TRUE(any_message_contains(findings, "OrphanListener"));
+  EXPECT_TRUE(any_message_contains(findings, "!= source"));  // spec drift
+  for (const auto& f : findings) {
+    EXPECT_EQ(f.rule, "pipeline-wiring") << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Layering
+// ---------------------------------------------------------------------
+
+TEST(LayeringFixtures, DownwardIncludesAreClean) {
+  const SourceTree tree = load_source_tree(fixture("layering_good"));
+  std::vector<Finding> findings;
+  run_layering_pass(tree, findings);
+  EXPECT_TRUE(findings.empty()) << render_report(findings);
+}
+
+TEST(LayeringFixtures, UpwardPeerObsAndCycleAllFlagged) {
+  const SourceTree tree = load_source_tree(fixture("layering_bad"));
+  std::vector<Finding> findings;
+  run_layering_pass(tree, findings);
+  sort_findings(findings);
+  const auto keys = keyed(findings);
+  EXPECT_EQ(keys.count({"src/net/wire.hpp", "layering"}), 1u);      // upward
+  EXPECT_EQ(keys.count({"src/defense/guard.hpp", "layering"}), 1u);  // peer
+  EXPECT_EQ(keys.count({"src/obs/metrics.hpp", "layering"}), 1u);   // obs leak
+  int cycles = 0;
+  for (const auto& f : findings) {
+    if (f.rule == "include-cycle") ++cycles;
+  }
+  EXPECT_GE(cycles, 1);
+}
+
+// ---------------------------------------------------------------------
+// The real tree
+// ---------------------------------------------------------------------
+
+Options real_tree_options() {
+  Options opts;
+  opts.root = TMG_SOURCE_ROOT;
+  return opts;
+}
+
+TEST(RealTree, AllPassesClean) {
+  const AnalysisResult result = analyze(real_tree_options());
+  EXPECT_TRUE(result.findings.empty()) << render_report(result.findings);
+  EXPECT_TRUE(result.pipeline_ran);
+}
+
+TEST(RealTree, ReportIsByteIdenticalAcrossRuns) {
+  const AnalysisResult a = analyze(real_tree_options());
+  const AnalysisResult b = analyze(real_tree_options());
+  EXPECT_EQ(render_report(a.findings), render_report(b.findings));
+  EXPECT_EQ(emit_pipeline_spec(a.extracted), emit_pipeline_spec(b.extracted));
+}
+
+TEST(RealTree, EmittedSpecEqualsCheckedInFile) {
+  const AnalysisResult result = analyze(real_tree_options());
+  std::ifstream in(std::string{TMG_SOURCE_ROOT} +
+                   "/tools/tmglint/pipeline_spec.txt");
+  ASSERT_TRUE(in.good());
+  std::ostringstream file;
+  file << in.rdbuf();
+  EXPECT_EQ(emit_pipeline_spec(result.extracted), file.str());
+}
+
+// ---------------------------------------------------------------------
+// Spec vs. the chain a live Controller actually builds
+// ---------------------------------------------------------------------
+
+std::uint32_t mask_from_spec_subs(const std::vector<std::string>& subs) {
+  using ctrl::MessageType;
+  static const std::map<std::string, MessageType> kByName = {
+      {"PacketIn", MessageType::PacketIn},
+      {"PortStatus", MessageType::PortStatus},
+      {"EchoReply", MessageType::EchoReply},
+      {"FlowRemoved", MessageType::FlowRemoved},
+      {"FlowStats", MessageType::FlowStats},
+      {"PortStats", MessageType::PortStats},
+      {"LldpObservation", MessageType::LldpObservation},
+      {"HostEvent", MessageType::HostEvent},
+      {"LinkRemoved", MessageType::LinkRemoved},
+      {"FlowModOut", MessageType::FlowModOut},
+  };
+  std::uint32_t mask = 0;
+  for (const auto& s : subs) {
+    const auto it = kByName.find(s);
+    EXPECT_TRUE(it != kByName.end()) << "unknown MessageType in spec: " << s;
+    if (it != kByName.end()) mask |= ctrl::mask_of(it->second);
+  }
+  return mask;
+}
+
+TEST(RealTree, SpecMatchesRuntimeChain) {
+  // The statically extracted spec, with the defense band expanded for
+  // two installed modules, must equal the live chain.
+  std::string error;
+  const auto spec = parse_pipeline_spec(
+      std::string{TMG_SOURCE_ROOT} + "/tools/tmglint/pipeline_spec.txt",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+
+  sim::EventLoop loop;
+  ctrl::Controller controller{loop, sim::Rng{1}, ctrl::ControllerConfig{}};
+  controller.add_defense(std::make_unique<defense::TopoGuard>(controller));
+  controller.add_defense(std::make_unique<defense::Sphinx>(controller));
+  const auto stats = controller.pipeline().stats();
+
+  // Expand the spec into the expected runtime chain: a band entry
+  // `B+SN` becomes one listener per installed module at B, B+S, ...
+  struct Expected {
+    int priority;
+    std::string name;  // empty = dynamic, matches anything
+    std::uint32_t mask;
+  };
+  std::vector<Expected> expected;
+  constexpr int kInstalledDefenses = 2;
+  for (const auto& e : spec->entries) {
+    const std::uint32_t mask = mask_from_spec_subs(e.subs);
+    const auto plus = e.priority.find('+');
+    if (plus == std::string::npos) {
+      expected.push_back(
+          {std::stoi(e.priority), e.name == "<dynamic>" ? "" : e.name, mask});
+      continue;
+    }
+    const int base = std::stoi(e.priority.substr(0, plus));
+    const int step = std::stoi(e.priority.substr(plus + 1));  // "10N"
+    for (int n = 0; n < kInstalledDefenses; ++n) {
+      expected.push_back(
+          {base + step * n, e.name == "<dynamic>" ? "" : e.name, mask});
+    }
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const Expected& a, const Expected& b) {
+              return std::tie(a.priority, a.name) < std::tie(b.priority, b.name);
+            });
+
+  ASSERT_EQ(stats.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(stats[i].priority, expected[i].priority) << "chain[" << i << "]";
+    if (!expected[i].name.empty()) {
+      EXPECT_EQ(stats[i].name, expected[i].name) << "chain[" << i << "]";
+    }
+    EXPECT_EQ(stats[i].subscriptions, expected[i].mask)
+        << "chain[" << i << "] (" << stats[i].name << ")";
+  }
+}
+
+}  // namespace
+}  // namespace tmg::tmglint

@@ -65,7 +65,9 @@ Exit status: 0 clean, 1 findings (printed as file:line: rule: excerpt).
 
 from __future__ import annotations
 
+import os
 import re
+import subprocess
 import sys
 from pathlib import Path
 
@@ -249,12 +251,40 @@ def lint_file(path: Path, root: Path) -> list[str]:
     return findings
 
 
+def find_tmglint(root: Path) -> Path | None:
+    """The compiled token-aware engine, when a build has produced one.
+
+    Honors TMGLINT_BIN; otherwise scans build*/ for the binary.
+    """
+    env = os.environ.get("TMGLINT_BIN")
+    if env:
+        p = Path(env)
+        return p if p.is_file() and os.access(p, os.X_OK) else None
+    for cand in sorted(root.glob("build*/tools/tmglint/tmglint")):
+        if cand.is_file() and os.access(cand, os.X_OK):
+            return cand
+    return None
+
+
 def main() -> int:
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path.cwd()
     src = root / "src"
     if not src.is_dir():
         print(f"lint_determinism: no src/ under {root}", file=sys.stderr)
         return 2
+
+    # This file is now a thin entry point: the nine rules live in the
+    # compiled tmglint (tools/tmglint/pass_determinism.cpp), which runs
+    # them on a real token stream instead of regexes. The regex engine
+    # below is kept only as a fallback for environments without a build
+    # tree (e.g. a bare checkout running lint before the first compile).
+    tmglint = find_tmglint(root)
+    if tmglint is not None and os.environ.get("TMGLINT_FORCE_LEGACY") != "1":
+        proc = subprocess.run(
+            [str(tmglint), "--root", str(root), "--pass", "determinism"],
+            check=False,
+        )
+        return proc.returncode
 
     findings: list[str] = []
     for path in sorted(src.rglob("*")):

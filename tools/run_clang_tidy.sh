@@ -1,16 +1,40 @@
 #!/usr/bin/env bash
-# clang-tidy driver: runs the repo .clang-tidy profile over every
-# first-party translation unit using the compile database of an existing
-# build tree.
+# clang-tidy driver: runs the repo .clang-tidy profile over first-party
+# translation units using the compile database of an existing build
+# tree.
 #
-# Usage: tools/run_clang_tidy.sh [BUILD_DIR]
+# Usage: tools/run_clang_tidy.sh [BUILD_DIR] [--fix] [FILTER...]
+#
+#   BUILD_DIR  build tree with compile_commands.json (default: build/)
+#   --fix      apply clang-tidy's suggested fixes in place
+#   FILTER     substring filters; when present, only .cpp files whose
+#              path contains at least one filter are checked, e.g.
+#                tools/run_clang_tidy.sh build src/ctrl
+#                tools/run_clang_tidy.sh build --fix message_pipeline
 #
 # Exit codes: 0 clean, 1 findings, 77 clang-tidy unavailable (ctest
 # maps 77 to SKIPPED via SKIP_RETURN_CODE).
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$ROOT/build}"
+
+BUILD_DIR=""
+FIX=0
+FILTERS=()
+for arg in "$@"; do
+  case "$arg" in
+    --fix) FIX=1 ;;
+    *)
+      if [ -z "$BUILD_DIR" ] && [ -d "$arg" ] && \
+         [ -f "$arg/compile_commands.json" ]; then
+        BUILD_DIR="$arg"
+      else
+        FILTERS+=("$arg")
+      fi
+      ;;
+  esac
+done
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
 
 TIDY="${CLANG_TIDY:-}"
 if [ -z "$TIDY" ]; then
@@ -34,16 +58,39 @@ if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
 fi
 
 cd "$ROOT"
-FILES=$(find src tests examples -name '*.cpp' | sort)
+# tmglint's fixture trees are analyzer test inputs, not buildable TUs.
+FILES=$(find src tests examples tools/tmglint -name '*.cpp' \
+          -not -path 'tools/tmglint/fixtures/*' | sort)
+if [ "${#FILTERS[@]}" -gt 0 ]; then
+  SELECTED=""
+  for f in $FILES; do
+    for pat in "${FILTERS[@]}"; do
+      case "$f" in
+        *"$pat"*) SELECTED="$SELECTED $f"; break ;;
+      esac
+    done
+  done
+  FILES="$SELECTED"
+  if [ -z "${FILES// /}" ]; then
+    echo "run_clang_tidy: no .cpp files match: ${FILTERS[*]}" >&2
+    exit 1
+  fi
+fi
 
-if command -v run-clang-tidy >/dev/null 2>&1; then
-  # The parallel wrapper, when available, is much faster.
+TIDY_ARGS=(--quiet)
+if [ "$FIX" -eq 1 ]; then
+  TIDY_ARGS+=(--fix)
+fi
+
+if [ "$FIX" -eq 0 ] && command -v run-clang-tidy >/dev/null 2>&1; then
+  # The parallel wrapper, when available, is much faster. (Serial path
+  # for --fix: parallel fixers race on shared headers.)
   run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -quiet $FILES
   exit $?
 fi
 
 status=0
 for f in $FILES; do
-  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+  "$TIDY" -p "$BUILD_DIR" "${TIDY_ARGS[@]}" "$f" || status=1
 done
 exit $status

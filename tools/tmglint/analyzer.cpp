@@ -1,0 +1,72 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+
+namespace tmg::tmglint {
+
+namespace {
+
+bool wants(const Options& opts, Pass p) {
+  return opts.passes.empty() || opts.passes.count(p) != 0;
+}
+
+}  // namespace
+
+void run_suppression_audit(const SourceTree& tree,
+                           std::vector<Finding>& findings) {
+  for (const auto& f : tree.files) {
+    const auto& s = f.suppressions;
+    if (s.skip_file && !s.skip_file_used) {
+      findings.push_back(
+          Finding{f.rel, s.skip_file_line, "stale-suppression",
+                  "skip-file directive but the file is clean without it — "
+                  "remove the directive"});
+    }
+    for (const auto& allow : s.allows) {
+      for (std::size_t k = 0; k < allow.rules.size(); ++k) {
+        if (allow.used[k]) continue;
+        findings.push_back(
+            Finding{f.rel, allow.line, "stale-suppression",
+                    "allow(" + allow.rules[k] +
+                        ") no longer suppresses anything — remove it"});
+      }
+    }
+  }
+}
+
+AnalysisResult analyze(const Options& opts) {
+  AnalysisResult result;
+  const SourceTree tree = load_source_tree(opts.root);
+
+  if (wants(opts, Pass::Determinism)) {
+    run_determinism_pass(tree, result.findings);
+  }
+  if (wants(opts, Pass::Lifetime)) {
+    run_lifetime_pass(tree, result.findings);
+  }
+  if (wants(opts, Pass::Layering)) {
+    run_layering_pass(tree, result.findings);
+  }
+  if (wants(opts, Pass::Pipeline)) {
+    const std::string spec_path =
+        opts.spec_path.empty()
+            ? opts.root + "/tools/tmglint/pipeline_spec.txt"
+            : opts.spec_path;
+    result.extracted = run_pipeline_pass(tree, spec_path, opts.skip_spec_diff,
+                                         result.findings);
+    result.pipeline_ran = true;
+  }
+
+  // The audit needs every suppressable pass to have run, else a
+  // directive for the skipped pass would be misreported as stale.
+  const bool audit =
+      opts.audit_override == 1 ||
+      (opts.audit_override == -1 && wants(opts, Pass::Determinism) &&
+       wants(opts, Pass::Lifetime));
+  if (audit) run_suppression_audit(tree, result.findings);
+
+  sort_findings(result.findings);
+  return result;
+}
+
+}  // namespace tmg::tmglint

@@ -1,0 +1,74 @@
+// tmglint: analysis driver.
+//
+// Four passes over a lexed SourceTree (DESIGN.md §11):
+//
+//   determinism  — the nine legacy lint_determinism.py rules, re-hosted
+//                  on the token stream (no string/comment false
+//                  positives), same suppression grammar and scoping.
+//   lifetime     — posted-callback lifetime: lambdas handed to
+//                  EventLoop::post_at/post_after that capture stack
+//                  locals by reference, or `this` through a loop the
+//                  caller merely borrowed.
+//   layering     — the module include DAG: layer ranks, the obs
+//                  floating-module rule, and file-level cycle
+//                  rejection.
+//   pipeline     — MessagePipeline wiring: every registration in
+//                  src/ctrl + src/defense is statically extracted
+//                  (priority constants folded, listener names resolved
+//                  through name() bodies) and diffed against the
+//                  checked-in tools/tmglint/pipeline_spec.txt.
+//
+// A suppression audit runs whenever every suppressable pass ran: any
+// `allow(<rule>)` that suppressed nothing is itself a finding.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "findings.hpp"
+#include "source.hpp"
+#include "spec.hpp"
+
+namespace tmg::tmglint {
+
+enum class Pass { Determinism, Lifetime, Layering, Pipeline };
+
+struct Options {
+  std::string root;
+  /// Empty = all passes.
+  std::set<Pass> passes;
+  /// Defaults to <root>/tools/tmglint/pipeline_spec.txt.
+  std::string spec_path;
+  /// Extract the pipeline spec without diffing it (--emit-pipeline-spec).
+  bool skip_spec_diff = false;
+  /// Force the suppression audit on/off; by default it runs exactly
+  /// when both suppressable passes (determinism + lifetime) run.
+  int audit_override = -1;  // -1 auto, 0 off, 1 on
+};
+
+struct AnalysisResult {
+  std::vector<Finding> findings;  // sorted
+  PipelineSpec extracted;         // pipeline pass output (if it ran)
+  bool pipeline_ran = false;
+};
+
+/// Load <root>/src and run the selected passes.
+[[nodiscard]] AnalysisResult analyze(const Options& opts);
+
+// Individual passes (analyze() composes these; tests drive them
+// directly against fixture trees).
+void run_determinism_pass(const SourceTree& tree,
+                          std::vector<Finding>& findings);
+void run_lifetime_pass(const SourceTree& tree, std::vector<Finding>& findings);
+void run_layering_pass(const SourceTree& tree, std::vector<Finding>& findings);
+[[nodiscard]] PipelineSpec run_pipeline_pass(const SourceTree& tree,
+                                             const std::string& spec_path,
+                                             bool skip_spec_diff,
+                                             std::vector<Finding>& findings);
+/// Report allow()/skip-file directives that suppressed nothing. Must
+/// run after the suppressable passes (they set the consumption flags).
+void run_suppression_audit(const SourceTree& tree,
+                           std::vector<Finding>& findings);
+
+}  // namespace tmg::tmglint

@@ -1,0 +1,25 @@
+// tmglint: findings and report rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmg::tmglint {
+
+struct Finding {
+  std::string file;  // tree-relative path
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Sort by (file, line, rule, message). The report is diffed byte for
+/// byte in tests, so ordering is part of the output contract.
+void sort_findings(std::vector<Finding>& findings);
+
+/// Render the standard report: a count header, one indented
+/// `file:line: rule: message` per finding, and the remediation footer.
+/// Deterministic for a given finding set.
+[[nodiscard]] std::string render_report(const std::vector<Finding>& findings);
+
+}  // namespace tmg::tmglint

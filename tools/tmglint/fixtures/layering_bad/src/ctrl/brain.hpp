@@ -1,0 +1,10 @@
+// fixture: ctrl (layer 6) includes topo (layer 3) and obs (floating):
+// both allowed.
+#include "obs/metrics.hpp"
+#include "topo/graph.hpp"
+namespace fx::ctrl {
+struct Brain {
+  fx::topo::Graph graph;
+  fx::obs::Metrics metrics;
+};
+}  // namespace fx::ctrl

@@ -1,0 +1,8 @@
+// fixture: peer violation — defense and ids share layer 7 and must
+// coordinate through the pipeline, not headers.
+#include "ids/detector.hpp"
+namespace fx::defense {
+struct Guard {
+  fx::ids::Detector detector;
+};
+}  // namespace fx::defense

@@ -1,0 +1,6 @@
+// fixture: a defense-layer peer with no includes of its own.
+namespace fx::ids {
+struct Detector {
+  int alerts = 0;
+};
+}  // namespace fx::ids

@@ -1,0 +1,7 @@
+// fixture: upward include — net (layer 1) reaching ctrl (layer 6).
+#include "ctrl/brain.hpp"
+namespace fx::net {
+struct Wire {
+  fx::ctrl::Brain* brain = nullptr;
+};
+}  // namespace fx::net

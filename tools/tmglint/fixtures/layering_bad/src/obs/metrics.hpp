@@ -1,0 +1,7 @@
+// fixture: obs violation — the floating leaf reaches up into topo.
+#include "topo/graph.hpp"
+namespace fx::obs {
+struct Metrics {
+  fx::topo::Graph graph;
+};
+}  // namespace fx::obs

@@ -1,0 +1,7 @@
+// fixture: half of an include cycle within one module.
+#include "topo/b.hpp"
+namespace fx::topo {
+struct A {
+  int x = 0;
+};
+}  // namespace fx::topo

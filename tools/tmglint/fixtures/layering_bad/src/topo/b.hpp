@@ -1,0 +1,7 @@
+// fixture: the other half of the cycle.
+#include "topo/a.hpp"
+namespace fx::topo {
+struct B {
+  int y = 0;
+};
+}  // namespace fx::topo

@@ -1,0 +1,7 @@
+// fixture: topo (layer 3) includes sim (layer 0): allowed.
+#include "sim/clock.hpp"
+namespace fx::topo {
+struct Graph {
+  fx::sim::Clock clock;
+};
+}  // namespace fx::topo

@@ -1,0 +1,7 @@
+// fixture: obs is a floating leaf and may include sim.
+#include "sim/clock.hpp"
+namespace fx::obs {
+struct Metrics {
+  fx::sim::Clock clock;
+};
+}  // namespace fx::obs

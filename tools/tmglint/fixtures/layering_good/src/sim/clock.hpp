@@ -1,0 +1,6 @@
+// fixture: leaf module, no first-party includes.
+namespace fx::sim {
+struct Clock {
+  long now = 0;
+};
+}  // namespace fx::sim

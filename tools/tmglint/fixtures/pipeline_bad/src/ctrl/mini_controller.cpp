@@ -1,0 +1,49 @@
+// fixture: three wiring defects — a duplicate chain priority, a
+// listener class nobody registers, and (via pipeline_spec.txt) a spec
+// that drifted from the source.
+#include "ctrl/mini_controller.hpp"
+
+namespace fx::ctrl {
+
+class MiniController::CoreListener final : public MessageListener {
+ public:
+  std::string name() const override { return "core"; }
+  std::uint32_t subscriptions() const override {
+    return mask_of(MessageType::PacketIn);
+  }
+};
+
+class AuditListener final : public MessageListener {
+ public:
+  std::string name() const override { return kAuditName; }
+  std::uint32_t subscriptions() const override {
+    return mask_of(MessageType::PacketIn) | mask_of(MessageType::FlowStats);
+  }
+};
+
+class ExtraListener final : public MessageListener {
+ public:
+  std::string name() const override { return "extra"; }
+  std::uint32_t subscriptions() const override {
+    return mask_of(MessageType::PacketIn);
+  }
+};
+
+// Defect: derives MessageListener but is never added to the chain.
+class OrphanListener final : public MessageListener {
+ public:
+  std::string name() const override { return "orphan"; }
+  std::uint32_t subscriptions() const override {
+    return mask_of(MessageType::PortStats);
+  }
+};
+
+void MiniController::wire() {
+  pipeline_.add_owned(kPriorityCore, std::make_unique<CoreListener>());
+  pipeline_.add(kPriorityAudit, *audit_);
+  // Defect: same priority as the audit listener — chain order now
+  // depends on the name tie-break.
+  pipeline_.add(500, *extra_);
+}
+
+}  // namespace fx::ctrl

@@ -1,0 +1,34 @@
+// fixture: a miniature controller whose wiring the pipeline pass must
+// reconstruct — priority constants here, listener bodies in the .cpp,
+// one name routed through a string constant, one resolved only at
+// runtime.
+#include <memory>
+#include <vector>
+
+namespace fx::ctrl {
+
+inline constexpr int kPriorityCore = 0;
+inline constexpr int kPriorityAudit = 500;
+inline constexpr int kPriorityDefenseBase = 100;
+inline constexpr int kPriorityDefenseStep = 10;
+inline constexpr const char* kAuditName = "audit-listener";
+
+class AuditListener;
+class AdapterListener;
+class ExtraListener;
+
+class MiniController {
+ public:
+  void wire();
+  void add_defense();
+
+ private:
+  class CoreListener;
+  MessagePipeline pipeline_;
+  std::unique_ptr<AuditListener> audit_;
+  std::unique_ptr<AdapterListener> adapter_;
+  std::unique_ptr<ExtraListener> extra_;
+  std::vector<int> mods_;
+};
+
+}  // namespace fx::ctrl

@@ -1,0 +1,42 @@
+#include "ctrl/mini_controller.hpp"
+
+namespace fx::ctrl {
+
+class MiniController::CoreListener final : public MessageListener {
+ public:
+  std::string name() const override { return "core"; }
+  std::uint32_t subscriptions() const override {
+    return mask_of(MessageType::PacketIn);
+  }
+};
+
+class AuditListener final : public MessageListener {
+ public:
+  std::string name() const override { return kAuditName; }
+  std::uint32_t subscriptions() const override {
+    return mask_of(MessageType::PacketIn) | mask_of(MessageType::FlowStats);
+  }
+};
+
+class AdapterListener final : public MessageListener {
+ public:
+  std::string name() const override { return module_.name(); }
+  std::uint32_t subscriptions() const override {
+    return mask_of(MessageType::PacketIn) | mask_of(MessageType::PortStatus);
+  }
+};
+
+void MiniController::wire() {
+  pipeline_.add_owned(kPriorityCore, std::make_unique<CoreListener>());
+  pipeline_.add(kPriorityAudit, *audit_);
+}
+
+void MiniController::add_defense() {
+  mods_.push_back(1);
+  const int priority =
+      kPriorityDefenseBase +
+      kPriorityDefenseStep * static_cast<int>(mods_.size() - 1);
+  pipeline_.add(priority, *adapter_);
+}
+
+}  // namespace fx::ctrl

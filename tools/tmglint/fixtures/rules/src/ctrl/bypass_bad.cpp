@@ -1,0 +1,12 @@
+// fixture: registry-bypass positive — a ctrl-layer module reaching a
+// peer through the Controller accessor instead of the ServiceRegistry.
+namespace fx::ctrl {
+
+void Auditor::sweep() {
+  for (const auto& rec : snapshot(ctrl_.host_tracker().hosts())) {
+    inspect(rec);
+  }
+  ctrl_.routing().invalidate();
+}
+
+}  // namespace fx::ctrl

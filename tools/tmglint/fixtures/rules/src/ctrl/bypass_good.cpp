@@ -1,0 +1,12 @@
+// fixture: registry-bypass negative — the same lookup routed through
+// the ServiceRegistry, which respects swap/disable semantics.
+namespace fx::ctrl {
+
+void Auditor::sweep() {
+  auto* tracker = ctrl_.services().find<HostTrackingService>("host-tracking");
+  if (tracker != nullptr) {
+    inspect_all(*tracker);
+  }
+}
+
+}  // namespace fx::ctrl

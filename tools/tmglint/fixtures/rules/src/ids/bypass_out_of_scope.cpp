@@ -1,0 +1,7 @@
+// fixture: registry-bypass negative — the rule is scoped to src/ctrl +
+// src/defense; an out-of-band observer in src/ids may use the accessor.
+namespace fx::ids {
+
+void Sensor::observe() { record(ctrl_.host_tracker().count()); }
+
+}  // namespace fx::ids

@@ -1,0 +1,13 @@
+// fixture: unordered-iter positive — range-for over a hash container
+// member declared in the header sibling.
+#include "net/flow_table_bad.hpp"
+
+namespace fx::net {
+
+void FlowTableBad::dump() const {
+  for (const auto& kv : entries_) {
+    use(kv);
+  }
+}
+
+}  // namespace fx::net

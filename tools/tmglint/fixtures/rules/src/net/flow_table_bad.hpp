@@ -1,0 +1,16 @@
+// fixture: unordered-iter — the member lives here, the iteration in the
+// sibling .cpp; the rule must pair the two files.
+#include <string>
+#include <unordered_map>
+
+namespace fx::net {
+
+class FlowTableBad {
+ public:
+  void dump() const;
+
+ private:
+  std::unordered_map<int, std::string> entries_;
+};
+
+}  // namespace fx::net

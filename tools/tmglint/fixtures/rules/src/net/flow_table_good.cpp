@@ -1,0 +1,16 @@
+// fixture: unordered-iter negative — iterate a sorted snapshot, not the
+// hash container itself.
+#include "net/flow_table_good.hpp"
+
+#include <map>
+
+namespace fx::net {
+
+void FlowTableGood::dump() const {
+  const std::map<int, std::string> sorted(entries_.begin(), entries_.end());
+  for (const auto& kv : sorted) {
+    use(kv);
+  }
+}
+
+}  // namespace fx::net

@@ -1,0 +1,16 @@
+// fixture: unordered-iter negative — same shape, but the iteration in
+// the .cpp goes through a sorted copy.
+#include <string>
+#include <unordered_map>
+
+namespace fx::net {
+
+class FlowTableGood {
+ public:
+  void dump() const;
+
+ private:
+  std::unordered_map<int, std::string> entries_;
+};
+
+}  // namespace fx::net

@@ -1,0 +1,14 @@
+// fixture: threading positive — a mutex outside the two sanctioned
+// concurrency sites.
+#include <mutex>
+
+namespace fx::net {
+
+std::mutex table_mu;
+
+int guarded(int x) {
+  std::lock_guard<std::mutex> lk(table_mu);
+  return x + 1;
+}
+
+}  // namespace fx::net

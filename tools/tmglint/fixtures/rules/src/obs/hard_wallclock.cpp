@@ -1,0 +1,12 @@
+// fixture: inside src/obs the wall-clock rule is hard — the allow
+// directive below must NOT suppress the finding.
+#include <chrono>
+
+namespace fx::obs {
+
+long export_stamp() {
+  // tmglint: allow(wall-clock) tempting, but exports diff byte-for-byte
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fx::obs

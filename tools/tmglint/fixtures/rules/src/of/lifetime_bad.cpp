@@ -1,0 +1,16 @@
+// fixture: callback-lifetime positives — posted lambdas that outlive
+// the stack frames they capture, with no drain before return.
+namespace fx::of {
+
+void arm_counter(EventLoop& loop) {
+  int counter = 0;
+  loop.post_after(Duration{5}, [&counter] { ++counter; });
+}
+
+void Chatty::arm(EventLoop& loop) {
+  // `this` through a borrowed loop: nothing ties the object's lifetime
+  // to the callback's.
+  loop.post_at(Time{9}, [this] { tick(); });
+}
+
+}  // namespace fx::of

@@ -1,0 +1,26 @@
+// fixture: callback-lifetime negatives.
+namespace fx::of {
+
+// A driver that drains the loop before returning keeps every local
+// alive for every queued callback.
+int pump(EventLoop& loop) {
+  int beats = 0;
+  loop.post_after(Duration{1}, [&beats] { ++beats; });
+  loop.run_for(Duration{10});
+  return beats;
+}
+
+struct Module {
+  // The module idiom: the object and its member loop share a trial's
+  // lifetime, so `this` is safe.
+  void arm() {
+    loop_.post_after(Duration{2}, [this] { tick(); });
+  }
+  // By-value captures carry their own copies.
+  void snapshot(Frame frame) {
+    loop_.post_after(Duration{3}, [frame] { emit(frame); });
+  }
+  EventLoop& loop_;
+};
+
+}  // namespace fx::of

@@ -1,0 +1,13 @@
+// fixture: shared-rng positives — a process-global Rng and an Rng held
+// by reference member: both share draw order across trials.
+namespace fx::scenario {
+
+static sim::Rng g_rng{42};
+
+class LeakyHarness {
+ private:
+  Rng& rng_;
+  Rng* fallback_ = nullptr;
+};
+
+}  // namespace fx::scenario

@@ -1,0 +1,14 @@
+// fixture: shared-rng negatives — each trial owns its Rng; borrowing
+// one through a parameter stays inside a single trial's call stack.
+namespace fx::scenario {
+
+class OwnedHarness {
+ public:
+  explicit OwnedHarness(sim::Rng rng) : rng_{rng} {}
+  int draw(sim::Rng& scratch) { return scratch.next() + rng_.next(); }
+
+ private:
+  sim::Rng rng_;
+};
+
+}  // namespace fx::scenario

@@ -1,0 +1,15 @@
+// fixture: pointer-key positives — containers ordered on raw pointers.
+#include <map>
+#include <set>
+
+namespace fx {
+
+struct Node;
+
+class Owners {
+ private:
+  std::map<Node*, int> owner_of_;
+  std::set<const Node*> visited_;
+};
+
+}  // namespace fx

@@ -1,0 +1,18 @@
+// fixture: pointer-key negatives — value keys, and a pointer in the
+// mapped position (ordering still follows the key).
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace fx {
+
+struct Node;
+using NodeId = std::uint64_t;
+
+class Owners {
+ private:
+  std::map<NodeId, Node*> node_of_;
+  std::set<NodeId> visited_;
+};
+
+}  // namespace fx

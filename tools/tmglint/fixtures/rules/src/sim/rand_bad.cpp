@@ -1,0 +1,12 @@
+// fixture: libc-rand positives.
+#include <cstdlib>
+
+namespace fx {
+
+int roll() { return rand() % 6; }
+
+void reseed(unsigned s) { std::srand(s); }
+
+double unit() { return drand48(); }
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// fixture: libc-rand negatives — member calls and foreign namespaces.
+namespace fx {
+
+struct Die;
+
+int roll(Die& d) { return d.random(); }
+
+int foreign() { return mylib::rand(); }
+
+// `random` without a call is a plain identifier, `rand()` in a string
+// or comment is prose: rand() stays legal here.
+int random_seed = 42;
+const char* doc() { return "call rand() and lose reproducibility"; }
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// fixture: random-device positive.
+#include <random>
+
+namespace fx {
+
+unsigned host_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace fx

@@ -1,0 +1,13 @@
+// fixture: random-device negative — only a std-qualified use counts.
+namespace fx {
+
+struct random_device {  // somebody's own type, not std's
+  unsigned operator()() { return 1; }
+};
+
+unsigned local() {
+  random_device rd;
+  return rd();
+}
+
+}  // namespace fx

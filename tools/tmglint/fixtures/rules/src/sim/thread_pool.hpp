@@ -1,0 +1,17 @@
+// fixture: threading negative — src/sim/thread_pool.hpp is on the
+// allowlist (the one sanctioned worker pool), so real primitives pass.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fx::sim {
+
+class ThreadPool {
+ private:
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace fx::sim

@@ -1,0 +1,14 @@
+// fixture: wall-clock positives — real host-clock reads.
+#include <chrono>
+#include <ctime>
+
+namespace fx {
+
+long stamp() {
+  const auto now = std::chrono::system_clock::now();
+  return now.time_since_epoch().count();
+}
+
+long epoch() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace fx

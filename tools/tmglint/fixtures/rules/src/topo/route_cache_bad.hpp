@@ -1,0 +1,13 @@
+// fixture: cache-coherence positive — a cache over topology state with
+// no mutation-generation tie: stale entries survive graph churn.
+namespace fx::topo {
+
+class StaleRouteCache {
+ public:
+  int lookup(const TopologyGraph& g, int src, int dst);
+
+ private:
+  int hit_count_ = 0;
+};
+
+}  // namespace fx::topo

@@ -1,0 +1,14 @@
+// fixture: cache-coherence negative — the cache checks the graph's
+// mutation epoch before every read, so entries can never go stale.
+namespace fx::topo {
+
+class EpochRouteCache {
+ public:
+  int lookup(const TopologyGraph& g, int src, int dst);
+
+ private:
+  unsigned long epoch_seen_ = 0;
+  int hit_count_ = 0;
+};
+
+}  // namespace fx::topo

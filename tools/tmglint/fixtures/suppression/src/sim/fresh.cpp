@@ -1,0 +1,11 @@
+// fixture: a live suppression — the allow covers a real finding, so the
+// audit must stay quiet about it.
+#include <cstdlib>
+
+namespace fx {
+
+int seeded_roll() {
+  return rand() % 6;  // tmglint: allow(libc-rand) fixture exercises libc
+}
+
+}  // namespace fx

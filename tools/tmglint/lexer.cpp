@@ -1,0 +1,254 @@
+#include "token.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace tmg::tmglint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : s_{text} {}
+
+  LexOutput run() {
+    while (i_ < s_.size()) step();
+    return std::move(out_);
+  }
+
+ private:
+  void step() {
+    const char c = s_[i_];
+    if (c == '\n') {
+      ++line_;
+      ++i_;
+      at_line_start_ = true;
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i_;
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      block_comment();
+      return;
+    }
+    const bool line_start = at_line_start_;
+    at_line_start_ = false;
+    if (c == '#' && line_start) {
+      directive();
+      return;
+    }
+    if (c == 'R' && peek(1) == '"') {
+      raw_string();
+      return;
+    }
+    // Encoding prefixes (L"", u8"", ...) are irrelevant here: the
+    // prefix lexes as an identifier and the quote as a string token.
+    if (c == '"') {
+      quoted_string();
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    if (ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+      number();
+      return;
+    }
+    punct();
+  }
+
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void line_comment() {
+    const int start = line_;
+    std::size_t j = i_;
+    while (j < s_.size() && s_[j] != '\n') ++j;
+    out_.comments.push_back(Comment{start, s_.substr(i_, j - i_)});
+    i_ = j;
+  }
+
+  void block_comment() {
+    const int start = line_;
+    std::size_t j = i_ + 2;
+    while (j + 1 < s_.size() && !(s_[j] == '*' && s_[j + 1] == '/')) {
+      if (s_[j] == '\n') ++line_;
+      ++j;
+    }
+    const std::size_t end = j + 1 < s_.size() ? j + 2 : s_.size();
+    out_.comments.push_back(Comment{start, s_.substr(i_, end - i_)});
+    i_ = end;
+  }
+
+  /// Preprocessor directive. `#include "x"` is captured for the
+  /// layering pass and the target emitted as a String token; every
+  /// other directive just contributes its body tokens (macro bodies are
+  /// real code the determinism rules must still see). Angled include
+  /// targets are swallowed so `<vector>` never lexes as comparisons.
+  void directive() {
+    const int start = line_;
+    emit(TokKind::Directive, "#", start);
+    ++i_;
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
+    std::size_t j = i_;
+    while (j < s_.size() && ident_char(s_[j])) ++j;
+    const std::string name = s_.substr(i_, j - i_);
+    if (!name.empty()) emit(TokKind::Ident, name, start);
+    i_ = j;
+    if (name != "include") return;  // body lexes via normal rules
+    while (i_ < s_.size() && (s_[i_] == ' ' || s_[i_] == '\t')) ++i_;
+    if (i_ < s_.size() && s_[i_] == '"') {
+      const std::size_t open = i_ + 1;
+      std::size_t close = open;
+      while (close < s_.size() && s_[close] != '"' && s_[close] != '\n') {
+        ++close;
+      }
+      std::string target = s_.substr(open, close - open);
+      emit(TokKind::String, target, start);
+      out_.includes.push_back(IncludeDirective{start, std::move(target)});
+      i_ = close < s_.size() && s_[close] == '"' ? close + 1 : close;
+    } else if (i_ < s_.size() && s_[i_] == '<') {
+      std::size_t close = i_ + 1;
+      while (close < s_.size() && s_[close] != '>' && s_[close] != '\n') {
+        ++close;
+      }
+      emit(TokKind::String, s_.substr(i_ + 1, close - i_ - 1), start);
+      i_ = close < s_.size() && s_[close] == '>' ? close + 1 : close;
+    }
+  }
+
+  void quoted_string() {
+    const int start = line_;
+    std::size_t j = i_ + 1;
+    std::string body;
+    while (j < s_.size() && s_[j] != '"') {
+      if (s_[j] == '\\' && j + 1 < s_.size()) {
+        body.push_back(s_[j]);
+        body.push_back(s_[j + 1]);
+        j += 2;
+        continue;
+      }
+      if (s_[j] == '\n') ++line_;  // ill-formed, but keep lines honest
+      body.push_back(s_[j]);
+      ++j;
+    }
+    emit(TokKind::String, std::move(body), start);
+    i_ = j < s_.size() ? j + 1 : j;
+  }
+
+  void raw_string() {
+    const int start = line_;
+    std::size_t j = i_ + 2;  // past R"
+    std::string delim;
+    while (j < s_.size() && s_[j] != '(') delim.push_back(s_[j++]);
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t body_start = j + 1;
+    const std::size_t end = s_.find(closer, body_start);
+    const std::size_t body_end = end == std::string::npos ? s_.size() : end;
+    for (std::size_t k = i_; k < body_end; ++k) {
+      if (s_[k] == '\n') ++line_;
+    }
+    emit(TokKind::String, s_.substr(body_start, body_end - body_start), start);
+    i_ = end == std::string::npos ? s_.size() : end + closer.size();
+  }
+
+  void char_literal() {
+    const int start = line_;
+    std::size_t j = i_ + 1;
+    std::string body;
+    while (j < s_.size() && s_[j] != '\'') {
+      if (s_[j] == '\\' && j + 1 < s_.size()) {
+        body.push_back(s_[j]);
+        body.push_back(s_[j + 1]);
+        j += 2;
+        continue;
+      }
+      body.push_back(s_[j]);
+      ++j;
+    }
+    emit(TokKind::CharLit, std::move(body), start);
+    i_ = j < s_.size() ? j + 1 : j;
+  }
+
+  void identifier() {
+    std::size_t j = i_;
+    while (j < s_.size() && ident_char(s_[j])) ++j;
+    emit(TokKind::Ident, s_.substr(i_, j - i_), line_);
+    i_ = j;
+  }
+
+  void number() {
+    std::size_t j = i_;
+    while (j < s_.size()) {
+      const char c = s_[j];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++j;
+        continue;
+      }
+      // Exponent signs: 1e-5, 0x1p+3.
+      if ((c == '+' || c == '-') && j > i_ &&
+          (s_[j - 1] == 'e' || s_[j - 1] == 'E' || s_[j - 1] == 'p' ||
+           s_[j - 1] == 'P')) {
+        ++j;
+        continue;
+      }
+      break;
+    }
+    emit(TokKind::Number, s_.substr(i_, j - i_), line_);
+    i_ = j;
+  }
+
+  /// `::` and `->` are the only fused operators: the passes match
+  /// qualified names and member accesses constantly, and every other
+  /// multi-char operator can be recognized as adjacent single tokens.
+  void punct() {
+    if (s_[i_] == ':' && peek(1) == ':') {
+      emit(TokKind::Punct, "::", line_);
+      i_ += 2;
+      return;
+    }
+    if (s_[i_] == '-' && peek(1) == '>') {
+      emit(TokKind::Punct, "->", line_);
+      i_ += 2;
+      return;
+    }
+    emit(TokKind::Punct, std::string(1, s_[i_]), line_);
+    ++i_;
+  }
+
+  const std::string& s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  LexOutput out_;
+};
+
+}  // namespace
+
+LexOutput lex(const std::string& text) { return Lexer{text}.run(); }
+
+}  // namespace tmg::tmglint

@@ -1,0 +1,135 @@
+// Posted-callback lifetime analysis.
+//
+// EventLoop::post_at/post_after are fire-and-forget: the callback runs
+// when the simulated clock reaches the deadline, long after the posting
+// frame has returned. A lambda that captures stack locals by reference
+// — or `this` of an object the loop does not co-own — is therefore a
+// use-after-return waiting for the right event ordering, which is
+// exactly the kind of stale-state bug the paper's attacks weaponize.
+//
+// Rule `callback-lifetime` flags an inline lambda argument to
+// post_at/post_after when it captures:
+//
+//   * `[&]` (default reference capture), or
+//   * `&ident` / `&ident = expr` (a by-reference capture — captured
+//     names are always locals or parameters; members ride in via
+//     `this`), or
+//   * `this`, when the loop is reached through a non-member receiver
+//     chain (`loop.post_after(...)` where `loop` is a borrowed local or
+//     parameter): an object posting `this` onto a loop it does not hold
+//     as a member has no lifetime tie to that loop's queue. The
+//     ubiquitous `loop_.post_after(..., [this]{...})` module idiom —
+//     where the object and the loop share a trial's lifetime — passes.
+//
+// Exemption: a function that *drains* the loop before returning
+// (lexically contains a run()/run_until()/run_for() call in its
+// outermost body) keeps every local alive for every queued callback;
+// the scenario drivers post `[&state]` ticker lambdas and then block in
+// run_for(), which is sound and stays quiet.
+//
+// Genuinely safe sites that the heuristic cannot prove (e.g. a
+// reference parameter that aliases a member) take
+// `// tmglint: allow(callback-lifetime) <why>`.
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "matcher.hpp"
+
+namespace tmg::tmglint {
+
+namespace {
+
+bool member_anchor(const std::string& anchor) {
+  return anchor == "this" || (!anchor.empty() && anchor.back() == '_');
+}
+
+bool drains_loop(const std::vector<Token>& t, std::size_t begin,
+                 std::size_t end) {
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (t[i].kind != TokKind::Ident || !is_punct(t[i + 1], "(")) continue;
+    if (t[i].text == "run" || t[i].text == "run_until" ||
+        t[i].text == "run_for") {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Offending captures of one lambda, e.g. {"&", "&host", "this"}.
+std::vector<std::string> risky_captures(const std::vector<Token>& t,
+                                        std::size_t bracket,
+                                        bool anchor_is_member) {
+  std::vector<std::string> risky;
+  for (const auto& [b, e] : split_args(t, bracket)) {
+    if (b >= e) continue;
+    if (is_punct(t[b], "&")) {
+      if (e - b == 1) {
+        risky.push_back("&");  // [&] default capture
+      } else if (t[b + 1].kind == TokKind::Ident) {
+        risky.push_back("&" + t[b + 1].text);  // &x and &x = expr alike
+      }
+      continue;
+    }
+    if (is_ident(t[b], "this") && e - b == 1 && !anchor_is_member) {
+      risky.push_back("this");
+    }
+    // `=`, `*this`, `x`, `x = expr`: by value, safe.
+  }
+  return risky;
+}
+
+}  // namespace
+
+void run_lifetime_pass(const SourceTree& tree,
+                       std::vector<Finding>& findings) {
+  for (const auto& f : tree.files) {
+    const auto& t = f.tokens;
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    bool spans_ready = false;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (t[i].kind != TokKind::Ident ||
+          (t[i].text != "post_at" && t[i].text != "post_after")) {
+        continue;
+      }
+      if (!is_punct(t[i + 1], "(")) continue;
+      if (i == 0 ||
+          (!is_punct(t[i - 1], ".") && !is_punct(t[i - 1], "->"))) {
+        continue;  // declaration or definition, not a call
+      }
+      const std::string anchor = receiver_anchor(t, i);
+      const bool anchored_in_member = member_anchor(anchor);
+      for (const auto& [b, e] : split_args(t, i + 1)) {
+        if (b >= e || !is_punct(t[b], "[")) continue;
+        const std::vector<std::string> risky =
+            risky_captures(t, b, anchored_in_member);
+        if (risky.empty()) continue;
+        if (!spans_ready) {
+          spans = callable_spans(t);
+          spans_ready = true;
+        }
+        const auto span = enclosing_callable(spans, i);
+        if (span && drains_loop(t, span->first, span->second)) continue;
+        const int line = t[i].line;
+        if (f.suppressions.skip_file) {
+          f.suppressions.skip_file_used = true;
+          continue;
+        }
+        if (f.suppressions.allowed("callback-lifetime", line)) continue;
+        std::string captures;
+        for (const auto& r : risky) {
+          if (!captures.empty()) captures += ", ";
+          captures += r;
+        }
+        findings.push_back(Finding{
+            f.rel, line, "callback-lifetime",
+            "lambda posted to the event loop captures [" + captures +
+                "] — stack-scoped state may be gone when the callback "
+                "fires (" +
+                f.excerpt(line) + ")"});
+      }
+    }
+  }
+}
+
+}  // namespace tmg::tmglint

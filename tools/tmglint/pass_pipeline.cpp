@@ -1,0 +1,311 @@
+// Pipeline-wiring extraction.
+//
+// Statically reconstructs the controller's MessagePipeline chain from
+// src/ctrl + src/defense and diffs it against the checked-in spec
+// (tools/tmglint/pipeline_spec.txt). What the regex linter could never
+// do, this pass does across files:
+//
+//   * fold `kPriority*` integer constants (and the one locally-computed
+//     defense-band priority `kPriorityDefenseBase + kPriorityDefenseStep
+//     * N`) into concrete chain positions;
+//   * resolve each registered listener expression to its class —
+//     `std::make_unique<CoreListener>(...)` directly, `*links_` through
+//     the `std::unique_ptr<LinkDiscoveryService> links_;` member
+//     declaration — then to the string its `name()` returns, chasing
+//     `return kLinkDiscoveryServiceName;` through the constant table;
+//   * pull each listener's subscription mask out of its
+//     `subscriptions()` body;
+//   * flag duplicate chain priorities and MessageListener subclasses
+//     that are never registered at all.
+//
+// Findings are architectural and not suppressible: fix the wiring, or
+// regenerate the spec if the change is deliberate
+// (`tmglint --emit-pipeline-spec`).
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "matcher.hpp"
+
+namespace tmg::tmglint {
+
+namespace {
+
+constexpr const char* kSpecRel = "tools/tmglint/pipeline_spec.txt";
+
+struct Registration {
+  std::string file;
+  int line = 0;
+  std::string class_name;
+  bool is_band = false;
+  long priority = 0;  // numeric entries
+  long base = 0;      // band entries
+  long step = 0;
+};
+
+struct Extraction {
+  std::map<std::string, long> int_consts;
+  std::map<std::string, std::string> string_consts;
+  std::vector<ClassInfo> classes;
+  std::map<std::string, std::string> members;  // member_ -> Type
+  std::vector<Registration> regs;
+};
+
+const ClassInfo* find_class(const Extraction& ex, const std::string& name) {
+  for (const auto& c : ex.classes) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+bool derives_message_listener(const Extraction& ex, const ClassInfo& c,
+                              int depth = 0) {
+  if (depth > 8) return false;
+  for (const auto& base : c.bases) {
+    if (base == "MessageListener") return true;
+    const ClassInfo* bc = find_class(ex, base);
+    if (bc != nullptr && derives_message_listener(ex, *bc, depth + 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Resolve a priority argument [b, e): a literal, a kConstant, a local
+/// variable assigned from a band expression, or a band expression
+/// inline. Returns false when unresolvable.
+bool resolve_priority(const Extraction& ex, const std::vector<Token>& t,
+                      std::size_t b, std::size_t e, std::size_t call_idx,
+                      Registration& reg) {
+  const auto band_from_expr = [&](std::size_t xb, std::size_t xe) -> bool {
+    // kBase + kStep * <anything>
+    std::vector<std::string> idents;
+    bool plus = false;
+    bool times = false;
+    for (std::size_t k = xb; k < xe; ++k) {
+      if (t[k].kind == TokKind::Ident &&
+          ex.int_consts.count(t[k].text) != 0) {
+        idents.push_back(t[k].text);
+      }
+      if (is_punct(t[k], "+")) plus = true;
+      if (is_punct(t[k], "*")) times = true;
+    }
+    if (idents.size() != 2 || !plus || !times) return false;
+    reg.is_band = true;
+    reg.base = ex.int_consts.at(idents[0]);
+    reg.step = ex.int_consts.at(idents[1]);
+    return true;
+  };
+
+  if (e == b + 1 && t[b].kind == TokKind::Number) {
+    reg.priority = std::stol(t[b].text, nullptr, 0);
+    return true;
+  }
+  if (e == b + 1 && t[b].kind == TokKind::Ident) {
+    const auto it = ex.int_consts.find(t[b].text);
+    if (it != ex.int_consts.end()) {
+      reg.priority = it->second;
+      return true;
+    }
+    // A local variable: look backwards in the enclosing region for
+    // `<name> = <expr> ;` and try the band shape on the expression.
+    const std::string& var = t[b].text;
+    for (std::size_t k = call_idx; k-- > 0;) {
+      if (call_idx - k > 600) break;  // same function, not same file
+      if (!is_ident(t[k], var.c_str()) || k + 1 >= t.size() ||
+          !is_punct(t[k + 1], "=")) {
+        continue;
+      }
+      std::size_t end = k + 2;
+      while (end < t.size() && !is_punct(t[end], ";")) ++end;
+      if (band_from_expr(k + 2, end)) return true;
+    }
+    return false;
+  }
+  return band_from_expr(b, e);
+}
+
+/// Resolve a listener argument [b, e) to a class name:
+/// `std::make_unique<T>(...)` or `*member_`.
+std::string resolve_listener_class(const Extraction& ex,
+                                   const std::vector<Token>& t, std::size_t b,
+                                   std::size_t e) {
+  for (std::size_t k = b; k + 2 < e; ++k) {
+    if (is_ident(t[k], "make_unique") && is_punct(t[k + 1], "<")) {
+      const std::size_t close = match_angle(t, k + 1);
+      if (close >= t.size()) return "";
+      std::string last;
+      for (std::size_t m = k + 2; m < close; ++m) {
+        if (t[m].kind == TokKind::Ident) last = t[m].text;
+      }
+      return last;
+    }
+  }
+  if (e - b == 2 && is_punct(t[b], "*") && t[b + 1].kind == TokKind::Ident) {
+    const auto it = ex.members.find(t[b + 1].text);
+    if (it != ex.members.end()) return it->second;
+  }
+  if (e - b == 1 && t[b].kind == TokKind::Ident) {
+    const auto it = ex.members.find(t[b].text);
+    if (it != ex.members.end()) return it->second;
+  }
+  return "";
+}
+
+/// The listener name a class reports, chased through the constant
+/// table; "<dynamic>" when name() returns a runtime value.
+std::string resolve_name(const Extraction& ex, const ClassInfo& c) {
+  if (!c.name_literal.empty()) return c.name_literal;
+  if (!c.name_constant.empty()) {
+    const auto it = ex.string_consts.find(c.name_constant);
+    if (it != ex.string_consts.end()) return it->second;
+  }
+  return "<dynamic>";
+}
+
+}  // namespace
+
+PipelineSpec run_pipeline_pass(const SourceTree& tree,
+                               const std::string& spec_path,
+                               bool skip_spec_diff,
+                               std::vector<Finding>& findings) {
+  // Concatenate the controller-layer token streams so cross-file
+  // declarations (class in .hpp, name() in .cpp, constants in a third
+  // header) resolve in one harvest. A `;` separator keeps an unbalanced
+  // file from bleeding into the next.
+  Extraction ex;
+  std::vector<Token> all;
+  std::vector<const SourceFile*> scanned;
+  for (const auto& f : tree.files) {
+    if (!f.in_module("ctrl") && !f.in_module("defense")) continue;
+    scanned.push_back(&f);
+    all.insert(all.end(), f.tokens.begin(), f.tokens.end());
+    all.push_back(Token{TokKind::Punct, ";", 0});
+  }
+  ex.int_consts = harvest_int_constants(all);
+  ex.string_consts = harvest_string_constants(all);
+  ex.classes = harvest_classes(all);
+  ex.members = harvest_unique_ptr_members(all);
+
+  // Registration sites, located per file for accurate line numbers.
+  for (const SourceFile* fp : scanned) {
+    const auto& t = fp->tokens;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (!is_ident(t[i], "pipeline_") || !is_punct(t[i + 1], ".")) continue;
+      if (!is_ident(t[i + 2], "add") && !is_ident(t[i + 2], "add_owned")) {
+        continue;
+      }
+      if (!is_punct(t[i + 3], "(")) continue;
+      const auto args = split_args(t, i + 3);
+      Registration reg;
+      reg.file = fp->rel;
+      reg.line = t[i].line;
+      if (args.size() != 2) {
+        findings.push_back(Finding{fp->rel, reg.line, "pipeline-wiring",
+                                   "cannot parse registration arguments: " +
+                                       fp->excerpt(reg.line)});
+        continue;
+      }
+      if (!resolve_priority(ex, t, args[0].first, args[0].second, i, reg)) {
+        findings.push_back(Finding{
+            fp->rel, reg.line, "pipeline-wiring",
+            "cannot statically resolve the registration priority: " +
+                fp->excerpt(reg.line)});
+        continue;
+      }
+      reg.class_name =
+          resolve_listener_class(ex, t, args[1].first, args[1].second);
+      if (reg.class_name.empty() ||
+          find_class(ex, reg.class_name) == nullptr) {
+        findings.push_back(Finding{
+            fp->rel, reg.line, "pipeline-wiring",
+            "cannot resolve the registered listener to a class: " +
+                fp->excerpt(reg.line)});
+        continue;
+      }
+      ex.regs.push_back(std::move(reg));
+    }
+  }
+
+  // Duplicate fixed priorities: the chain tie-breaks on name, so two
+  // listeners at one priority make dispatch order depend on naming —
+  // always a wiring accident here.
+  std::map<long, const Registration*> by_priority;
+  for (const auto& r : ex.regs) {
+    if (r.is_band) continue;
+    const auto [it, fresh] = by_priority.emplace(r.priority, &r);
+    if (!fresh) {
+      findings.push_back(Finding{
+          r.file, r.line, "pipeline-wiring",
+          "duplicate chain priority " + std::to_string(r.priority) +
+              " (also registered at " + it->second->file + ":" +
+              std::to_string(it->second->line) + ")"});
+    }
+  }
+
+  // Every concrete MessageListener subclass in the controller layer
+  // must be registered somewhere; a listener class nobody adds to the
+  // chain is dead wiring (or a forgotten registration).
+  std::set<std::string> registered;
+  for (const auto& r : ex.regs) registered.insert(r.class_name);
+  for (const auto& c : ex.classes) {
+    if (c.name == "MessageListener" || !derives_message_listener(ex, c)) {
+      continue;
+    }
+    if (registered.count(c.name) == 0) {
+      findings.push_back(Finding{
+          kSpecRel, 0, "pipeline-wiring",
+          "listener class " + c.name +
+              " derives MessageListener but is never registered with "
+              "the pipeline"});
+    }
+  }
+
+  // Assemble the extracted spec in dispatch order.
+  PipelineSpec extracted;
+  for (const auto& r : ex.regs) {
+    const ClassInfo* c = find_class(ex, r.class_name);
+    SpecEntry e;
+    e.priority = r.is_band ? std::to_string(r.base) + "+" +
+                                 std::to_string(r.step) + "N"
+                           : std::to_string(r.priority);
+    e.name = resolve_name(ex, *c);
+    e.subs.assign(c->subscriptions.begin(), c->subscriptions.end());
+    extracted.entries.push_back(std::move(e));
+  }
+  sort_spec_entries(extracted.entries);
+
+  if (!skip_spec_diff) {
+    std::string error;
+    const auto spec = parse_pipeline_spec(spec_path, &error);
+    if (!spec) {
+      findings.push_back(Finding{kSpecRel, 0, "pipeline-wiring", error});
+      return extracted;
+    }
+    const std::size_t n =
+        std::max(spec->entries.size(), extracted.entries.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool have_spec = i < spec->entries.size();
+      const bool have_src = i < extracted.entries.size();
+      if (have_spec && have_src &&
+          spec->entries[i] == extracted.entries[i]) {
+        continue;
+      }
+      findings.push_back(Finding{
+          kSpecRel, static_cast<int>(i + 1), "pipeline-wiring",
+          "chain[" + std::to_string(i) + "] spec " +
+              (have_spec ? "`" + to_line(spec->entries[i]) + "`"
+                         : "(missing)") +
+              " != source " +
+              (have_src ? "`" + to_line(extracted.entries[i]) + "`"
+                        : "(missing)") +
+              " — fix the wiring or regenerate with --emit-pipeline-spec"});
+    }
+  }
+  return extracted;
+}
+
+}  // namespace tmg::tmglint

@@ -1,0 +1,55 @@
+// tmglint: token model.
+//
+// The lexer reduces a C++ translation unit to a flat token stream with
+// file:line provenance. Comments, string literals, raw strings, and
+// char literals are lexed as single tokens (or recorded out-of-band for
+// comments), which is the whole point of the tool: a rule that walks
+// tokens can never be fooled by `"std::steady_clock"` inside a log
+// message or a banned identifier quoted in a comment — the two failure
+// modes the old line-regex linter was known for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tmg::tmglint {
+
+enum class TokKind {
+  Ident,      // identifiers and keywords
+  Number,     // numeric literals (integer/float, any base)
+  String,     // string literal; text holds the *contents* (no quotes)
+  CharLit,    // character literal
+  Punct,      // operators/punctuation; `::` and `->` are single tokens
+  Directive,  // the `#` introducing a preprocessor directive
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  int line = 0;
+};
+
+/// A comment, kept out of the token stream but retained for the
+/// suppression grammar (`// tmglint: allow(<rule>) <why>`).
+struct Comment {
+  int line = 0;  // line the comment starts on
+  std::string text;
+};
+
+/// A quoted first-party `#include "mod/file.hpp"` directive. Angled
+/// system includes are lexed but not recorded: the layering pass only
+/// reasons about in-repo edges.
+struct IncludeDirective {
+  int line = 0;
+  std::string target;
+};
+
+struct LexOutput {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<IncludeDirective> includes;
+};
+
+[[nodiscard]] LexOutput lex(const std::string& text);
+
+}  // namespace tmg::tmglint
