@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   constexpr std::size_t kSweeps = 5;
 
   const HarnessOptions opts = parse_harness_args(argc, argv);
-  scenario::TrialRunner runner{{opts.jobs}};
+  scenario::TrialRunner runner{opts.runner_options()};
   WallTimer timer;
   const auto series_by_sweep = runner.map(kSweeps, [&](std::size_t i) {
     const Sweep& sweep = sweeps[i];

@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   const HarnessOptions opts = parse_harness_args(argc, argv);
   const std::size_t n = opts.trial_count(10, 3);  // seeds per scenario row
 
-  scenario::TrialRunner runner{{opts.jobs}};
+  scenario::TrialRunner runner{opts.runner_options()};
   WallTimer timer;
   const auto outcomes =
       runner.map(kRows * n, [&](std::size_t i) -> scenario::HijackOutcome {

@@ -21,6 +21,8 @@ HarnessOptions parse_harness_args(int argc, char** argv) {
       opts.no_fastpath = true;
     } else if (std::strcmp(argv[i], "--obs") == 0) {
       opts.obs = true;
+    } else if (std::strcmp(argv[i], "--legacy-runner") == 0) {
+      opts.legacy_runner = true;
     } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
       opts.trials =
           static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
@@ -92,6 +94,10 @@ bool report_bench(const HarnessOptions& opts, BenchResult result) {
     std::string snap = result.obs_metrics_json;
     while (!snap.empty() && snap.back() == '\n') snap.pop_back();
     std::fprintf(f, ",\n  \"obs\": %s", snap.c_str());
+  }
+  if (!result.extra_key.empty() && !result.extra_json.empty()) {
+    std::fprintf(f, ",\n  \"%s\": %s", result.extra_key.c_str(),
+                 result.extra_json.c_str());
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);

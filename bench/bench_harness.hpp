@@ -15,6 +15,11 @@
 //                   the naive reference algorithms instead. Simulated
 //                   output must be byte-identical either way; CI diffs
 //                   the attack-matrix stdout across the two modes.
+//   --legacy-runner schedule one pool task per trial (the pre-chunking
+//                   TrialRunner path) instead of contiguous chunks —
+//                   the A/B baseline tools/run_bench.py --speedup uses
+//                   to attribute the scheduling win. Results are
+//                   identical; only the wall clock moves.
 //
 // Wall-clock time is host time (std::chrono), which is fine here: it
 // never feeds simulation results, only the perf report. src/ stays under
@@ -24,15 +29,23 @@
 #include <cstdint>
 #include <string>
 
+#include "scenario/trial_runner.hpp"
+
 namespace tmg::bench {
 
 struct HarnessOptions {
   std::size_t trials = 0;  // 0 = use the bench's default
   std::size_t jobs = 0;    // 0 = hardware concurrency
   bool quick = false;
-  bool no_fastpath = false;  // already applied by parse_harness_args
-  bool obs = false;          // --obs: collect an observability snapshot
+  bool no_fastpath = false;    // already applied by parse_harness_args
+  bool obs = false;            // --obs: collect an observability snapshot
+  bool legacy_runner = false;  // --legacy-runner: per-trial task baseline
   std::string json_path;
+
+  /// TrialRunner options for this bench invocation.
+  [[nodiscard]] scenario::TrialRunnerOptions runner_options() const {
+    return {jobs, legacy_runner};
+  }
 
   /// Trial count to actually run: --trials if given, else the quick or
   /// full default.
@@ -68,6 +81,13 @@ struct BenchResult {
   /// Optional observability snapshot (obs::Observability::metrics_json):
   /// when non-empty it is embedded verbatim under the "obs" key.
   std::string obs_metrics_json;
+  /// Optional bench-specific payload: when both are non-empty,
+  /// `extra_json` (a complete JSON value) is embedded verbatim under
+  /// `extra_key`. bench_montecarlo puts its quantile tables here; the
+  /// payload must be deterministic (no wall-clock content) so CI can
+  /// diff it across --jobs values.
+  std::string extra_key;
+  std::string extra_json;
 };
 
 /// Print a one-line summary and, when --json was given, write the result

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   const std::size_t runs = opts.trial_count(5, 2);
 
   // One flat trial space (suite x seed) fanned across worker threads.
-  scenario::TrialRunner runner{{opts.jobs}};
+  scenario::TrialRunner runner{opts.runner_options()};
   WallTimer timer;
   const auto outcomes = runner.map(
       kSuites * runs, [&](std::size_t i) -> scenario::HijackOutcome {

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const auto window =
       opts.quick ? 5_s : 30_s;  // simulated scan window per cell
 
-  scenario::TrialRunner runner{{opts.jobs}};
+  scenario::TrialRunner runner{opts.runner_options()};
   WallTimer timer;
   const auto results = runner.map(kCells, [&](std::size_t i) {
     return scenario::run_scan_detection(types[i / kRates], rates[i % kRates],

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   const HarnessOptions opts = parse_harness_args(argc, argv);
   const std::size_t scans = opts.trial_count(1000, 100);  // probes per type
 
-  scenario::TrialRunner runner{{opts.jobs}};
+  scenario::TrialRunner runner{opts.runner_options()};
   WallTimer timer;
   const auto rows = runner.map(kTypes, [&](std::size_t i) {
     return scenario::measure_probe_timing(types[i], scans, 42);

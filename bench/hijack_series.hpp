@@ -5,12 +5,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "bench_harness.hpp"
 #include "bench_util.hpp"
 #include "scenario/experiments.hpp"
+#include "scenario/trial_arena.hpp"
 #include "scenario/trial_runner.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/histogram.hpp"
@@ -27,15 +29,23 @@ struct HijackSeries {
 /// @param nmap_regime  true: nmap engine overhead + 2-scan confirmation
 ///        (the paper's Figs. 5-6 measurement regime); false: raw probe
 ///        exchanges with a single 35 ms timeout (Figs. 7-8 regime).
-/// @param jobs  worker threads (0 = hardware concurrency, 1 = serial).
+/// @param runner_opts  worker count + scheduler selection (see
+///        scenario::TrialRunnerOptions).
 inline HijackSeries collect_hijack_metric(
     std::size_t n, bool nmap_regime,
     const std::function<std::optional<double>(
         const scenario::HijackOutcome&)>& metric,
-    std::size_t jobs = 0) {
+    scenario::TrialRunnerOptions runner_opts = {}) {
   HijackSeries series;
   series.runs = n;
-  scenario::TrialRunner runner{{jobs}};
+  scenario::TrialRunner runner{runner_opts};
+  // Per-worker warm arenas; the invariant battery stays off in benches
+  // (read-only hook — wall clock only). Both are observationally
+  // neutral, so figures match their pre-arena output exactly.
+  std::vector<std::unique_ptr<scenario::TrialArena>> arenas;
+  for (std::size_t w = 0; w < runner.jobs(); ++w) {
+    arenas.push_back(std::make_unique<scenario::TrialArena>());
+  }
   const auto outcomes =
       runner.map(n, [&](std::size_t i) -> scenario::HijackOutcome {
         scenario::HijackConfig cfg;
@@ -43,6 +53,8 @@ inline HijackSeries collect_hijack_metric(
         cfg.seed = 1000 + i;
         cfg.nmap_overhead = nmap_regime;
         cfg.confirm_failures = nmap_regime ? 2 : 1;
+        cfg.check_invariants = false;
+        cfg.arena = arenas[scenario::TrialRunner::worker_slot()].get();
         return scenario::run_hijack(cfg);
       });
   // Aggregate on this thread, in trial-index order: identical output for
@@ -84,14 +96,15 @@ inline int run_hijack_figure(int argc, char** argv, const char* bench_id,
   const HarnessOptions opts = parse_harness_args(argc, argv);
   const std::size_t n = opts.trial_count(full_default, 25);
   WallTimer timer;
-  const auto series = collect_hijack_metric(n, nmap_regime, metric, opts.jobs);
+  const auto series =
+      collect_hijack_metric(n, nmap_regime, metric, opts.runner_options());
   const double wall_ms = timer.elapsed_ms();
   print_series(series, unit, hist_lo, hist_hi);
   BenchResult result;
   result.bench = bench_id;
   result.trials = n;
   result.base_seed = 1000;
-  result.jobs = scenario::TrialRunner{{opts.jobs}}.jobs();
+  result.jobs = scenario::TrialRunner{opts.runner_options()}.jobs();
   result.wall_ms = wall_ms;
   result.events = series.events;
   return report_bench(opts, result) ? 0 : 1;

@@ -120,12 +120,20 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
     TestbedOptions o = fig9_options(config.seed);
     o.controller.authenticate_lldp = opts.controller.authenticate_lldp;
     o.controller.lldp_timestamps = opts.controller.lldp_timestamps;
+    // Keep start() from auto-attaching the audit battery when the
+    // caller opted out (benches); see the explicit enable below.
+    o.check_invariants = config.check_invariants;
+    if (config.arena != nullptr) o.loop = &config.arena->acquire();
     return o;
   }());
   const DefenseHandles handles = install_suite(f.tb->controller(), config.suite);
   // Machine-checked self-consistency for every experiment run: attacks
   // may poison the controller's *view*, but never the simulator's state.
-  f.tb->enable_invariant_checker(handles.topoguard);
+  // Benches opt out — the audits are read-only, so every simulated
+  // number is identical either way; only wall-clock changes.
+  if (config.check_invariants) {
+    f.tb->enable_invariant_checker(handles.topoguard);
+  }
   if (config.obs != nullptr) f.tb->set_observability(config.obs);
 
   LinkAttackOutcome out;
@@ -271,7 +279,15 @@ class HijackObserver final : public ctrl::DefenseModule {
 }  // namespace
 
 HijackOutcome run_hijack(const HijackConfig& config) {
-  Fig2Testbed f = make_fig2_testbed(suite_options(config.suite, config.seed));
+  Fig2Testbed f = make_fig2_testbed([&] {
+    TestbedOptions o = suite_options(config.suite, config.seed);
+    // Also stops start() from auto-attaching the audit battery when the
+    // caller opted out (benches); see the explicit enable below.
+    o.check_invariants = config.check_invariants;
+    if (config.profile) o.controller.profile = *config.profile;
+    if (config.arena != nullptr) o.loop = &config.arena->acquire();
+    return o;
+  }());
   ctrl::Controller& ctrl = f.tb->controller();
   sim::EventLoop& loop = f.tb->loop();
   defense::SecureBindingConfig enrollment;
@@ -283,7 +299,9 @@ HijackOutcome run_hijack(const HijackConfig& config) {
   enrollment.registry[Fig2Testbed::kPeerToken] =
       defense::Enrollment{"peer", f.peer->mac(), f.peer->ip()};
   const DefenseHandles handles = install_suite(ctrl, config.suite, &enrollment);
-  f.tb->enable_invariant_checker(handles.topoguard);
+  if (config.check_invariants) {
+    f.tb->enable_invariant_checker(handles.topoguard);
+  }
   if (config.obs != nullptr) f.tb->set_observability(config.obs);
 
   HijackOutcome out;

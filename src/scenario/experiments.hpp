@@ -12,11 +12,13 @@
 #include "attack/port_probing.hpp"
 #include "attack/probes.hpp"
 #include "ctrl/message_pipeline.hpp"
+#include "ctrl/profiles.hpp"
 #include "defense/secure_binding.hpp"
 #include "defense/topoguard_plus.hpp"
 #include "scenario/fig1_testbed.hpp"
 #include "scenario/fig2_testbed.hpp"
 #include "scenario/fig9_testbed.hpp"
+#include "scenario/trial_arena.hpp"
 #include "stats/descriptive.hpp"
 
 namespace tmg::scenario {
@@ -113,6 +115,14 @@ struct LinkAttackConfig {
   /// Wires the testbed (pipeline spans, loop probe) and the attack's
   /// flap/relay spans, and emits "scenario" phase instants.
   obs::Observability* obs = nullptr;
+  /// Attach the runtime invariant checker. Tests keep the default;
+  /// benches pass false so the measured hot path excludes the (read-
+  /// only, result-neutral) periodic audit battery.
+  bool check_invariants = true;
+  /// Per-worker arena to run in (borrowed; nullptr builds a private
+  /// event loop). Reusing an arena is observationally neutral — see
+  /// trial_arena.hpp.
+  TrialArena* arena = nullptr;
 };
 
 LinkAttackOutcome run_link_attack(const LinkAttackConfig& config);
@@ -139,6 +149,14 @@ struct HijackConfig {
   /// the "scenario/victim.down" instant the race windows are measured
   /// against (tools/render_timeline.py reconstructs Figs. 5-8 from it).
   obs::Observability* obs = nullptr;
+  /// Attach the runtime invariant checker (see LinkAttackConfig).
+  bool check_invariants = true;
+  /// Per-worker arena to run in (see LinkAttackConfig).
+  TrialArena* arena = nullptr;
+  /// Controller discovery/timeout profile (paper Table III). Unset
+  /// keeps the testbed default; bench_montecarlo sweeps all_profiles()
+  /// to map how each controller's cadence shifts the race windows.
+  std::optional<ctrl::ControllerProfile> profile;
 };
 
 struct HijackOutcome {

@@ -7,7 +7,12 @@
 namespace tmg::scenario {
 
 Testbed::Testbed(TestbedOptions options)
-    : options_{std::move(options)}, rng_{options_.seed} {
+    : options_{std::move(options)},
+      owned_loop_{options_.loop == nullptr
+                      ? std::make_unique<sim::EventLoop>()
+                      : nullptr},
+      loop_{options_.loop == nullptr ? *owned_loop_ : *options_.loop},
+      rng_{options_.seed} {
   controller_ = std::make_unique<ctrl::Controller>(loop_, rng_.fork(),
                                                    options_.controller);
 }

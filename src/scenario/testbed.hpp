@@ -42,6 +42,11 @@ struct TestbedOptions {
   bool check_invariants = false;
   /// Periodic check cadence when the checker is attached (events).
   std::uint64_t check_every_events = 256;
+  /// External event loop to build on (borrowed; must outlive the
+  /// Testbed and be freshly constructed or reset). Null = the testbed
+  /// owns a private loop. Per-worker TrialArenas pass their warm loop
+  /// here so repeated trials reuse its allocation slabs (DESIGN.md §7).
+  sim::EventLoop* loop = nullptr;
 };
 
 class Testbed {
@@ -119,7 +124,10 @@ class Testbed {
   };
 
   TestbedOptions options_;
-  sim::EventLoop loop_;
+  /// Private loop when options.loop is null; loop_ aliases either this
+  /// or the borrowed arena loop.
+  std::unique_ptr<sim::EventLoop> owned_loop_;
+  sim::EventLoop& loop_;
   sim::Rng rng_;
   std::unique_ptr<ctrl::Controller> controller_;
   std::map<of::Dpid, SwitchEntry> switches_;

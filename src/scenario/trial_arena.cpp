@@ -1,0 +1,23 @@
+#include "scenario/trial_arena.hpp"
+
+#include "check/assert.hpp"
+
+namespace tmg::scenario {
+
+sim::EventLoop& TrialArena::acquire() {
+  loop_.reset();
+  // Invariant audit: everything a simulation can observe about a loop
+  // must read exactly as a default-constructed one. The capacity the
+  // reset kept is deliberately *not* observable.
+  TMG_ASSERT(loop_.now() == sim::SimTime::zero(),
+             "arena reset left the clock non-zero");
+  TMG_ASSERT(loop_.pending_events() == 0 && loop_.live_events() == 0,
+             "arena reset left pending events");
+  TMG_ASSERT(loop_.events_executed() == 0,
+             "arena reset left a non-zero executed count");
+  TMG_ASSERT(loop_.probe() == nullptr, "arena reset left a probe attached");
+  ++trials_served_;
+  return loop_;
+}
+
+}  // namespace tmg::scenario

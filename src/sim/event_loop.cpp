@@ -149,4 +149,23 @@ void EventLoop::run() {
   }
 }
 
+void EventLoop::reset() {
+  // clear() keeps both vectors' capacity — the warm slab the trial
+  // arenas exist to reuse. Destroying the slots releases every pending
+  // callback (and any out-of-line InlineFn storage).
+  heap_.clear();
+  slots_.clear();
+  free_head_ = kNoSlot;
+  now_ = SimTime::zero();
+  next_seq_ = 0;
+  executed_ = 0;
+  // A fresh counter, not a zeroed one: TimerHandles from before the
+  // reset still share the old counter, and a late cancel() through one
+  // of them must not skew live_events() of the new epoch.
+  cancelled_in_queue_ = std::make_shared<std::size_t>(0);
+  post_event_hook_ = nullptr;
+  post_event_every_ = 0;
+  probe_ = nullptr;
+}
+
 }  // namespace tmg::sim

@@ -110,6 +110,16 @@ class EventLoop {
   /// queue was empty (clock unchanged).
   bool step();
 
+  /// Return the loop to its just-constructed observable state — clock at
+  /// zero, no pending events, zero executed count, no hook or probe —
+  /// while keeping the heap/slab vector capacity warm. This is the
+  /// arena-reset contract (DESIGN.md §7): a reset loop must be
+  /// observationally identical to a fresh one, so per-worker trial
+  /// arenas can reuse the allocation slabs across trials without
+  /// affecting any simulated result. Outstanding TimerHandles become
+  /// inert (their events never fire).
+  void reset();
+
   /// Queue entries physically present, including cancelled-but-unpopped
   /// ones. Prefer live_events() for "how much work is left".
   [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }

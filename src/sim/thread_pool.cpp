@@ -4,11 +4,16 @@
 
 namespace tmg::sim {
 
+namespace {
+/// 0 outside pool workers — see ThreadPool::worker_index().
+thread_local std::size_t tls_worker_index = 0;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_main(); });
+    workers_.emplace_back([this, i] { worker_main(i); });
   }
 }
 
@@ -22,7 +27,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> job) {
+void ThreadPool::submit(Job job) {
   {
     std::lock_guard<std::mutex> lock{mu_};
     queue_.push_back(std::move(job));
@@ -35,12 +40,13 @@ void ThreadPool::wait_idle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
-void ThreadPool::worker_main() {
+void ThreadPool::worker_main(std::size_t index) {
+  tls_worker_index = index;
   std::unique_lock<std::mutex> lock{mu_};
   for (;;) {
     work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
     if (queue_.empty()) return;  // stop_ set and nothing left to drain
-    std::function<void()> job = std::move(queue_.front());
+    Job job = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
     lock.unlock();
@@ -50,6 +56,8 @@ void ThreadPool::worker_main() {
     if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
   }
 }
+
+std::size_t ThreadPool::worker_index() { return tls_worker_index; }
 
 std::size_t ThreadPool::hardware_jobs() {
   const unsigned n = std::thread::hardware_concurrency();

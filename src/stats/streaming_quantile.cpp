@@ -1,0 +1,188 @@
+#include "stats/streaming_quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "check/assert.hpp"
+#include "stats/quantile.hpp"
+
+namespace tmg::stats {
+
+StreamingQuantile::StreamingQuantile(double q, std::size_t exact_limit)
+    : q_{q}, exact_limit_{exact_limit < 8 ? 8 : exact_limit} {
+  TMG_ASSERT(q > 0.0 && q < 1.0, "quantile level must be in (0,1)");
+  samples_.reserve(exact_limit_ < 4096 ? exact_limit_ : 4096);
+}
+
+std::array<double, StreamingQuantile::kMarkers> StreamingQuantile::levels()
+    const {
+  return {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void StreamingQuantile::add(double x) {
+  ++count_;
+  if (!collapsed_) {
+    samples_.push_back(x);
+    if (samples_.size() > exact_limit_) collapse();
+    return;
+  }
+  p2_add(x);
+}
+
+void StreamingQuantile::collapse() {
+  // Seed the five markers from the exact sample: heights at the marker
+  // quantile levels, positions at their ideal (fractional) ranks. From
+  // here on add() maintains them incrementally.
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::array<double, kMarkers> lv = levels();
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < kMarkers; ++i) {
+    height_[i] = quantile_sorted(sorted, lv[i]);
+    pos_[i] = 1.0 + (n - 1.0) * lv[i];
+  }
+  samples_.clear();
+  samples_.shrink_to_fit();
+  collapsed_ = true;
+}
+
+void StreamingQuantile::p2_add(double x) {
+  // Jain & Chlamtac's P² update: bump the positions of every marker
+  // above the cell x lands in, then nudge the three interior markers
+  // toward their desired positions with a piecewise-parabolic fit
+  // (falling back to linear when the parabola would leave the bracket).
+  std::size_t k;
+  if (x < height_[0]) {
+    height_[0] = x;
+    k = 0;
+  } else if (x >= height_[kMarkers - 1]) {
+    height_[kMarkers - 1] = x;
+    k = kMarkers - 2;
+  } else {
+    k = 0;
+    while (k + 1 < kMarkers - 1 && x >= height_[k + 1]) ++k;
+  }
+  for (std::size_t i = k + 1; i < kMarkers; ++i) pos_[i] += 1.0;
+
+  const std::array<double, kMarkers> lv = levels();
+  const double n = static_cast<double>(count_);
+  for (std::size_t i = 1; i + 1 < kMarkers; ++i) {
+    const double desired = 1.0 + (n - 1.0) * lv[i];
+    const double d = desired - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction of the marker's new height.
+      const double np = pos_[i + 1], nm = pos_[i - 1], ni = pos_[i];
+      const double hp = height_[i + 1], hm = height_[i - 1],
+                   hi = height_[i];
+      double cand = hi + sign / (np - nm) *
+                             ((ni - nm + sign) * (hp - hi) / (np - ni) +
+                              (np - ni - sign) * (hi - hm) / (ni - nm));
+      if (cand <= hm || cand >= hp) {
+        // Parabola escaped the bracket: linear step toward the
+        // neighbor in the movement direction.
+        const std::size_t j = sign > 0.0 ? i + 1 : i - 1;
+        cand = hi + sign * (height_[j] - hi) / (pos_[j] - ni);
+      }
+      height_[i] = cand;
+      pos_[i] += sign;
+    }
+  }
+}
+
+void StreamingQuantile::merge(const StreamingQuantile& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    // Empty self adopts the other state wholesale (exact or collapsed).
+    samples_ = other.samples_;
+    count_ = other.count_;
+    collapsed_ = other.collapsed_;
+    height_ = other.height_;
+    pos_ = other.pos_;
+    // Respect our own exact_limit_, which may be tighter than theirs.
+    if (!collapsed_ && samples_.size() > exact_limit_) collapse();
+    return;
+  }
+  if (!collapsed_ && !other.collapsed_) {
+    // Exact + exact: concatenate in (self, other) order. Deterministic
+    // because callers merge in chunk-index order.
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    count_ += other.count_;
+    if (samples_.size() > exact_limit_) collapse();
+    return;
+  }
+  if (!collapsed_) collapse();
+  if (!other.collapsed_) {
+    // Collapsed + exact: stream the buffered samples through the P²
+    // update in their insertion order.
+    for (const double x : other.samples_) {
+      ++count_;
+      p2_add(x);
+    }
+    return;
+  }
+  // Collapsed + collapsed: blend the two piecewise-linear marker CDFs.
+  // Extremes take the true min/max; interior markers take the
+  // count-weighted average of the two inverse CDFs at this estimator's
+  // marker levels.
+  const std::array<double, kMarkers> lv = levels();
+  const double w1 = static_cast<double>(count_);
+  const double w2 = static_cast<double>(other.count_);
+  std::array<double, kMarkers> blended{};
+  blended[0] = height_[0] < other.height_[0] ? height_[0] : other.height_[0];
+  blended[kMarkers - 1] = height_[kMarkers - 1] > other.height_[kMarkers - 1]
+                              ? height_[kMarkers - 1]
+                              : other.height_[kMarkers - 1];
+  for (std::size_t i = 1; i + 1 < kMarkers; ++i) {
+    blended[i] = (w1 * inverse_cdf(lv[i]) + w2 * other.inverse_cdf(lv[i])) /
+                 (w1 + w2);
+  }
+  count_ += other.count_;
+  const double n = static_cast<double>(count_);
+  for (std::size_t i = 0; i < kMarkers; ++i) {
+    height_[i] = blended[i];
+    pos_[i] = 1.0 + (n - 1.0) * lv[i];
+  }
+  // Blending can violate monotonicity only through floating-point noise;
+  // restore it so inverse_cdf stays well-defined.
+  for (std::size_t i = 1; i < kMarkers; ++i) {
+    if (height_[i] < height_[i - 1]) height_[i] = height_[i - 1];
+  }
+}
+
+double StreamingQuantile::inverse_cdf(double p) const {
+  TMG_ASSERT(collapsed_, "inverse_cdf is a collapsed-state helper");
+  const std::array<double, kMarkers> lv = levels();
+  if (p <= lv[0]) return height_[0];
+  for (std::size_t i = 1; i < kMarkers; ++i) {
+    if (p <= lv[i]) {
+      const double span = lv[i] - lv[i - 1];
+      if (span <= 0.0) return height_[i];
+      const double t = (p - lv[i - 1]) / span;
+      return height_[i - 1] + t * (height_[i] - height_[i - 1]);
+    }
+  }
+  return height_[kMarkers - 1];
+}
+
+double StreamingQuantile::value() const {
+  TMG_ASSERT(count_ > 0, "quantile of an empty estimator");
+  if (!collapsed_) return stats::quantile(samples_, q_);
+  return height_[2];
+}
+
+double StreamingQuantile::min() const {
+  TMG_ASSERT(count_ > 0, "min of an empty estimator");
+  if (!collapsed_) return *std::min_element(samples_.begin(), samples_.end());
+  return height_[0];
+}
+
+double StreamingQuantile::max() const {
+  TMG_ASSERT(count_ > 0, "max of an empty estimator");
+  if (!collapsed_) return *std::max_element(samples_.begin(), samples_.end());
+  return height_[kMarkers - 1];
+}
+
+}  // namespace tmg::stats

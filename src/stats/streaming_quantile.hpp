@@ -1,0 +1,78 @@
+// Streaming quantile estimation for Monte-Carlo-scale sweeps.
+//
+// The paper's race-window figures (Figs. 5-8) are distributions over
+// thousands of trials; reporting their tails at 10^5-10^6 trials must
+// not require materializing a per-trial sample vector. StreamingQuantile
+// is a P² estimator (Jain & Chlamtac, CACM 1985: five markers tracking
+// {min, q/2, q, (1+q)/2, max} positions, adjusted per sample with a
+// piecewise-parabolic fit) with an exact small-sample fallback: below
+// `exact_limit` samples the estimator simply stores them and defers to
+// stats::quantile, so short runs lose no precision and the P² machinery
+// only engages where it pays.
+//
+// Determinism: add() and merge() are pure functions of the estimator
+// state and their argument — no randomness, no iteration-order
+// dependence. The trial runner merges per-chunk estimators in
+// chunk-index order (a function of the trial count alone), so the
+// merged state — and every digit a bench prints from it — is
+// byte-identical at any --jobs value. merge() is deliberately *not*
+// commutative (neither is floating-point addition); callers must merge
+// in a fixed order, which TrialRunner::reduce() guarantees.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tmg::stats {
+
+class StreamingQuantile {
+ public:
+  /// Estimator for the q-quantile (q in (0,1)). `exact_limit` bounds
+  /// the exact-mode sample buffer; above it the state collapses to the
+  /// five P² markers (at least 8; default keeps exact answers for
+  /// every per-cell sample count the non-Monte-Carlo benches use).
+  explicit StreamingQuantile(double q, std::size_t exact_limit = 512);
+
+  void add(double x);
+
+  /// Absorb `other` (an estimator for the same q). Exact+exact states
+  /// concatenate; once either side has collapsed, the merge combines
+  /// the two piecewise-linear marker CDFs weighted by sample count.
+  void merge(const StreamingQuantile& other);
+
+  /// Current estimate. Exact below exact_limit samples; P² beyond.
+  /// Requires count() > 0.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double probability() const { return q_; }
+  /// True while the state still holds every sample exactly.
+  [[nodiscard]] bool exact() const { return !collapsed_; }
+
+ private:
+  static constexpr std::size_t kMarkers = 5;
+
+  /// Quantile levels of the five markers: {0, q/2, q, (1+q)/2, 1}.
+  [[nodiscard]] std::array<double, kMarkers> levels() const;
+
+  /// Exact -> P² transition: markers from the sorted sample.
+  void collapse();
+  void p2_add(double x);
+  /// Marker height at CDF level `p` by piecewise-linear interpolation
+  /// between this estimator's (height, level) points. Collapsed only.
+  [[nodiscard]] double inverse_cdf(double p) const;
+
+  double q_;
+  std::size_t exact_limit_;
+  std::uint64_t count_ = 0;
+  bool collapsed_ = false;
+  std::vector<double> samples_;            // exact mode (insertion order)
+  std::array<double, kMarkers> height_{};  // marker values, ascending
+  std::array<double, kMarkers> pos_{};     // marker positions, 1-based
+};
+
+}  // namespace tmg::stats

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "sim/event_loop.hpp"
@@ -497,6 +499,71 @@ TEST(InlineFn, DestructionReleasesCapture) {
     EXPECT_EQ(counter.use_count(), 3);
   }
   EXPECT_EQ(counter.use_count(), 1);  // both storage modes destroyed
+}
+
+TEST(EventLoop, ResetIsObservationallyFresh) {
+  // The arena-reset contract (DESIGN.md §7d): after reset(), a dirty
+  // loop must be indistinguishable from a default-constructed one —
+  // same clock, counts, tie-breaking sequence, and hook state — so
+  // TrialArena can recycle loops across trials without moving a single
+  // simulated number.
+  const auto drive = [](EventLoop& loop) {
+    std::vector<int> order;
+    loop.schedule_after(5_ms, [&order] { order.push_back(1); });
+    loop.schedule_after(5_ms, [&order] { order.push_back(2); });
+    loop.post_after(3_ms, [&order] { order.push_back(0); });
+    loop.run();
+    std::ostringstream os;
+    for (int v : order) os << v;
+    os << ';' << loop.now().count_nanos() << ';' << loop.events_executed();
+    return std::move(os).str();
+  };
+  EventLoop fresh;
+  const std::string expect = drive(fresh);
+
+  EventLoop recycled;
+  // Dirty it thoroughly: pending events left unrun, a dead hook, an
+  // advanced clock, live cancel state.
+  int hook_calls = 0;
+  recycled.set_post_event_hook(1, [&hook_calls] { ++hook_calls; });
+  recycled.schedule_after(1_ms, [] {});  // fires before the reset
+  auto handle = recycled.schedule_after(5_ms, [] { FAIL() << "stale"; });
+  recycled.run_until(SimTime::zero() + 1500_us);  // clock mid-flight
+  recycled.schedule_after(10_s, [] { FAIL() << "stale"; });
+  recycled.reset();
+
+  EXPECT_EQ(recycled.now(), SimTime::zero());
+  EXPECT_EQ(recycled.pending_events(), 0u);
+  EXPECT_EQ(recycled.live_events(), 0u);
+  EXPECT_EQ(recycled.events_executed(), 0u);
+  const int hook_calls_before = hook_calls;
+  EXPECT_EQ(drive(recycled), expect);
+  EXPECT_EQ(hook_calls, hook_calls_before);  // old hook never fires again
+  // A pre-reset handle is inert: cancelling it must not corrupt the new
+  // epoch's live-event accounting.
+  handle.cancel();
+  EXPECT_EQ(recycled.live_events(), 0u);
+  EXPECT_EQ(recycled.pending_events(), 0u);
+}
+
+TEST(EventLoop, ResetKeepsSlabCapacityWorking) {
+  // Not observable, but the recycled slab must still run correctly: a
+  // second batch after reset reuses slots and fires in order.
+  EventLoop loop;
+  std::vector<int> order;
+  for (int round = 0; round < 3; ++round) {
+    order.clear();
+    for (int i = 0; i < 100; ++i) {
+      loop.schedule_after(Duration::micros(100 - i), [&order, i] {
+        order.push_back(i);
+      });
+    }
+    loop.run();
+    ASSERT_EQ(order.size(), 100u);
+    EXPECT_EQ(order.front(), 99);  // smallest delay first
+    EXPECT_EQ(order.back(), 0);
+    loop.reset();
+  }
 }
 
 TEST(EventLoop, PostEventHookFiresAtCadence) {

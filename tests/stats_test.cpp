@@ -1,6 +1,7 @@
 // Unit tests for the statistics module.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -9,6 +10,7 @@
 #include "stats/histogram.hpp"
 #include "stats/latency_window.hpp"
 #include "stats/quantile.hpp"
+#include "stats/streaming_quantile.hpp"
 
 namespace tmg::stats {
 namespace {
@@ -281,6 +283,149 @@ TEST(Histogram, RenderContainsCounts) {
   const std::string out = h.render(10);
   EXPECT_NE(out.find('#'), std::string::npos);
   EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// StreamingQuantile (P2 estimator + exact small-sample fallback)
+// ---------------------------------------------------------------------
+
+TEST(StreamingQuantile, ExactModeMatchesBatchQuantileBitForBit) {
+  // Below exact_limit the estimator defers to stats::quantile, so short
+  // runs (every per-cell figure bench) lose nothing to the streaming
+  // machinery — not even a ULP.
+  sim::Rng rng{101};
+  StreamingQuantile sq{0.9, 512};
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.lognormal(3.0, 0.7);
+    samples.push_back(x);
+    sq.add(x);
+  }
+  EXPECT_TRUE(sq.exact());
+  EXPECT_EQ(sq.count(), 400u);
+  EXPECT_DOUBLE_EQ(sq.value(), quantile(samples, 0.9));
+  EXPECT_DOUBLE_EQ(sq.min(), *std::min_element(samples.begin(),
+                                               samples.end()));
+  EXPECT_DOUBLE_EQ(sq.max(), *std::max_element(samples.begin(),
+                                               samples.end()));
+}
+
+TEST(StreamingQuantile, P2TracksExactQuantileOnRandomizedInputs) {
+  // Past the collapse the five markers must stay close to the exact
+  // batch quantile. Tolerance is relative to the distribution's scale
+  // (P2's documented regime for smooth unimodal inputs).
+  for (const double q : {0.5, 0.9, 0.99}) {
+    for (const std::uint64_t seed : {7ull, 8ull, 9ull}) {
+      sim::Rng rng{seed};
+      StreamingQuantile sq{q, 64};
+      std::vector<double> samples;
+      for (int i = 0; i < 50000; ++i) {
+        const double x = rng.normal(100.0, 15.0);
+        samples.push_back(x);
+        sq.add(x);
+      }
+      EXPECT_FALSE(sq.exact());
+      const double exact = quantile(samples, q);
+      EXPECT_NEAR(sq.value(), exact, 1.5)
+          << "q=" << q << " seed=" << seed;
+      EXPECT_DOUBLE_EQ(sq.min(), *std::min_element(samples.begin(),
+                                                   samples.end()));
+      EXPECT_DOUBLE_EQ(sq.max(), *std::max_element(samples.begin(),
+                                                   samples.end()));
+    }
+  }
+}
+
+TEST(StreamingQuantile, HeavyTailP99StaysWithinRelativeTolerance) {
+  sim::Rng rng{42};
+  StreamingQuantile sq{0.99, 128};
+  std::vector<double> samples;
+  for (int i = 0; i < 30000; ++i) {
+    const double x = rng.lognormal(2.0, 0.5);
+    samples.push_back(x);
+    sq.add(x);
+  }
+  const double exact = quantile(samples, 0.99);
+  EXPECT_NEAR(sq.value(), exact, 0.05 * exact);
+}
+
+TEST(StreamingQuantile, MergeIsDeterministicAndOrderSensitiveByDesign) {
+  // Chunked merging (the TrialRunner::reduce contract): folding a fixed
+  // sample stream through fixed chunk boundaries and merging in chunk
+  // order must give bit-identical state on every run.
+  const auto run = [] {
+    sim::Rng rng{55};
+    std::vector<StreamingQuantile> chunks;
+    for (int c = 0; c < 8; ++c) {
+      StreamingQuantile part{0.9, 32};
+      for (int i = 0; i < 400; ++i) part.add(rng.normal(50.0, 9.0));
+      chunks.push_back(part);
+    }
+    StreamingQuantile total{0.9, 32};
+    for (const auto& part : chunks) total.merge(part);
+    return total;
+  };
+  const StreamingQuantile a = run();
+  const StreamingQuantile b = run();
+  EXPECT_EQ(a.count(), b.count());
+  // Bit-level equality, not EXPECT_DOUBLE_EQ's ULP tolerance: the whole
+  // point is byte-identical output across repeat runs.
+  EXPECT_TRUE(a.value() == b.value());
+  EXPECT_TRUE(a.min() == b.min());
+  EXPECT_TRUE(a.max() == b.max());
+}
+
+TEST(StreamingQuantile, MergeExactIntoExactConcatenates) {
+  StreamingQuantile a{0.5, 512};
+  StreamingQuantile b{0.5, 512};
+  std::vector<double> all;
+  for (int i = 0; i < 20; ++i) {
+    a.add(i);
+    all.push_back(i);
+  }
+  for (int i = 100; i < 130; ++i) {
+    b.add(i);
+    all.push_back(i);
+  }
+  a.merge(b);
+  EXPECT_TRUE(a.exact());
+  EXPECT_EQ(a.count(), 50u);
+  EXPECT_DOUBLE_EQ(a.value(), quantile(all, 0.5));
+}
+
+TEST(StreamingQuantile, MergedCollapsedEstimateTracksPooledExact) {
+  // Two collapsed halves of one distribution merged together must land
+  // near the pooled exact quantile (the CDF-blend path).
+  sim::Rng rng{77};
+  StreamingQuantile a{0.9, 64};
+  StreamingQuantile b{0.9, 64};
+  std::vector<double> pooled;
+  for (int i = 0; i < 8000; ++i) {
+    const double x = rng.normal(200.0, 20.0);
+    pooled.push_back(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  EXPECT_FALSE(a.exact());
+  EXPECT_FALSE(b.exact());
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8000u);
+  const double exact = quantile(pooled, 0.9);
+  EXPECT_NEAR(a.value(), exact, 2.5);
+  EXPECT_DOUBLE_EQ(a.min(), *std::min_element(pooled.begin(), pooled.end()));
+  EXPECT_DOUBLE_EQ(a.max(), *std::max_element(pooled.begin(), pooled.end()));
+}
+
+TEST(StreamingQuantile, MergeEmptyAndIntoEmptyAreNeutral) {
+  StreamingQuantile a{0.5};
+  StreamingQuantile b{0.5};
+  for (int i = 0; i < 10; ++i) a.add(i);
+  const double before = a.value();
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 10u);
+  EXPECT_DOUBLE_EQ(a.value(), before);
+  b.merge(a);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 10u);
+  EXPECT_DOUBLE_EQ(b.value(), before);
 }
 
 }  // namespace

@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "scenario/experiments.hpp"
+#include "scenario/trial_arena.hpp"
 #include "scenario/trial_runner.hpp"
 #include "sim/thread_pool.hpp"
+#include "stats/streaming_quantile.hpp"
 
 namespace tmg::scenario {
 namespace {
@@ -201,6 +203,203 @@ TEST(TrialRunnerTest, ExceptionFromLowestFailingTrialPropagates) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "trial 3");
   }
+}
+
+TEST(TrialRunnerTest, ChunkGeometryDependsOnTrialCountAlone) {
+  // The determinism argument rests on chunk boundaries being a pure
+  // function of the trial count: every trial is covered exactly once,
+  // and at most kMaxChunks chunks exist (so reduce() holds O(64)
+  // partials at any scale).
+  for (const std::size_t trials :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{65},
+        std::size_t{1000}, std::size_t{100000}}) {
+    const std::size_t size = TrialRunner::chunk_size(trials);
+    const std::size_t n = TrialRunner::chunk_count(trials);
+    EXPECT_LE(n, TrialRunner::kMaxChunks) << trials;
+    EXPECT_GE(size * n, trials) << trials;
+    EXPECT_LT(size * (n - 1), trials) << trials;
+  }
+  EXPECT_EQ(TrialRunner::chunk_count(0), 0u);
+  // Small batches fan out one trial per chunk (full parallelism).
+  EXPECT_EQ(TrialRunner::chunk_size(8), 1u);
+  EXPECT_EQ(TrialRunner::chunk_count(8), 8u);
+}
+
+TEST(TrialRunnerTest, ReduceStreamsWithoutMaterializingResults) {
+  // Sum of squares over 10^5 indices through per-chunk accumulators.
+  TrialRunner runner{{4}};
+  struct Acc {
+    std::uint64_t sum = 0;
+  };
+  const Acc total = runner.reduce(
+      100000, [] { return Acc{}; },
+      [](Acc& a, std::size_t i) {
+        a.sum += static_cast<std::uint64_t>(i) * i;
+      },
+      [](Acc& t, Acc&& part) { t.sum += part.sum; });
+  std::uint64_t expect = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) expect += i * i;
+  EXPECT_EQ(total.sum, expect);
+}
+
+TEST(TrialRunnerTest, ReduceQuantilesByteIdenticalAcrossJobCounts) {
+  // The Monte-Carlo contract: a StreamingQuantile reduce — whose merge
+  // is deliberately order-sensitive — must still come out bit-identical
+  // at any job count, because chunk boundaries and merge order are a
+  // function of the trial count alone.
+  const auto run_at = [](std::size_t jobs) {
+    TrialRunner runner{{jobs}};
+    struct Acc {
+      stats::StreamingQuantile p50{0.5, 32};
+      stats::StreamingQuantile p99{0.99, 32};
+      double sum = 0.0;
+    };
+    const Acc acc = runner.reduce(
+        5000, [] { return Acc{}; },
+        [](Acc& a, std::size_t i) {
+          // Deterministic per-trial value derived the same way trial
+          // seeds are: no RNG state crosses trials.
+          const double x = static_cast<double>(
+                               TrialRunner::trial_seed(9000, i) % 100000) /
+                           1000.0;
+          a.p50.add(x);
+          a.p99.add(x);
+          a.sum += x;
+        },
+        [](Acc& t, Acc&& part) {
+          t.p50.merge(part.p50);
+          t.p99.merge(part.p99);
+          t.sum += part.sum;
+        });
+    std::ostringstream os;
+    os << std::hexfloat << acc.p50.value() << ';' << acc.p99.value() << ';'
+       << acc.p50.min() << ';' << acc.p50.max() << ';' << acc.sum;
+    return std::move(os).str();
+  };
+  const std::string serial = run_at(1);
+  EXPECT_EQ(serial, run_at(2));
+  EXPECT_EQ(serial, run_at(8));
+}
+
+TEST(TrialRunnerTest, LegacyRunnerProducesIdenticalResults) {
+  // The pre-chunking scheduler is kept as the --speedup A/B baseline;
+  // it must stay observationally interchangeable with the default path.
+  TrialRunner chunked{{4, false}};
+  TrialRunner legacy{{4, true}};
+  const auto a = chunked.map(50, [](std::size_t i) { return i * 3 + 1; });
+  const auto b = legacy.map(50, [](std::size_t i) { return i * 3 + 1; });
+  EXPECT_EQ(a, b);
+}
+
+TEST(TrialRunnerTest, WorkerSlotStaysWithinJobs) {
+  TrialRunner runner{{4}};
+  std::atomic<bool> out_of_range{false};
+  runner.map(200, [&](std::size_t) {
+    if (TrialRunner::worker_slot() >= 4) out_of_range.store(true);
+    return 0;
+  });
+  EXPECT_FALSE(out_of_range.load());
+  // The serial path runs on the caller's thread: slot 0 by contract.
+  EXPECT_EQ(TrialRunner::worker_slot(), 0u);
+}
+
+TEST(TrialRunnerTest, ArenaReusedAcrossTrialsIsObservationallyFresh) {
+  // The arena-reset contract, end to end: N hijack experiments run back
+  // to back through ONE recycled arena must serialize byte-identically
+  // to N fresh-testbed runs — same alert logs, same double bits, same
+  // event counts.
+  std::vector<std::string> fresh;
+  for (std::size_t i = 0; i < 3; ++i) {
+    HijackConfig cfg;
+    cfg.suite = (i % 2 == 0) ? DefenseSuite::TopoGuardAndSphinx
+                             : DefenseSuite::Sphinx;
+    cfg.seed = 1300 + i;
+    fresh.push_back(serialize(run_hijack(cfg)));
+  }
+  TrialArena arena;
+  std::vector<std::string> recycled;
+  for (std::size_t i = 0; i < 3; ++i) {
+    HijackConfig cfg;
+    cfg.suite = (i % 2 == 0) ? DefenseSuite::TopoGuardAndSphinx
+                             : DefenseSuite::Sphinx;
+    cfg.seed = 1300 + i;
+    cfg.arena = &arena;
+    recycled.push_back(serialize(run_hijack(cfg)));
+  }
+  EXPECT_EQ(fresh, recycled);
+  EXPECT_EQ(arena.trials_served(), 3u);
+}
+
+TEST(TrialRunnerTest, ArenaLinkAttackMatchesFreshTestbed) {
+  LinkAttackConfig cfg;
+  cfg.kind = LinkAttackKind::OobAmnesia;
+  cfg.suite = DefenseSuite::TopoGuardAndSphinx;
+  cfg.seed = 4242;
+  cfg.benign_window = sim::Duration::seconds(12);
+  cfg.attack_window = sim::Duration::seconds(33);
+  const std::string fresh = serialize(run_link_attack(cfg));
+  TrialArena arena;
+  cfg.arena = &arena;
+  // Twice through the same arena: the second run exercises reset() on a
+  // loop the first run left dirty.
+  EXPECT_EQ(serialize(run_link_attack(cfg)), fresh);
+  EXPECT_EQ(serialize(run_link_attack(cfg)), fresh);
+}
+
+TEST(TrialRunnerTest, DisablingInvariantCheckerIsResultNeutral) {
+  // Benches turn the audit battery off for wall-clock; every simulated
+  // number must survive unchanged (the hook is read-only).
+  HijackConfig cfg;
+  cfg.suite = DefenseSuite::TopoGuard;
+  cfg.seed = 2024;
+  const HijackOutcome audited = run_hijack(cfg);
+  cfg.check_invariants = false;
+  const HijackOutcome bare = run_hijack(cfg);
+  EXPECT_GT(audited.invariant_sweeps, 0u);
+  EXPECT_EQ(bare.invariant_sweeps, 0u);
+  // Strip the checker counters (the knob's only legitimate effect) and
+  // compare everything else bit for bit.
+  HijackOutcome a = audited, b = bare;
+  a.invariant_sweeps = b.invariant_sweeps = 0;
+  a.invariant_violations = b.invariant_violations = 0;
+  EXPECT_EQ(serialize(a), serialize(b));
+}
+
+// ---------------------------------------------------------------------
+// parse_jobs_value / parse_jobs_arg (satellite: malformed --jobs must
+// be rejected, not silently treated as the hardware default)
+// ---------------------------------------------------------------------
+
+TEST(ParseJobsTest, AcceptsPlainNonNegativeIntegers) {
+  EXPECT_EQ(parse_jobs_value("0"), std::size_t{0});
+  EXPECT_EQ(parse_jobs_value("1"), std::size_t{1});
+  EXPECT_EQ(parse_jobs_value("8"), std::size_t{8});
+  EXPECT_EQ(parse_jobs_value("64"), std::size_t{64});
+  EXPECT_EQ(parse_jobs_value("007"), std::size_t{7});
+}
+
+TEST(ParseJobsTest, RejectsMalformedValues) {
+  EXPECT_FALSE(parse_jobs_value(nullptr).has_value());
+  EXPECT_FALSE(parse_jobs_value("").has_value());
+  EXPECT_FALSE(parse_jobs_value("abc").has_value());
+  EXPECT_FALSE(parse_jobs_value("-1").has_value());
+  EXPECT_FALSE(parse_jobs_value("+4").has_value());
+  EXPECT_FALSE(parse_jobs_value("4x").has_value());
+  EXPECT_FALSE(parse_jobs_value("4 ").has_value());
+  EXPECT_FALSE(parse_jobs_value(" 4").has_value());
+  EXPECT_FALSE(parse_jobs_value("1e3").has_value());
+  EXPECT_FALSE(parse_jobs_value("0x10").has_value());
+  // 2^64 overflows: must be rejected, not wrapped.
+  EXPECT_FALSE(parse_jobs_value("18446744073709551616").has_value());
+}
+
+TEST(ParseJobsTest, ParsesBothFlagSpellings) {
+  const char* eq_form[] = {"bench", "--jobs=8"};
+  EXPECT_EQ(parse_jobs_arg(2, const_cast<char**>(eq_form)), 8u);
+  const char* sep_form[] = {"bench", "--jobs", "3"};
+  EXPECT_EQ(parse_jobs_arg(3, const_cast<char**>(sep_form)), 3u);
+  const char* absent[] = {"bench", "--trials", "10"};
+  EXPECT_EQ(parse_jobs_arg(3, const_cast<char**>(absent)), 0u);
 }
 
 TEST(TrialRunnerTest, ParallelTrialsActuallyRunOnPoolThreads) {

@@ -16,11 +16,20 @@ writes them to one combined file:
                   "events": ..., "events_per_sec": ...}, ...],
      "speedup": {...}}          # only with --speedup
 
---speedup additionally runs the 200-trial attack-matrix workload
-(bench_attack_matrix --trials 10) once at --jobs 1 and once at the
-requested job count, and records the wall-clock ratio. The tables the
-two runs print must be identical — the driver diffs them and fails if
-parallelism changed any simulated result.
+--speedup runs the 200-trial attack-matrix workload
+(bench_attack_matrix --trials 10) across a jobs sweep (1, 2, 4, 8) and
+records the whole scaling curve plus the host's CPU count. The tables
+printed at every sweep point must match the --jobs 1 run byte-for-byte
+— the driver diffs them and fails if parallelism changed any simulated
+result. One extra --legacy-runner run at --jobs 1 attributes how much
+of the serial wall clock the chunked scheduler + arenas bought on
+their own.
+
+--montecarlo-check runs bench_montecarlo --quick at --jobs 1 and
+--jobs 8 and fails unless the deterministic part of the JSON result
+(trial/event counts and every quantile table) and the stdout tables
+are identical — the streaming-quantile merge must be byte-stable
+across worker counts.
 
 --fastpath-check runs the same serial attack-matrix workload once with
 the algorithmic fast paths enabled and once with --no-fastpath (naive
@@ -31,7 +40,7 @@ wall-clock ratio is recorded as the fast paths' end-to-end speedup.
 Usage:
     python3 tools/run_bench.py [--quick] [--jobs N] [--build-dir build]
                                [--out BENCH.json] [--speedup]
-                               [--fastpath-check]
+                               [--fastpath-check] [--montecarlo-check]
 """
 
 import argparse
@@ -56,7 +65,13 @@ BENCHES = [
     "bench_hijack_matrix",
     "bench_downtime_window",
     "bench_ablation_channel",
+    "bench_montecarlo",
 ]
+
+# The jobs sweep recorded by --speedup. Points above the host's core
+# count still run (oversubscribed) so the curve shape is comparable
+# across machines.
+SWEEP_JOBS = [1, 2, 4, 8]
 
 
 def run_bench(binary, extra_args, quiet=True):
@@ -97,8 +112,13 @@ def main():
     ap.add_argument("--out", default="BENCH.json",
                     help="combined output path (default BENCH.json)")
     ap.add_argument("--speedup", action="store_true",
-                    help="also measure jobs=1 vs jobs=N on the 200-trial "
-                         "attack-matrix workload")
+                    help="also sweep --jobs 1/2/4/8 over the 200-trial "
+                         "attack-matrix workload and record the scaling "
+                         "curve")
+    ap.add_argument("--montecarlo-check", action="store_true",
+                    help="also run bench_montecarlo --quick at --jobs 1 "
+                         "and 8 and fail unless the quantile tables are "
+                         "byte-identical")
     ap.add_argument("--fastpath-check", action="store_true",
                     help="also run the serial attack-matrix workload with "
                          "and without --no-fastpath and fail unless the "
@@ -135,25 +155,53 @@ def main():
     if args.speedup:
         binary = os.path.join(bench_dir, "bench_attack_matrix")
         workload = ["--trials", "10"]  # 10 trials x 20 cells = 200 runs
-        serial, serial_out = run_bench(binary, workload + ["--jobs", "1"])
-        jobs = args.jobs if args.jobs else 0
-        par_args = workload + (["--jobs", str(jobs)] if jobs else [])
-        parallel, par_out = run_bench(binary, par_args)
-        if strip_bench_lines(serial_out) != strip_bench_lines(par_out):
-            sys.exit("error: attack-matrix output differs between "
-                     "--jobs 1 and parallel run — determinism violation")
-        ratio = serial["wall_ms"] / parallel["wall_ms"]
+        curve = []
+        serial_wall = None
+        serial_stripped = None
+        for jobs in SWEEP_JOBS:
+            result, out = run_bench(binary, workload + ["--jobs", str(jobs)])
+            stripped = strip_bench_lines(out)
+            if serial_stripped is None:
+                serial_wall = result["wall_ms"]
+                serial_stripped = stripped
+            elif stripped != serial_stripped:
+                sys.exit(f"error: attack-matrix output at --jobs {jobs} "
+                         f"differs from --jobs 1 — determinism violation")
+            curve.append({
+                "jobs": jobs,
+                "wall_ms": result["wall_ms"],
+                "speedup": serial_wall / result["wall_ms"],
+            })
+            print(f"[run_bench] speedup: jobs={jobs} "
+                  f"wall={result['wall_ms']:.0f} ms "
+                  f"({curve[-1]['speedup']:.2f}x vs jobs=1, "
+                  f"identical output)")
+        # Legacy-scheduler baseline at jobs=1: attributes the serial-path
+        # win (chunked dispatch + warm arenas) separately from threading.
+        legacy, legacy_out = run_bench(
+            binary, workload + ["--jobs", "1", "--legacy-runner"])
+        if strip_bench_lines(legacy_out) != serial_stripped:
+            sys.exit("error: attack-matrix output differs between the "
+                     "chunked and legacy runners — scheduler changed a "
+                     "simulated result")
+        best = min(curve, key=lambda p: p["wall_ms"])
         report["speedup"] = {
             "workload": "attack_matrix --trials 10 (200 experiments)",
-            "jobs": parallel["jobs"],
-            "serial_wall_ms": serial["wall_ms"],
-            "parallel_wall_ms": parallel["wall_ms"],
-            "speedup": ratio,
+            "host_cpus": os.cpu_count(),
+            "curve": curve,
+            "legacy_runner_jobs1_wall_ms": legacy["wall_ms"],
+            "serial_vs_legacy_speedup": legacy["wall_ms"] / serial_wall,
+            "jobs": best["jobs"],
+            "serial_wall_ms": serial_wall,
+            "parallel_wall_ms": best["wall_ms"],
+            "speedup": best["speedup"],
             "output_identical": True,
         }
-        print(f"[run_bench] speedup: {serial['wall_ms']:.0f} ms @ jobs=1 -> "
-              f"{parallel['wall_ms']:.0f} ms @ jobs={parallel['jobs']} "
-              f"({ratio:.2f}x, identical output)")
+        print(f"[run_bench] speedup: best {best['speedup']:.2f}x at "
+              f"jobs={best['jobs']} on {os.cpu_count()} host CPUs; "
+              f"legacy-runner serial baseline "
+              f"{legacy['wall_ms']:.0f} ms "
+              f"({legacy['wall_ms'] / serial_wall:.2f}x vs chunked serial)")
 
     if args.fastpath_check:
         binary = os.path.join(bench_dir, "bench_attack_matrix")
@@ -184,6 +232,35 @@ def main():
         print(f"[run_bench] fastpath: {naive['wall_ms']:.0f} ms naive -> "
               f"{fast['wall_ms']:.0f} ms fast path "
               f"({ratio:.2f}x, identical output)")
+
+    if args.montecarlo_check:
+        binary = os.path.join(bench_dir, "bench_montecarlo")
+        workload = ["--quick"]
+
+        def deterministic_part(result):
+            # Everything except the host-timing keys (and "jobs", which
+            # names the worker count and differs by construction).
+            return {k: v for k, v in result.items()
+                    if k not in ("jobs", "wall_ms", "events_per_sec")}
+
+        one, one_out = run_bench(binary, workload + ["--jobs", "1"])
+        eight, eight_out = run_bench(binary, workload + ["--jobs", "8"])
+        if strip_bench_lines(one_out) != strip_bench_lines(eight_out):
+            sys.exit("error: bench_montecarlo stdout differs between "
+                     "--jobs 1 and --jobs 8 — streaming-quantile merge "
+                     "is not worker-count stable")
+        if deterministic_part(one) != deterministic_part(eight):
+            sys.exit("error: bench_montecarlo JSON differs between "
+                     "--jobs 1 and --jobs 8 — streaming-quantile merge "
+                     "is not worker-count stable")
+        report["montecarlo_check"] = {
+            "workload": "bench_montecarlo --quick",
+            "trials": one["trials"],
+            "jobs_compared": [1, 8],
+            "output_identical": True,
+        }
+        print(f"[run_bench] montecarlo-check: {one['trials']} trials, "
+              f"jobs 1 vs 8 identical (tables + JSON)")
 
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
