@@ -4,12 +4,33 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
 #include "scenario/trial_runner.hpp"
 #include "sim/fastpath.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace tmg::bench {
+
+namespace {
+
+/// Strict counterpart of the --jobs parsing: a malformed --trials value
+/// must not silently run the bench default (strtoul would turn
+/// '--trials abc' into 0 and '--trials 10x' into 10).
+std::size_t parse_trials_or_die(const char* value) {
+  const std::optional<std::size_t> parsed =
+      scenario::parse_jobs_value(value);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "error: invalid --trials value '%s' (expected a "
+                 "non-negative integer; 0 = bench default)\n",
+                 value);
+    std::exit(2);
+  }
+  return *parsed;
+}
+
+}  // namespace
 
 HarnessOptions parse_harness_args(int argc, char** argv) {
   HarnessOptions opts;
@@ -24,11 +45,9 @@ HarnessOptions parse_harness_args(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--legacy-runner") == 0) {
       opts.legacy_runner = true;
     } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-      opts.trials =
-          static_cast<std::size_t>(std::strtoul(argv[i + 1], nullptr, 10));
+      opts.trials = parse_trials_or_die(argv[i + 1]);
     } else if (std::strncmp(argv[i], "--trials=", 9) == 0) {
-      opts.trials =
-          static_cast<std::size_t>(std::strtoul(argv[i] + 9, nullptr, 10));
+      opts.trials = parse_trials_or_die(argv[i] + 9);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       opts.json_path = argv[i + 1];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {

@@ -34,6 +34,8 @@ std::size_t TrialRunner::worker_slot() {
   return sim::ThreadPool::worker_index();
 }
 
+void TrialRunner::reset_trial_thread_state() { net::reset_trace_ids(); }
+
 std::size_t TrialRunner::chunk_size(std::size_t trials) {
   return (trials + kMaxChunks - 1) / kMaxChunks;
 }
@@ -57,7 +59,7 @@ struct TrialIndexedError {
 /// not show through in the trial's packet trace ids.
 void run_one_trial(const std::function<void(std::size_t)>& fn,
                    std::size_t index) {
-  net::reset_trace_ids();
+  TrialRunner::reset_trial_thread_state();
   fn(index);
 }
 

@@ -40,9 +40,13 @@ struct TrialRunnerOptions {
   std::size_t jobs = 0;
   /// Run the pre-chunking scheduler: one pool task per trial and a
   /// per-trial exception vector. Kept as an A/B baseline for
-  /// tools/run_bench.py --speedup (--legacy-runner on the benches);
-  /// results are identical either way, only the scheduling overhead
-  /// differs.
+  /// tools/run_bench.py --speedup (--legacy-runner on the benches).
+  /// map/run_indexed results are identical either way, only the
+  /// scheduling overhead differs. reduce() under legacy holds one
+  /// partial per *trial* (merged in trial order — still deterministic
+  /// at any jobs value, but O(trials) accumulators, and partial
+  /// boundaries differ from the chunked runner, so order-sensitive
+  /// accumulators may round differently).
   bool legacy = false;
 };
 
@@ -64,6 +68,12 @@ class TrialRunner {
   /// index per-worker TrialArenas with this.
   static std::size_t worker_slot();
 
+  /// Reset the per-thread state the determinism contract (§7 rule 1)
+  /// requires fresh at trial entry — currently the packet trace-id
+  /// counter. run_indexed/map and reduce() both apply it before every
+  /// trial; exposed for custom drivers built directly on run_indexed.
+  static void reset_trial_thread_state();
+
   /// Run `trials` independent trials of `fn` and return the results in
   /// trial-index order. `fn` must be callable concurrently from multiple
   /// threads and must not share mutable state across invocations.
@@ -80,7 +90,9 @@ class TrialRunner {
   /// per-chunk accumulator, then merge the chunk accumulators on the
   /// caller's thread in chunk-index order. Memory is O(chunks), never
   /// O(trials) — a 10^6-trial sweep holds at most kMaxChunks partial
-  /// aggregates and zero per-trial results.
+  /// aggregates and zero per-trial results. (Exception: the legacy
+  /// baseline's chunks are single trials, so it keeps one partial per
+  /// trial — see TrialRunnerOptions::legacy.)
   ///
   ///   make():            -> Acc        fresh accumulator (per chunk,
   ///                                    plus one for the merged total)
@@ -95,12 +107,18 @@ class TrialRunner {
   auto reduce(std::size_t trials, MakeFn&& make, FoldFn&& fold,
               MergeFn&& merge) const -> decltype(make()) {
     using Acc = decltype(make());
-    const std::size_t n_chunks = chunk_count(trials);
+    // Size the partials to the geometry the scheduler actually emits:
+    // the legacy baseline schedules one single-trial chunk per trial
+    // (chunk index == trial index), not the <= kMaxChunks static grid.
+    const std::size_t n_chunks = legacy_ ? trials : chunk_count(trials);
     std::vector<std::optional<Acc>> partials(n_chunks);
     run_chunks(trials,
                [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                  Acc acc = make();
-                 for (std::size_t i = begin; i < end; ++i) fold(acc, i);
+                 for (std::size_t i = begin; i < end; ++i) {
+                   reset_trial_thread_state();
+                   fold(acc, i);
+                 }
                  partials[chunk] = std::move(acc);
                });
     Acc total = make();
@@ -129,8 +147,9 @@ class TrialRunner {
  private:
   /// Chunked scheduler shared by run_indexed and reduce: invoke
   /// `chunk_fn(chunk, begin, end)` for every chunk, possibly
-  /// concurrently. Per-trial trace-id isolation is the chunk_fn's job
-  /// (run_indexed handles it; reduce goes through run_indexed's wrapper).
+  /// concurrently. Per-trial trace-id isolation is the chunk_fn's job —
+  /// both run_indexed and reduce() call reset_trial_thread_state()
+  /// before every trial inside their chunk lambdas.
   void run_chunks(
       std::size_t trials,
       const std::function<void(std::size_t, std::size_t, std::size_t)>&

@@ -72,16 +72,28 @@ void StreamingQuantile::p2_add(double x) {
     if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
         (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
       const double sign = d >= 0.0 ? 1.0 : -1.0;
-      // Piecewise-parabolic prediction of the marker's new height.
+      // Piecewise-parabolic prediction of the marker's new height. The
+      // adjust condition above only guarantees the position gap on the
+      // movement side exceeds 1, so a coincident neighbor on the other
+      // side would divide by zero and poison the marker with inf/NaN.
+      // Guard both gaps; on a degenerate gap (or a non-finite / out-of-
+      // bracket parabola) fall back to the linear step, whose divisor
+      // is the movement-side gap and therefore > 1.
       const double np = pos_[i + 1], nm = pos_[i - 1], ni = pos_[i];
       const double hp = height_[i + 1], hm = height_[i - 1],
                    hi = height_[i];
-      double cand = hi + sign / (np - nm) *
-                             ((ni - nm + sign) * (hp - hi) / (np - ni) +
-                              (np - ni - sign) * (hi - hm) / (ni - nm));
-      if (cand <= hm || cand >= hp) {
-        // Parabola escaped the bracket: linear step toward the
-        // neighbor in the movement direction.
+      bool parabola_ok = false;
+      double cand = 0.0;
+      if (np - ni > 0.0 && ni - nm > 0.0) {
+        cand = hi + sign / (np - nm) *
+                        ((ni - nm + sign) * (hp - hi) / (np - ni) +
+                         (np - ni - sign) * (hi - hm) / (ni - nm));
+        // NaN fails both comparisons, so it can never sneak through as
+        // an "in-bracket" candidate.
+        parabola_ok = std::isfinite(cand) && cand > hm && cand < hp;
+      }
+      if (!parabola_ok) {
+        // Linear step toward the neighbor in the movement direction.
         const std::size_t j = sign > 0.0 ? i + 1 : i - 1;
         cand = hi + sign * (height_[j] - hi) / (pos_[j] - ni);
       }
