@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
 
   std::printf("After %s of warm-up, link discovery found:\n",
               to_string(tb.loop().now()).c_str());
-  for (const auto& link : tb.controller().topology().links()) {
+  for (const auto& link : tb.controller().topology().links_view()) {
     std::printf("  link %s\n", link.to_string().c_str());
   }
 
@@ -64,8 +64,8 @@ int main(int argc, char** argv) {
   tb.run_for(500_ms);
 
   std::printf("\nHost Tracking Service bindings:\n");
-  for (const auto& [mac, rec] : tb.controller().host_tracker().hosts()) {
-    std::printf("  %s / %-10s at %s\n", mac.to_string().c_str(),
+  for (const auto& rec : tb.controller().host_tracker().hosts_sorted()) {
+    std::printf("  %s / %-10s at %s\n", rec.mac.to_string().c_str(),
                 rec.ip.to_string().c_str(), rec.loc.to_string().c_str());
   }
 

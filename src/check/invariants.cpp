@@ -103,27 +103,28 @@ void InvariantChecker::check_discovery_coherence(
 void InvariantChecker::check_hosts(std::vector<std::string>& out) {
   const sim::SimTime now = ctrl_.loop().now();
   std::vector<std::pair<std::string, of::Location>> found;
-  // hash-order iteration is fine here: findings are sorted below
-  for (const auto& [mac, rec] : ctrl_.host_tracker().hosts()) {
-    if (rec.mac != mac) {
-      found.emplace_back("host record keyed by " + mac.to_string() +
-                             " claims MAC " + rec.mac.to_string(),
-                         rec.loc);
-    }
+  // hosts_sorted() is already MAC-ordered, so findings come out sorted
+  // without depending on the sharded table's physical layout.
+  for (const auto& rec : ctrl_.host_tracker().hosts_sorted()) {
     if (rec.first_seen > rec.last_seen) {
-      found.emplace_back("host " + mac.to_string() + " first_seen " +
+      found.emplace_back("host " + rec.mac.to_string() + " first_seen " +
                              sim::to_string(rec.first_seen) +
                              " after last_seen " +
                              sim::to_string(rec.last_seen),
                          rec.loc);
     }
     if (rec.last_seen > now) {
-      found.emplace_back("host " + mac.to_string() + " last_seen " +
+      found.emplace_back("host " + rec.mac.to_string() + " last_seen " +
                              sim::to_string(rec.last_seen) +
                              " is in the future (now " + sim::to_string(now) +
                              ")",
                          rec.loc);
     }
+  }
+  // Structural audit of the sharded open-addressed store itself (probe
+  // reachability, shard assignment, load bounds).
+  for (const std::string& what : ctrl_.host_tracker().audit_table()) {
+    found.emplace_back("host table: " + what, of::Location{});
   }
   std::sort(found.begin(), found.end());
   for (auto& [what, loc] : found) report(out, std::move(what), loc);

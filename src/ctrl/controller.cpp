@@ -7,6 +7,7 @@
 #include "ctrl/link_discovery.hpp"
 #include "ctrl/routing.hpp"
 #include "obs/observability.hpp"
+#include "stats/flow_stats.hpp"
 
 namespace tmg::ctrl {
 
@@ -307,6 +308,15 @@ void Controller::set_observability(obs::Observability* obs) {
   obs_->add_collector([this](obs::MetricsRegistry& m, sim::SimTime) {
     m.gauge("ctrl.alerts_total").set(static_cast<double>(alerts_.count()));
     m.gauge("ctrl.switches").set(static_cast<double>(switches_.size()));
+    m.gauge("ctrl.hosts_tracked")
+        .set(static_cast<double>(host_tracker().host_count()));
+    const auto& flow = obs_->flow_stats();
+    m.gauge("flow.packets").set(static_cast<double>(flow.total().packets));
+    m.gauge("flow.bytes").set(static_cast<double>(flow.total().bytes));
+    m.gauge("flow.mean_packet_bytes").set(flow.total().size.mean);
+    m.gauge("flow.switch_cells")
+        .set(static_cast<double>(flow.switch_cells()));
+    m.gauge("flow.port_cells").set(static_cast<double>(flow.port_cells()));
     const auto acc = links_->lldp_accounting();
     m.gauge("lldp.emitted").set(static_cast<double>(acc.emitted));
     m.gauge("lldp.matched").set(static_cast<double>(acc.matched));
@@ -426,6 +436,15 @@ void Controller::dispatch(of::Dpid dpid, const of::SwitchToCtrl& msg) {
     Controller& c;
     of::Dpid dpid;
     void operator()(const of::PacketIn& pi) {
+      // Streaming traffic stats ride the same null-obs guard as every
+      // other observability hook: unobserved runs skip the accounting
+      // entirely (fastpath equivalence holds because FlowStats feeds no
+      // control decision).
+      if (c.obs_ != nullptr) {
+        c.obs_->flow_stats().record(
+            pi.dpid, stats::FlowStats::port_key(pi.dpid, pi.in_port),
+            pi.packet.wire_size());
+      }
       c.pipeline_.dispatch(PipelineMessage::from(pi));
     }
     void operator()(const of::PortStatus& ps) {

@@ -1,0 +1,104 @@
+// Sharded open-addressed host-record store (DESIGN.md §12).
+//
+// The Host Tracking Service is the controller's hottest per-packet
+// state: every non-LLDP Packet-In probes it, and fleet-scale workloads
+// (millions of learned hosts, background ARP churn) made the original
+// single unordered_map the bottleneck — per-learn node allocation plus
+// full-table rehash pauses on the Packet-In path.
+//
+// Layout: 16 shards selected by a mixed MAC hash; each shard is a
+// power-of-two open-addressed array with linear probing. Host records
+// are never erased (bindings are only created or rewritten — exactly
+// the property Host Location Hijacking abuses), so there are no
+// tombstones and probes stop at the first empty slot. A learn in
+// steady state touches one cache-resident probe run and allocates
+// nothing; the only allocation is the amortized shard doubling.
+//
+// Iteration order over shards/slots is hash order and must never reach
+// output: callers that export records use sorted() (by MAC), and
+// find_by_ip-style scans must be order-free reductions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4_address.hpp"
+#include "net/mac_address.hpp"
+#include "of/messages.hpp"
+#include "sim/time.hpp"
+
+namespace tmg::ctrl {
+
+struct HostRecord {
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+  of::Location loc;
+  sim::SimTime first_seen;
+  sim::SimTime last_seen;
+};
+
+class HostTable {
+ public:
+  HostTable();
+
+  /// Mutable record for `mac`, or nullptr if never learned.
+  [[nodiscard]] HostRecord* find(net::MacAddress mac);
+  [[nodiscard]] const HostRecord* find(net::MacAddress mac) const;
+
+  /// Insert a record for `rec.mac` (which must not be present).
+  /// Returns the stored record. Pointers are invalidated by the next
+  /// insert (shard growth may move records).
+  HostRecord& insert(const HostRecord& rec);
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Deterministic snapshot: all records sorted by MAC. O(n log n);
+  /// for exports and logs, not the packet path.
+  [[nodiscard]] std::vector<HostRecord> sorted() const;
+
+  /// Visit every record in shard/slot (hash) order. The order is NOT
+  /// deterministic across table histories — callers must only fold
+  /// order-free reductions (max/min/count) out of it, never output.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      for (std::size_t i = 0; i < shard.slots.size(); ++i) {
+        if (shard.used[i] != 0) fn(shard.slots[i]);
+      }
+    }
+  }
+
+  /// Self-consistency audit: shard assignment, probe reachability of
+  /// every occupied slot, size bookkeeping, and load-factor bounds.
+  /// Returns sorted violation strings (empty when healthy).
+  [[nodiscard]] std::vector<std::string> audit() const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  static constexpr std::size_t kInitialSlots = 64;  // per shard
+
+  struct Shard {
+    std::vector<HostRecord> slots;
+    std::vector<std::uint8_t> used;
+    std::size_t count = 0;
+  };
+
+  /// SplitMix64 finalizer over the 48-bit MAC: the raw value is nearly
+  /// sequential for generated fleets, which would cluster probes.
+  [[nodiscard]] static std::uint64_t mix(net::MacAddress mac);
+  [[nodiscard]] static std::size_t shard_of(std::uint64_t h) {
+    return static_cast<std::size_t>(h >> 60) & (kShards - 1);
+  }
+
+  static void grow(Shard& shard);
+  [[nodiscard]] static HostRecord* probe(Shard& shard, net::MacAddress mac,
+                                         std::uint64_t h, bool& found);
+
+  std::vector<Shard> shards_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tmg::ctrl

@@ -46,8 +46,8 @@ void HostTrackingService::handle_packet_in(const of::PacketIn& pi) {
   const sim::SimTime now = ctrl_.loop().now();
   const net::Ipv4Address src_ip = source_ip_of(pkt);
 
-  auto it = hosts_.find(pkt.src_mac);
-  if (it == hosts_.end()) {
+  HostRecord* existing = hosts_.find(pkt.src_mac);
+  if (existing == nullptr) {
     HostEvent ev;
     ev.kind = HostEvent::Kind::New;
     ev.mac = pkt.src_mac;
@@ -59,15 +59,14 @@ void HostTrackingService::handle_packet_in(const of::PacketIn& pi) {
                         pkt.src_mac.to_string(), loc);
       return;
     }
-    hosts_.emplace(pkt.src_mac,
-                   HostRecord{pkt.src_mac, src_ip, loc, now, now});
+    hosts_.insert(HostRecord{pkt.src_mac, src_ip, loc, now, now});
     ctrl_.trace_event(trace::EventKind::HostNew,
                       pkt.src_mac.to_string() + " / " + src_ip.to_string(),
                       loc);
     return;
   }
 
-  HostRecord& rec = it->second;
+  HostRecord& rec = *existing;
   if (rec.loc == loc) {
     rec.last_seen = now;
     if (src_ip != net::Ipv4Address::any()) rec.ip = src_ip;
@@ -102,27 +101,26 @@ void HostTrackingService::handle_packet_in(const of::PacketIn& pi) {
 
 std::optional<HostRecord> HostTrackingService::find(
     net::MacAddress mac) const {
-  const auto it = hosts_.find(mac);
-  if (it == hosts_.end()) return std::nullopt;
-  return it->second;
+  const HostRecord* rec = hosts_.find(mac);
+  if (rec == nullptr) return std::nullopt;
+  return *rec;
 }
 
 std::optional<HostRecord> HostTrackingService::find_by_ip(
     net::Ipv4Address ip) const {
   // Several records can claim one IP mid-attack (ARP spoofing, HLH).
   // Resolve to the freshest binding, tie-broken by MAC, so the answer
-  // never depends on hash-map iteration order.
-  const HostRecord* best = nullptr;
-  // determinism-lint: allow(unordered-iter) selection below is order-free
-  for (const auto& [_, rec] : hosts_) {
-    if (rec.ip != ip) continue;
+  // never depends on the table's physical (hash) order — the fold below
+  // is an order-free maximum.
+  std::optional<HostRecord> best;
+  hosts_.for_each([&](const HostRecord& rec) {
+    if (rec.ip != ip) return;
     if (!best || rec.last_seen > best->last_seen ||
         (rec.last_seen == best->last_seen && rec.mac < best->mac)) {
-      best = &rec;
+      best = rec;
     }
-  }
-  if (!best) return std::nullopt;
-  return *best;
+  });
+  return best;
 }
 
 }  // namespace tmg::ctrl

@@ -4,11 +4,16 @@
 // exactly the mechanism Host Location Hijacking corrupts (paper Sec.
 // III-A.2): whoever originates traffic with the victim's identifiers
 // first, from anywhere, owns the binding.
+//
+// Bindings live in a sharded open-addressed HostTable (host_table.hpp)
+// sized for fleet-scale populations: a steady-state learn allocates
+// nothing, and enumeration is only exposed as a MAC-sorted snapshot.
 #pragma once
 
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
+#include "ctrl/host_table.hpp"
 #include "ctrl/message_pipeline.hpp"
 #include "net/ipv4_address.hpp"
 #include "net/mac_address.hpp"
@@ -19,14 +24,6 @@ namespace tmg::ctrl {
 
 class Controller;
 class RoutingService;
-
-struct HostRecord {
-  net::MacAddress mac;
-  net::Ipv4Address ip;
-  of::Location loc;
-  sim::SimTime first_seen;
-  sim::SimTime last_seen;
-};
 
 class HostTrackingService final : public MessageListener {
  public:
@@ -45,9 +42,18 @@ class HostTrackingService final : public MessageListener {
   [[nodiscard]] std::optional<HostRecord> find(net::MacAddress mac) const;
   [[nodiscard]] std::optional<HostRecord> find_by_ip(
       net::Ipv4Address ip) const;
-  [[nodiscard]] const std::unordered_map<net::MacAddress, HostRecord>& hosts()
-      const {
-    return hosts_;
+
+  /// Deterministic snapshot of every binding, sorted by MAC. This is
+  /// the only way to enumerate the table: the backing store's physical
+  /// order is hash order and must never leak into logs or output.
+  [[nodiscard]] std::vector<HostRecord> hosts_sorted() const {
+    return hosts_.sorted();
+  }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Structural audit of the sharded table (for the invariant checker).
+  [[nodiscard]] std::vector<std::string> audit_table() const {
+    return hosts_.audit();
   }
 
   /// Number of accepted migrations since start (for experiment logs).
@@ -63,7 +69,7 @@ class HostTrackingService final : public MessageListener {
 
   Controller& ctrl_;
   RoutingService* routing_ = nullptr;  // lazily cached registry lookup
-  std::unordered_map<net::MacAddress, HostRecord> hosts_;
+  HostTable hosts_;
   std::uint64_t migrations_ = 0;
   std::uint64_t blocked_ = 0;
 };

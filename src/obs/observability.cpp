@@ -54,6 +54,7 @@ void Observability::reset() {
   collectors_.clear();
   metrics_.reset();
   trace_.clear();
+  flow_stats_.reset();
 }
 
 bool write_text_file(const std::string& path, const std::string& content) {

@@ -17,6 +17,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_log.hpp"
 #include "sim/event_loop.hpp"
+#include "stats/flow_stats.hpp"
 
 namespace tmg::obs {
 
@@ -40,6 +41,16 @@ class Observability {
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] TraceLog& trace() { return trace_; }
   [[nodiscard]] const TraceLog& trace() const { return trace_; }
+
+  /// Streaming per-port/per-switch traffic statistics, fed by the
+  /// controller's Packet-In dispatch when observability is attached
+  /// (null obs pointer = nothing recorded, preserving the zero-cost
+  /// guard). Detail export via stats::FlowStats::to_json; summary
+  /// gauges are mirrored into the registry by a controller collector.
+  [[nodiscard]] stats::FlowStats& flow_stats() { return flow_stats_; }
+  [[nodiscard]] const stats::FlowStats& flow_stats() const {
+    return flow_stats_;
+  }
   [[nodiscard]] bool trace_dispatch() const { return config_.trace_dispatch; }
 
   /// Export-time metric mirroring: collectors run right before a
@@ -90,6 +101,7 @@ class Observability {
   ObsConfig config_;
   MetricsRegistry metrics_;
   TraceLog trace_;
+  stats::FlowStats flow_stats_;
   LoopObserver loop_observer_;
   std::vector<Collector> collectors_;
   sim::SimTime final_time_;

@@ -1,0 +1,427 @@
+#include "scenario/fleet.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "attack/link_fabrication.hpp"
+#include "attack/port_amnesia.hpp"
+#include "attack/port_probing.hpp"
+#include "check/assert.hpp"
+#include "ctrl/host_tracker.hpp"
+#include "obs/observability.hpp"
+
+namespace tmg::scenario {
+
+using sim::Duration;
+using sim::SimTime;
+
+FleetTestbed make_fleet_testbed(const FleetTestbedConfig& config) {
+  FleetTestbed f;
+  f.topo = topo::generate(config.topology);
+  f.tb = std::make_unique<Testbed>(config.options);
+  Testbed& tb = *f.tb;
+
+  for (const auto& tier : f.topo.tiers) {
+    for (topo::Dpid dpid : tier) tb.add_switch(dpid);
+  }
+  // links_view() is canonical-sorted, so the wiring order (and with it
+  // every latency-model draw) is a pure function of the topology.
+  for (const topo::Link& l : f.topo.graph.links_view()) {
+    tb.connect_switches(l.a.dpid, l.a.port, l.b.dpid, l.b.port);
+  }
+
+  const std::size_t n_attach = f.topo.hosts.size();
+  const std::size_t n_hosts =
+      config.max_hosts == 0 ? n_attach : std::min(config.max_hosts, n_attach);
+  TMG_ASSERT(n_hosts >= 4, "fleet: need at least 4 hosts for the role slots");
+  TMG_ASSERT(config.spare_access_links >= 1,
+             "fleet: need a spare access link for migration");
+
+  f.population.reserve(n_hosts);
+  f.population_links.reserve(n_hosts);
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    const topo::HostAttachment& att = f.topo.hosts[i];
+    of::DataLink& link = tb.add_access_link(att.dpid, att.port);
+    attack::HostConfig hc;
+    hc.mac = topo::fleet_mac(static_cast<std::uint32_t>(i));
+    hc.ip = topo::fleet_ip(static_cast<std::uint32_t>(i));
+    hc.auth_token = FleetTestbed::token_of(i);
+    f.population.push_back(&tb.add_host_on(link, hc));
+    f.population_links.push_back(&link);
+  }
+  // Spare (vacant) access links go on fresh ports *above* the
+  // generator's per-switch budget — host ports are the generator's
+  // highest, so max attachment port + 1 onward is free — round-robin
+  // over the edge switches in first-attachment order. This keeps every
+  // generated attachment available for a tracked host (a k=16 fat-tree
+  // really does track all 1,024).
+  std::vector<std::pair<topo::Dpid, of::PortNo>> edge_top;  // dpid, max port
+  for (const topo::HostAttachment& att : f.topo.hosts) {
+    bool found = false;
+    for (auto& e : edge_top) {
+      if (e.first == att.dpid) {
+        e.second = std::max(e.second, att.port);
+        found = true;
+        break;
+      }
+    }
+    if (!found) edge_top.emplace_back(att.dpid, att.port);
+  }
+  for (std::size_t i = 0; i < config.spare_access_links; ++i) {
+    auto& e = edge_top[i % edge_top.size()];
+    f.spare_links.push_back(&tb.add_access_link(e.first, ++e.second));
+  }
+
+  const auto loc_of = [&](std::size_t i) {
+    return of::Location{f.topo.hosts[i].dpid, f.topo.hosts[i].port};
+  };
+  f.victim = f.population[0];
+  f.peer = f.population[1];
+  f.attacker = f.population[n_hosts / 2];
+  f.attacker_b = f.population[n_hosts - 1];
+  f.victim_loc = loc_of(0);
+  f.peer_loc = loc_of(1);
+  f.attacker_loc = loc_of(n_hosts / 2);
+  f.attacker_b_loc = loc_of(n_hosts - 1);
+  TMG_ASSERT(f.victim_loc.dpid != f.attacker_loc.dpid &&
+                 f.attacker_loc.dpid != f.attacker_b_loc.dpid,
+             "fleet: role hosts must land on distinct edge switches "
+             "(topology too small for max_hosts)");
+  f.migration_target = f.spare_links[0];
+  f.oob = &tb.add_oob_channel();  // 10 ms wireless hop for colluders
+  return f;
+}
+
+defense::SecureBindingConfig fleet_enrollment(const FleetTestbed& f) {
+  defense::SecureBindingConfig enrollment;
+  for (std::size_t i = 0; i < f.population.size(); ++i) {
+    const attack::Host* h = f.population[i];
+    enrollment.registry[FleetTestbed::token_of(i)] = defense::Enrollment{
+        "host-" + std::to_string(i), h->mac(), h->ip()};
+  }
+  return enrollment;
+}
+
+void fleet_warm_hosts(FleetTestbed& f, Duration stagger) {
+  sim::EventLoop& loop = f.tb->loop();
+  // The victim announces first (one broadcast flood); everyone else then
+  // unicasts a join packet to its *predecessor*. Each join has a unique
+  // destination MAC, so no previously installed (dst-matched) flow rule
+  // can swallow the table miss — every host is guaranteed a Packet-In
+  // and therefore an HTS record, at ~20 events per host instead of a
+  // fleet-wide flood per host.
+  f.victim->send_arp_request(f.victim->ip());
+  f.tb->run_for(Duration::millis(50));
+  for (std::size_t i = 1; i < f.population.size(); ++i) {
+    attack::Host* h = f.population[i];
+    const attack::Host* prev = f.population[i - 1];
+    const net::MacAddress dst_mac = prev->mac();
+    const net::Ipv4Address dst_ip = prev->ip();
+    loop.post_after(stagger * static_cast<std::int64_t>(i - 1),
+                    [h, dst_mac, dst_ip] {
+                      h->send_raw(dst_mac, dst_ip, "join", 64);
+                    });
+  }
+  f.tb->run_for(stagger * static_cast<std::int64_t>(f.population.size()) +
+                Duration::millis(100));
+}
+
+void fleet_attach_background(FleetTestbed& f, BackgroundTraffic& bg) {
+  for (std::size_t i = 0; i < f.population.size(); ++i) {
+    attack::Host* h = f.population[i];
+    const bool role = h == f.victim || h == f.peer || h == f.attacker ||
+                      h == f.attacker_b;
+    bg.add_endpoint(*h, role ? nullptr : f.population_links[i]);
+  }
+  // spare_links[0] stays reserved as the victim's migration target.
+  for (std::size_t i = 1; i < f.spare_links.size(); ++i) {
+    bg.add_spare_link(*f.spare_links[i]);
+  }
+}
+
+namespace {
+
+/// Passive observer that confirms the hijack the moment the HTS re-binds
+/// the victim's MAC to the attacker's location (fleet twin of the
+/// paper-testbed observer in experiments.cpp).
+class FleetHijackObserver final : public ctrl::DefenseModule {
+ public:
+  FleetHijackObserver(net::MacAddress victim_mac, of::Location attacker_loc,
+                      std::function<void()> on_confirm)
+      : victim_mac_{victim_mac},
+        attacker_loc_{attacker_loc},
+        on_confirm_{std::move(on_confirm)} {}
+
+  [[nodiscard]] std::string name() const override { return "observer"; }
+
+  ctrl::Verdict on_host_event(const ctrl::HostEvent& ev) override {
+    if (ev.mac == victim_mac_ && ev.new_loc == attacker_loc_ && !confirmed_) {
+      confirmed_ = true;
+      if (on_confirm_) on_confirm_();
+    }
+    return ctrl::Verdict::Allow;
+  }
+
+ private:
+  net::MacAddress victim_mac_;
+  of::Location attacker_loc_;
+  std::function<void()> on_confirm_;
+  bool confirmed_ = false;
+};
+
+TestbedOptions fleet_options(DefenseSuite suite, std::uint64_t seed,
+                             bool check_invariants,
+                             const std::optional<ctrl::ControllerProfile>& prof,
+                             TrialArena* arena) {
+  TestbedOptions o = suite_options(suite, seed);
+  o.check_invariants = check_invariants;
+  if (prof) o.controller.profile = *prof;
+  if (arena != nullptr) o.loop = &arena->acquire();
+  return o;
+}
+
+}  // namespace
+
+FleetHijackOutcome run_fleet_hijack(const FleetHijackConfig& config) {
+  FleetTestbedConfig ftc;
+  ftc.topology = config.topology;
+  ftc.max_hosts = config.max_hosts;
+  ftc.spare_access_links = config.spare_access_links;
+  ftc.options = fleet_options(config.suite, config.seed,
+                              config.check_invariants, config.profile,
+                              config.arena);
+  FleetTestbed f = make_fleet_testbed(ftc);
+  ctrl::Controller& ctrl = f.tb->controller();
+  sim::EventLoop& loop = f.tb->loop();
+
+  const defense::SecureBindingConfig enrollment = fleet_enrollment(f);
+  const DefenseHandles handles = install_suite(ctrl, config.suite, &enrollment);
+  if (config.check_invariants) {
+    f.tb->enable_invariant_checker(handles.topoguard);
+  }
+  if (config.obs != nullptr) f.tb->set_observability(config.obs);
+
+  FleetHijackOutcome out;
+
+  attack::PortProbingConfig pc;
+  pc.victim_ip = f.victim->ip();
+  pc.probe_type = config.probe_type;
+  pc.probe_period = config.probe_period;
+  pc.probe_timeout = config.probe_timeout;
+  pc.confirm_failures = config.confirm_failures;
+  pc.nmap_overhead = config.nmap_overhead;
+  attack::PortProbingAttack attack{loop, f.tb->fork_rng(), *f.attacker, pc};
+  attack.set_observability(config.obs);
+
+  const net::MacAddress victim_mac = f.victim->mac();
+  const net::Ipv4Address victim_ip = f.victim->ip();
+  auto observer = std::make_unique<FleetHijackObserver>(
+      victim_mac, f.attacker_loc, [&]() {
+        // The event fires before the HTS commits (a defense may veto),
+        // so verify the actual binding one tick later.
+        loop.post_after(Duration::zero(), [&] {
+          const auto rec = ctrl.host_tracker().find(victim_mac);
+          if (rec && rec->loc == f.attacker_loc) {
+            attack.mark_hijack_confirmed(loop.now());
+            out.hijack_succeeded = true;
+          }
+        });
+      });
+  ctrl.add_defense(std::move(observer));
+
+  f.attacker->add_listener([&](const net::Packet& pkt) {
+    const auto* icmp = pkt.icmp();
+    if (icmp && icmp->type == net::IcmpPayload::Type::EchoRequest &&
+        pkt.ip && pkt.ip->dst == victim_ip && attack.identity_claimed()) {
+      out.traffic_redirected = true;
+    }
+  });
+
+  f.tb->start(Duration::seconds(2));
+  fleet_warm_hosts(f);
+
+  BackgroundTraffic bg{*f.tb, f.tb->fork_rng(), config.background};
+  fleet_attach_background(f, bg);
+  if (config.background_on) bg.start();
+
+  // The peer keeps a session toward the victim alive.
+  std::uint16_t seq = 0;
+  const std::function<void()> peer_ping = [&]() {
+    f.peer->send_ping(victim_mac, victim_ip, 0x2222, seq++);
+    loop.post_after(Duration::millis(200), [&peer_ping] { peer_ping(); });
+  };
+  loop.post_after(Duration::zero(), [&peer_ping] { peer_ping(); });
+
+  attack.start();
+  f.tb->run_for(config.settle_window);
+
+  // The victim begins a legitimate move at a random phase of the probe
+  // cycle (what Figs. 5-8 average over), now raced under fleet load.
+  sim::Rng phase_rng = f.tb->fork_rng();
+  const Duration phase = Duration::nanos(
+      phase_rng.uniform_int(0, config.probe_period.count_nanos()));
+  f.tb->run_for(phase);
+
+  const SimTime victim_down = loop.now();
+  if (config.obs != nullptr) {
+    config.obs->trace().instant(victim_down, "scenario", "victim.down");
+  }
+  migrate_host(*f.tb, *f.victim, *f.migration_target, config.victim_downtime);
+  loop.post_after(config.victim_downtime + Duration::millis(50),
+                  [&f, &config, &loop] {
+                    f.victim->send_arp_request(f.victim->ip());
+                    if (config.obs != nullptr) {
+                      config.obs->trace().instant(loop.now(), "scenario",
+                                                  "victim.rejoin");
+                    }
+                  });
+  f.tb->run_for(config.victim_downtime + Duration::seconds(3));
+  bg.stop();
+
+  const auto& tl = attack.timeline();
+  const auto rel = [&](const std::optional<SimTime>& t) {
+    return t ? std::optional<double>((*t - victim_down).to_millis_f())
+             : std::nullopt;
+  };
+  out.down_to_final_probe_start_ms = rel(tl.final_probe_start);
+  out.down_to_declared_down_ms = rel(tl.victim_declared_down);
+  out.down_to_iface_up_ms = rel(tl.interface_up_as_victim);
+  out.down_to_confirmed_ms = rel(tl.hijack_confirmed);
+
+  out.hosts_tracked = ctrl.host_tracker().host_count();
+  out.background = bg.stats();
+  out.alerts_total = ctrl.alerts().count();
+  if (check::InvariantChecker* checker = f.tb->invariant_checker()) {
+    checker->final_check();
+    out.invariant_sweeps = checker->checks_run();
+    out.invariant_violations = checker->violation_count();
+  }
+  out.events_executed = loop.events_executed();
+  if (config.collect_pipeline_stats) {
+    out.pipeline_stats = ctrl.pipeline().stats();
+  }
+  if (config.obs != nullptr) config.obs->finalize(loop.now());
+  return out;
+}
+
+FleetLinkAttackOutcome run_fleet_link_attack(
+    const FleetLinkAttackConfig& config) {
+  TMG_ASSERT(config.attack_window >= Duration::seconds(32),
+             "fleet link attack: window must cover two LLDP rounds");
+  FleetTestbedConfig ftc;
+  ftc.topology = config.topology;
+  ftc.max_hosts = config.max_hosts;
+  ftc.spare_access_links = config.spare_access_links;
+  ftc.options = fleet_options(config.suite, config.seed,
+                              config.check_invariants, config.profile,
+                              config.arena);
+  FleetTestbed f = make_fleet_testbed(ftc);
+  ctrl::Controller& ctrl = f.tb->controller();
+  sim::EventLoop& loop = f.tb->loop();
+
+  const defense::SecureBindingConfig enrollment = fleet_enrollment(f);
+  const DefenseHandles handles = install_suite(ctrl, config.suite, &enrollment);
+  if (config.check_invariants) {
+    f.tb->enable_invariant_checker(handles.topoguard);
+  }
+  if (config.obs != nullptr) f.tb->set_observability(config.obs);
+
+  FleetLinkAttackOutcome out;
+
+  // Poll the fabricated link while the sim runs.
+  const std::function<void()> poll = [&]() {
+    if (f.fabricated_link_present()) out.link_registered = true;
+    loop.post_after(Duration::millis(500), [&poll] { poll(); });
+  };
+
+  f.tb->start(Duration::seconds(2));
+  fleet_warm_hosts(f);
+  loop.post_after(Duration::zero(), [&poll] { poll(); });
+
+  BackgroundTraffic bg{*f.tb, f.tb->fork_rng(), config.background};
+  fleet_attach_background(f, bg);
+  if (config.background_on) bg.start();
+
+  // A long-lived benign session whose traffic the fabricated link could
+  // attract (the MITM observable).
+  const net::MacAddress victim_mac = f.victim->mac();
+  const net::Ipv4Address victim_ip = f.victim->ip();
+  const std::function<void()> ping_loop = [&]() {
+    f.peer->send_ping(victim_mac, victim_ip, 0x1111,
+                      static_cast<std::uint16_t>(loop.now().count_nanos()));
+    f.peer->send_raw(victim_mac, victim_ip, "bulk", 1400);
+    loop.post_after(Duration::millis(500), [&ping_loop] { ping_loop(); });
+  };
+  loop.post_after(Duration::zero(), [&ping_loop] { ping_loop(); });
+
+  f.tb->run_for(config.benign_window);
+  out.alerts_before_attack = ctrl.alerts().count();
+  if (config.obs != nullptr) {
+    config.obs->trace().instant(loop.now(), "scenario", "attack-start",
+                                to_string(config.kind));
+  }
+
+  std::unique_ptr<attack::ClassicLinkFabrication> classic;
+  std::unique_ptr<attack::PortAmnesiaAttack> amnesia;
+  switch (config.kind) {
+    case LinkAttackKind::ClassicRelay: {
+      attack::ClassicLinkFabrication::Config cc;
+      classic = std::make_unique<attack::ClassicLinkFabrication>(
+          loop, *f.attacker, *f.attacker_b, *f.oob, cc);
+      classic->start();
+      break;
+    }
+    case LinkAttackKind::OobAmnesia:
+    case LinkAttackKind::OobAmnesiaNaive:
+    case LinkAttackKind::InBandAmnesia: {
+      attack::PortAmnesiaAttack::Config ac;
+      ac.mode = config.kind == LinkAttackKind::InBandAmnesia
+                    ? attack::PortAmnesiaAttack::Mode::InBand
+                    : attack::PortAmnesiaAttack::Mode::OutOfBand;
+      ac.preposition_flap = config.kind == LinkAttackKind::OobAmnesia;
+      ac.blackhole_transit = config.blackhole;
+      ac.bridge_transit = !config.blackhole;
+      amnesia = std::make_unique<attack::PortAmnesiaAttack>(
+          loop, *f.attacker, *f.attacker_b,
+          ac.mode == attack::PortAmnesiaAttack::Mode::OutOfBand ? f.oob
+                                                                : nullptr,
+          ac);
+      amnesia->set_observability(config.obs);
+      amnesia->start();
+      break;
+    }
+  }
+
+  f.tb->run_for(config.attack_window);
+  bg.stop();
+
+  out.link_present_at_end = f.fabricated_link_present();
+  if (classic) {
+    out.lldp_relayed = classic->lldp_relayed();
+    out.transit_bridged = classic->transit_bridged();
+  }
+  if (amnesia) {
+    out.lldp_relayed = amnesia->lldp_relayed();
+    out.transit_bridged = amnesia->transit_bridged();
+    out.flaps = amnesia->flaps();
+  }
+  out.mitm_traffic = out.transit_bridged > 0;
+  out.hosts_tracked = ctrl.host_tracker().host_count();
+  out.background = bg.stats();
+  out.alerts_total = ctrl.alerts().count();
+  out.alerts_topoguard = ctrl.alerts().count_from("TopoGuard");
+  if (check::InvariantChecker* checker = f.tb->invariant_checker()) {
+    checker->final_check();
+    out.invariant_sweeps = checker->checks_run();
+    out.invariant_violations = checker->violation_count();
+  }
+  out.events_executed = loop.events_executed();
+  if (config.collect_pipeline_stats) {
+    out.pipeline_stats = ctrl.pipeline().stats();
+  }
+  if (config.obs != nullptr) config.obs->finalize(loop.now());
+  return out;
+}
+
+}  // namespace tmg::scenario

@@ -4,6 +4,15 @@
 // two (dpid, port) endpoints. This is exactly the state the paper's
 // link-fabrication attacks poison: a relayed LLDP packet manufactures an
 // edge here that has no physical counterpart.
+//
+// Fleet-scale layout (DESIGN.md §12): DPIDs are interned into a
+// contiguous index space on first sight, and adjacency lives in flat
+// per-index vectors instead of per-dpid hash buckets. BFS runs over the
+// interned indices with stamp-recycled scratch arrays, so a shortest
+// path on a 1k-switch fat-tree allocates nothing in steady state. The
+// traversal order (per-switch adjacency in insertion order, FIFO
+// frontier) is bit-identical to the original hash-bucket
+// implementation, so every paper-size result is unchanged.
 #pragma once
 
 #include <cstdint>
@@ -42,20 +51,45 @@ class TopologyGraph {
 
   /// Monotonically increasing mutation counter: bumped by every
   /// successful add_link / remove_link and by clear(). Any structure
-  /// memoizing a function of the link set (e.g. topo::PathCache) keys
-  /// its entries on this epoch, so a fabricated or removed link — the
-  /// very state the paper's attacks poison — invalidates every cached
-  /// answer by construction.
+  /// memoizing a function of the link set (e.g. topo::PathCache, the
+  /// links_view() cache) keys its entries on this epoch, so a
+  /// fabricated or removed link — the very state the paper's attacks
+  /// poison — invalidates every cached answer by construction.
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   [[nodiscard]] bool has_link(Location x, Location y) const;
 
   /// True if this (dpid, port) is an endpoint of any known link (i.e. a
   /// switch-internal port; host tracking ignores traffic from such ports).
+  /// O(log degree): binary search in the switch's sorted port-ref list.
   [[nodiscard]] bool is_switch_port(Location loc) const;
 
+  /// Sorted snapshot of every link (copy). Prefer links_view() on hot
+  /// paths — it returns the same sequence without the copy.
   [[nodiscard]] std::vector<Link> links() const;
-  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  /// Sorted link list as a const reference, rebuilt lazily and cached
+  /// per topology epoch: repeated calls between mutations are free.
+  /// The reference is invalidated by the next mutation or links_view()
+  /// call after a mutation.
+  [[nodiscard]] const std::vector<Link>& links_view() const;
+
+  [[nodiscard]] std::size_t link_count() const { return link_slots_.size(); }
+
+  /// Number of distinct switch DPIDs ever interned.
+  [[nodiscard]] std::size_t switch_count() const {
+    return index_to_dpid_.size();
+  }
+
+  /// Interned contiguous index for `dpid` (nullopt if never seen). The
+  /// index is stable for the graph's lifetime (clear() resets it) —
+  /// dense per-switch side tables in other modules key off it.
+  [[nodiscard]] std::optional<std::uint32_t> switch_index(Dpid dpid) const;
+
+  /// Inverse of switch_index: the dpid interned at `index`.
+  [[nodiscard]] Dpid switch_at(std::uint32_t index) const {
+    return index_to_dpid_[index];
+  }
 
   /// Shortest switch-to-switch path (BFS, unweighted). Each element is
   /// the link traversed, oriented from source toward destination: the
@@ -71,19 +105,54 @@ class TopologyGraph {
   void clear();
 
   /// Self-consistency audit: every stored link must appear in the
-  /// adjacency index oriented both ways (a->b and b->a), and every
-  /// adjacency traversal must correspond to a stored link. Returns a
+  /// adjacency index oriented both ways (a->b and b->a), every
+  /// adjacency traversal must correspond to a stored link, and the
+  /// per-port link refcounts must match the stored link set. Returns a
   /// deterministic, sorted list of violation descriptions (empty when
   /// healthy). Used by the runtime invariant checker.
   [[nodiscard]] std::vector<std::string> audit() const;
 
  private:
-  [[nodiscard]] static std::uint64_t key(const Link& l);
+  /// One (port, refcount) entry in a switch's sorted switch-port list.
+  /// Distinct links may share an endpoint port (a fabricated link can
+  /// claim a port a real link already uses), hence the refcount.
+  struct PortRef {
+    PortNo port = 0;
+    std::uint32_t refs = 0;
+  };
 
-  std::unordered_map<std::uint64_t, Link> links_;
-  // Adjacency: dpid -> oriented traversals out of that switch.
-  std::unordered_map<Dpid, std::vector<Traversal>> adj_;
+  [[nodiscard]] static std::uint64_t key(const Link& l);
+  std::uint32_t intern(Dpid dpid);
+  void add_port_ref(std::uint32_t index, PortNo port);
+  void drop_port_ref(std::uint32_t index, PortNo port);
+
+  // Dense link store: slots in insertion order, removal swap-pops.
+  std::vector<Link> link_slots_;
+  std::unordered_map<std::uint64_t, std::uint32_t> key_to_slot_;
+
+  // DPID interning: contiguous indices in first-seen order.
+  std::unordered_map<Dpid, std::uint32_t> dpid_to_index_;
+  std::vector<Dpid> index_to_dpid_;
+
+  // Flat adjacency: index -> oriented traversals out of that switch, in
+  // link-insertion order (the order BFS ties break on).
+  std::vector<std::vector<Traversal>> adj_;
+  // index -> sorted (port, refcount) list backing is_switch_port().
+  std::vector<std::vector<PortRef>> switch_ports_;
+
   std::uint64_t epoch_ = 0;
+
+  // links_view() cache, keyed on epoch_ (~0 = never built).
+  mutable std::vector<Link> links_view_;
+  mutable std::uint64_t links_view_epoch_ = ~std::uint64_t{0};
+
+  // BFS scratch, recycled across path() calls via a visit stamp: a slot
+  // is "seen this query" iff its stamp equals the current round. No
+  // allocation once the arrays have grown to the switch count.
+  mutable std::vector<std::uint64_t> bfs_stamp_;
+  mutable std::vector<Traversal> bfs_parent_;
+  mutable std::vector<std::uint32_t> bfs_queue_;
+  mutable std::uint64_t bfs_round_ = 0;
 };
 
 }  // namespace tmg::topo

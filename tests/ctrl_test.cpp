@@ -315,10 +315,10 @@ TEST(HostTracker, IgnoresSwitchInternalPorts) {
   net.h2->send_arp_request(net.h1->ip());
   net.tb.run_for(500_ms);
   // No host may ever be bound to the inter-switch ports.
-  for (const auto& [mac, rec] :
-       net.tb.controller().host_tracker().hosts()) {
-    EXPECT_NE(rec.loc, (of::Location{0x1, 10})) << mac.to_string();
-    EXPECT_NE(rec.loc, (of::Location{0x2, 10})) << mac.to_string();
+  for (const auto& rec :
+       net.tb.controller().host_tracker().hosts_sorted()) {
+    EXPECT_NE(rec.loc, (of::Location{0x1, 10})) << rec.mac.to_string();
+    EXPECT_NE(rec.loc, (of::Location{0x2, 10})) << rec.mac.to_string();
   }
 }
 
@@ -584,6 +584,74 @@ TEST(ControllerConfig, RejectsNonPositiveLinkTimeout) {
     c.profile.link_timeout = sim::Duration::zero();
   });
   EXPECT_TRUE(any_mentions(msgs, "link_timeout"));
+}
+
+// --- Sharded open-addressed host table (host_table.hpp) ---
+
+HostRecord make_rec(std::uint32_t i) {
+  HostRecord rec;
+  rec.mac = net::MacAddress::host(i);
+  rec.ip = net::Ipv4Address::host(i);
+  rec.loc = of::Location{1 + (i % 7), static_cast<of::PortNo>(1 + i % 40)};
+  rec.first_seen = sim::SimTime{};
+  return rec;
+}
+
+TEST(HostTable, InsertFindGrowAcrossShardDoublings) {
+  HostTable table;
+  // Well past the per-shard initial capacity so every shard doubles
+  // several times.
+  constexpr std::uint32_t kHosts = 20'000;
+  for (std::uint32_t i = 0; i < kHosts; ++i) table.insert(make_rec(i));
+  EXPECT_EQ(table.size(), kHosts);
+  EXPECT_TRUE(table.audit().empty());
+  for (std::uint32_t i = 0; i < kHosts; ++i) {
+    const HostRecord* rec = table.find(net::MacAddress::host(i));
+    ASSERT_NE(rec, nullptr) << "host " << i << " lost";
+    EXPECT_EQ(rec->ip, net::Ipv4Address::host(i));
+  }
+  EXPECT_EQ(table.find(net::MacAddress::host(kHosts + 1)), nullptr);
+}
+
+TEST(HostTable, InsertRewritesExistingKey) {
+  HostTable table;
+  table.insert(make_rec(1));
+  HostRecord updated = make_rec(1);
+  updated.loc = of::Location{0x42, 9};
+  table.insert(updated);
+  EXPECT_EQ(table.size(), 1u);
+  const HostRecord* rec = table.find(net::MacAddress::host(1));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->loc, (of::Location{0x42, 9}));
+  EXPECT_TRUE(table.audit().empty());
+}
+
+TEST(HostTable, SortedSnapshotIsMacOrdered) {
+  HostTable table;
+  // Insert in descending order; snapshot must come back ascending.
+  for (std::uint32_t i = 500; i > 0; --i) table.insert(make_rec(i));
+  const std::vector<HostRecord> snap = table.sorted();
+  ASSERT_EQ(snap.size(), 500u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].mac, snap[i].mac);
+  }
+}
+
+TEST(HostTable, SortedSnapshotIsHistoryIndependent) {
+  // Same record set inserted in two different orders must export the
+  // same snapshot, regardless of the physical probe layout each
+  // history produced.
+  HostTable a;
+  HostTable b;
+  for (std::uint32_t i = 0; i < 1'000; ++i) a.insert(make_rec(i));
+  for (std::uint32_t i = 1'000; i > 0; --i) b.insert(make_rec(i - 1));
+  const auto sa = a.sorted();
+  const auto sb = b.sorted();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].mac, sb[i].mac);
+    EXPECT_EQ(sa[i].loc, sb[i].loc);
+  }
 }
 
 }  // namespace

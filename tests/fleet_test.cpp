@@ -1,0 +1,205 @@
+// Fleet-scale testbed, background traffic, and driver determinism
+// (src/scenario/fleet.*, src/scenario/background_traffic.*).
+#include <gtest/gtest.h>
+
+#include "ctrl/host_tracker.hpp"
+#include "net/packet.hpp"
+#include "scenario/fleet.hpp"
+
+namespace tmg::scenario {
+namespace {
+
+using sim::Duration;
+
+FleetTestbedConfig small_fat_tree(std::uint64_t seed = 42) {
+  FleetTestbedConfig cfg;
+  cfg.topology.family = topo::TopoFamily::FatTree;
+  cfg.topology.k = 4;  // 20 switches, 16 attachments
+  cfg.spare_access_links = 4;
+  cfg.options.seed = seed;
+  return cfg;
+}
+
+TEST(FleetTestbed, InstantiatesGeneratedFabricAndDiscoversIt) {
+  net::reset_trace_ids();
+  FleetTestbed f = make_fleet_testbed(small_fat_tree());
+  EXPECT_EQ(f.topo.switch_count(), 20u);
+  EXPECT_EQ(f.population.size(), 16u);  // every attachment is a host
+  EXPECT_EQ(f.spare_links.size(), 4u);
+  EXPECT_NE(f.victim_loc.dpid, f.attacker_loc.dpid);
+  EXPECT_NE(f.attacker_loc.dpid, f.attacker_b_loc.dpid);
+
+  f.tb->start(Duration::seconds(2));
+  // Link discovery must converge on exactly the generated fabric.
+  EXPECT_EQ(f.tb->controller().topology().link_count(),
+            f.topo.graph.link_count());
+}
+
+TEST(FleetTestbed, WarmRegistersWholePopulationWithHts) {
+  net::reset_trace_ids();
+  FleetTestbed f = make_fleet_testbed(small_fat_tree());
+  f.tb->start(Duration::seconds(2));
+  fleet_warm_hosts(f);
+  const ctrl::HostTrackingService& hts = f.tb->controller().host_tracker();
+  EXPECT_EQ(hts.host_count(), f.population.size());
+  for (std::size_t i = 0; i < f.population.size(); ++i) {
+    const auto rec = hts.find(f.population[i]->mac());
+    ASSERT_TRUE(rec.has_value()) << "host " << i << " never learned";
+    EXPECT_EQ(rec->loc.dpid, f.topo.hosts[i].dpid);
+    EXPECT_EQ(rec->loc.port, f.topo.hosts[i].port);
+  }
+}
+
+TEST(BackgroundTraffic, GeneratesFlowsChurnAndMobility) {
+  net::reset_trace_ids();
+  FleetTestbed f = make_fleet_testbed(small_fat_tree());
+  f.tb->start(Duration::seconds(2));
+  fleet_warm_hosts(f);
+
+  BackgroundTrafficConfig bc;
+  bc.mean_flow_interarrival = Duration::millis(10);
+  bc.arp_churn_period = Duration::millis(250);
+  bc.mobility_period = Duration::millis(500);
+  BackgroundTraffic bg{*f.tb, f.tb->fork_rng(), bc};
+  fleet_attach_background(f, bg);
+  bg.start();
+  f.tb->run_for(Duration::seconds(5));
+  bg.stop();
+
+  const BackgroundTraffic::Stats& s = bg.stats();
+  EXPECT_GT(s.flows_started, 100u);
+  EXPECT_EQ(s.packets_offered, s.flows_started * 4);
+  EXPECT_GT(s.arp_announcements, 10u);
+  EXPECT_GT(s.migrations, 4u);
+  // Migrations never displace the role hosts.
+  const ctrl::HostTrackingService& hts = f.tb->controller().host_tracker();
+  const auto victim = hts.find(f.victim->mac());
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->loc.dpid, f.victim_loc.dpid);
+  EXPECT_EQ(victim->loc.port, f.victim_loc.port);
+  EXPECT_EQ(hts.host_count(), f.population.size());
+}
+
+TEST(BackgroundTraffic, ByteIdenticalAcrossRuns) {
+  const auto run = [] {
+    net::reset_trace_ids();
+    FleetTestbed f = make_fleet_testbed(small_fat_tree(7));
+    f.tb->start(Duration::seconds(2));
+    fleet_warm_hosts(f);
+    BackgroundTrafficConfig bc;
+    bc.mean_flow_interarrival = Duration::millis(5);
+    bc.arp_churn_period = Duration::millis(200);
+    bc.mobility_period = Duration::millis(400);
+    BackgroundTraffic bg{*f.tb, f.tb->fork_rng(), bc};
+    fleet_attach_background(f, bg);
+    bg.start();
+    f.tb->run_for(Duration::seconds(3));
+    bg.stop();
+    std::string fingerprint;
+    for (const auto& rec : f.tb->controller().host_tracker().hosts_sorted()) {
+      fingerprint += rec.mac.to_string() + "@" +
+                     std::to_string(rec.loc.dpid) + ":" +
+                     std::to_string(rec.loc.port) + ";";
+    }
+    fingerprint += "|f" + std::to_string(bg.stats().flows_started);
+    fingerprint += "|m" + std::to_string(bg.stats().migrations);
+    fingerprint += "|e" + std::to_string(f.tb->loop().events_executed());
+    return fingerprint;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FleetHijack, WinsRaceOnUndefendedFleetUnderLoad) {
+  net::reset_trace_ids();
+  FleetHijackConfig cfg;
+  cfg.topology.k = 4;
+  cfg.suite = DefenseSuite::None;
+  cfg.seed = 3;
+  cfg.settle_window = Duration::seconds(3);
+  cfg.victim_downtime = Duration::seconds(3);
+  const FleetHijackOutcome out = run_fleet_hijack(cfg);
+  EXPECT_TRUE(out.hijack_succeeded);
+  ASSERT_TRUE(out.down_to_confirmed_ms.has_value());
+  EXPECT_GT(*out.down_to_confirmed_ms, 0.0);
+  EXPECT_LT(*out.down_to_confirmed_ms, 3000.0);  // won before rejoin
+  EXPECT_EQ(out.hosts_tracked, 16u);
+  EXPECT_GT(out.background.flows_started, 0u);
+  EXPECT_EQ(out.invariant_violations, 0u);
+}
+
+TEST(FleetHijack, OutcomeIsDeterministic) {
+  FleetHijackConfig cfg;
+  cfg.topology.k = 4;
+  cfg.suite = DefenseSuite::TopoGuard;
+  cfg.seed = 11;
+  cfg.settle_window = Duration::seconds(2);
+  cfg.victim_downtime = Duration::seconds(2);
+  const auto run = [&cfg] {
+    net::reset_trace_ids();
+    return run_fleet_hijack(cfg);
+  };
+  const FleetHijackOutcome a = run();
+  const FleetHijackOutcome b = run();
+  EXPECT_EQ(a.hijack_succeeded, b.hijack_succeeded);
+  EXPECT_EQ(a.down_to_confirmed_ms, b.down_to_confirmed_ms);
+  EXPECT_EQ(a.down_to_iface_up_ms, b.down_to_iface_up_ms);
+  EXPECT_EQ(a.hosts_tracked, b.hosts_tracked);
+  EXPECT_EQ(a.alerts_total, b.alerts_total);
+  EXPECT_EQ(a.background.flows_started, b.background.flows_started);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+// The scale ceiling: a thousand-switch fabric must be attackable at
+// all. k=32 instantiates 1,280 switches and 16,384 fabric links; the
+// population is capped so the test exercises fabric scale, not host
+// count (bench_fleet's k=16 cell covers the full-population case).
+TEST(FleetHijack, RunsOnThousandSwitchFabric) {
+  net::reset_trace_ids();
+  FleetHijackConfig cfg;
+  cfg.topology.k = 32;
+  cfg.max_hosts = 64;
+  cfg.suite = DefenseSuite::None;
+  cfg.seed = 9;
+  cfg.background_on = false;
+  cfg.settle_window = Duration::seconds(2);
+  cfg.victim_downtime = Duration::seconds(2);
+  cfg.check_invariants = false;
+  const FleetHijackOutcome out = run_fleet_hijack(cfg);
+  EXPECT_TRUE(out.hijack_succeeded);
+  EXPECT_EQ(out.hosts_tracked, 64u);
+}
+
+TEST(FleetLinkAttack, ClassicRelayFabricatesLinkOnUndefendedFleet) {
+  net::reset_trace_ids();
+  FleetLinkAttackConfig cfg;
+  cfg.topology.k = 4;
+  cfg.kind = LinkAttackKind::ClassicRelay;
+  cfg.suite = DefenseSuite::None;
+  cfg.seed = 5;
+  cfg.benign_window = Duration::seconds(4);
+  cfg.attack_window = Duration::seconds(34);
+  const FleetLinkAttackOutcome out = run_fleet_link_attack(cfg);
+  EXPECT_TRUE(out.link_registered);
+  EXPECT_GT(out.lldp_relayed, 0u);
+  EXPECT_EQ(out.hosts_tracked, 16u);
+  EXPECT_GT(out.background.flows_started, 0u);
+  EXPECT_EQ(out.invariant_violations, 0u);
+}
+
+TEST(FleetLinkAttack, TopoGuardDetectsRelayOnFleet) {
+  net::reset_trace_ids();
+  FleetLinkAttackConfig cfg;
+  cfg.topology.k = 4;
+  cfg.kind = LinkAttackKind::ClassicRelay;
+  cfg.suite = DefenseSuite::TopoGuard;
+  cfg.seed = 5;
+  cfg.benign_window = Duration::seconds(4);
+  cfg.attack_window = Duration::seconds(34);
+  const FleetLinkAttackOutcome out = run_fleet_link_attack(cfg);
+  EXPECT_TRUE(out.detected());
+  EXPECT_GT(out.alerts_topoguard, 0u);
+  EXPECT_FALSE(out.link_registered);
+}
+
+}  // namespace
+}  // namespace tmg::scenario

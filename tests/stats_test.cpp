@@ -7,6 +7,7 @@
 
 #include "sim/rng.hpp"
 #include "stats/descriptive.hpp"
+#include "stats/flow_stats.hpp"
 #include "stats/histogram.hpp"
 #include "stats/latency_window.hpp"
 #include "stats/quantile.hpp"
@@ -453,6 +454,98 @@ TEST(StreamingQuantile, MergeEmptyAndIntoEmptyAreNeutral) {
   b.merge(a);  // empty lhs adopts rhs
   EXPECT_EQ(b.count(), 10u);
   EXPECT_DOUBLE_EQ(b.value(), before);
+}
+
+// ---------------- FlowStats ----------------
+
+TEST(RunningMoments, MatchesNaiveMeanVarianceMinMax) {
+  sim::Rng rng(11);
+  std::vector<double> xs;
+  RunningMoments m;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(40.0, 1500.0);
+    xs.push_back(x);
+    m.add(x);
+  }
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  const double mean = sum / static_cast<double>(xs.size());
+  double sq = 0.0;
+  for (const double x : xs) sq += (x - mean) * (x - mean);
+  EXPECT_NEAR(m.mean, mean, 1e-9);
+  EXPECT_NEAR(m.variance(), sq / static_cast<double>(xs.size()), 1e-6);
+  EXPECT_DOUBLE_EQ(m.min_v, *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(m.max_v, *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(FlowStats, AccountsSwitchPortAndTotal) {
+  FlowStats fs;
+  fs.record(1, FlowStats::port_key(1, 3), 100);
+  fs.record(1, FlowStats::port_key(1, 4), 200);
+  fs.record(2, FlowStats::port_key(2, 3), 60);
+  EXPECT_EQ(fs.total().packets, 3u);
+  EXPECT_EQ(fs.total().bytes, 360u);
+  EXPECT_EQ(fs.switch_cells(), 2u);
+  EXPECT_EQ(fs.port_cells(), 3u);
+  const FlowStats::Cell* sw1 = fs.find_switch(1);
+  ASSERT_NE(sw1, nullptr);
+  EXPECT_EQ(sw1->packets, 2u);
+  EXPECT_EQ(sw1->bytes, 300u);
+  EXPECT_DOUBLE_EQ(sw1->size.mean, 150.0);
+  EXPECT_EQ(fs.find_switch(9), nullptr);
+  EXPECT_TRUE(fs.audit().empty());
+}
+
+TEST(FlowStats, SurvivesIndexGrowthAtFleetCellCounts) {
+  FlowStats fs;
+  // 2,000 ports across 100 switches: well past the initial table size.
+  for (std::uint64_t sw = 1; sw <= 100; ++sw) {
+    for (std::uint16_t port = 1; port <= 20; ++port) {
+      fs.record(sw, FlowStats::port_key(sw, port), 64);
+      fs.record(sw, FlowStats::port_key(sw, port), 1500);
+    }
+  }
+  EXPECT_EQ(fs.switch_cells(), 100u);
+  EXPECT_EQ(fs.port_cells(), 2000u);
+  EXPECT_EQ(fs.total().packets, 4000u);
+  EXPECT_TRUE(fs.audit().empty());
+  for (std::uint64_t sw = 1; sw <= 100; ++sw) {
+    const FlowStats::Cell* cell =
+        fs.find_port(FlowStats::port_key(sw, 7));
+    ASSERT_NE(cell, nullptr);
+    EXPECT_EQ(cell->packets, 2u);
+    EXPECT_DOUBLE_EQ(cell->size.mean, 782.0);
+    EXPECT_DOUBLE_EQ(cell->size.min_v, 64.0);
+    EXPECT_DOUBLE_EQ(cell->size.max_v, 1500.0);
+  }
+}
+
+TEST(FlowStats, JsonIsKeySortedAndHistoryIndependent) {
+  // Same observations in two arrival orders must export identically:
+  // snapshots are key-sorted, never hash-ordered.
+  FlowStats a;
+  FlowStats b;
+  for (std::uint64_t sw = 1; sw <= 30; ++sw) {
+    a.record(sw, FlowStats::port_key(sw, 1), 100 + sw);
+  }
+  for (std::uint64_t sw = 30; sw >= 1; --sw) {
+    b.record(sw, FlowStats::port_key(sw, 1), 100 + sw);
+  }
+  EXPECT_EQ(a.to_json(), b.to_json());
+  // Truncation caps the arrays but keeps exact totals.
+  const std::string truncated = a.to_json(/*max_cells=*/5);
+  EXPECT_NE(truncated, a.to_json());
+  EXPECT_NE(truncated.find("\"switch_cells\":30"), std::string::npos);
+}
+
+TEST(FlowStats, ResetClearsEverything) {
+  FlowStats fs;
+  fs.record(1, FlowStats::port_key(1, 1), 500);
+  fs.reset();
+  EXPECT_EQ(fs.total().packets, 0u);
+  EXPECT_EQ(fs.switch_cells(), 0u);
+  EXPECT_EQ(fs.port_cells(), 0u);
+  EXPECT_TRUE(fs.audit().empty());
 }
 
 }  // namespace

@@ -16,6 +16,10 @@ writes them to one combined file:
                   "events": ..., "events_per_sec": ...}, ...],
      "speedup": {...}}          # only with --speedup
 
+Every run also archives an identical timestamped copy next to --out
+(BENCH_<utcstamp>.json) so successive runs accumulate a comparable
+local history; the archives are never overwritten.
+
 --speedup runs the 200-trial attack-matrix workload
 (bench_attack_matrix --trials 10) across a jobs sweep (1, 2, 4, 8) and
 records the whole scaling curve plus the host's CPU count. The tables
@@ -31,6 +35,10 @@ their own.
 are identical — the streaming-quantile merge must be byte-stable
 across worker counts.
 
+--fleet-check does the same for bench_fleet --quick: the fleet cells
+(generated fabrics under background load) must produce identical
+stdout tables and deterministic-JSON payloads at --jobs 1 and 8.
+
 --fastpath-check runs the same serial attack-matrix workload once with
 the algorithmic fast paths enabled and once with --no-fastpath (naive
 reference algorithms), diffs the stdout (minus [bench] timing lines),
@@ -41,6 +49,7 @@ Usage:
     python3 tools/run_bench.py [--quick] [--jobs N] [--build-dir build]
                                [--out BENCH.json] [--speedup]
                                [--fastpath-check] [--montecarlo-check]
+                               [--fleet-check]
 """
 
 import argparse
@@ -49,6 +58,7 @@ import os
 import subprocess
 import sys
 import tempfile
+from datetime import datetime, timezone
 
 # Benches that implement the harness flags. Order is the report order.
 BENCHES = [
@@ -66,6 +76,7 @@ BENCHES = [
     "bench_downtime_window",
     "bench_ablation_channel",
     "bench_montecarlo",
+    "bench_fleet",
 ]
 
 # The jobs sweep recorded by --speedup. Points above the host's core
@@ -101,6 +112,45 @@ def strip_bench_lines(text):
                      if not line.startswith("[bench]"))
 
 
+def deterministic_part(result):
+    # Everything except the host-timing keys (and "jobs", which names
+    # the worker count and differs by construction).
+    return {k: v for k, v in result.items()
+            if k not in ("jobs", "wall_ms", "events_per_sec")}
+
+
+def check_jobs_stable(bench_dir, name, workload, what):
+    """Run `name` at --jobs 1 and 8; fail unless stdout tables and the
+    deterministic JSON payload are byte-identical. Returns the jobs-1
+    result for the report."""
+    binary = os.path.join(bench_dir, name)
+    one, one_out = run_bench(binary, workload + ["--jobs", "1"])
+    eight, eight_out = run_bench(binary, workload + ["--jobs", "8"])
+    if strip_bench_lines(one_out) != strip_bench_lines(eight_out):
+        sys.exit(f"error: {name} stdout differs between --jobs 1 and "
+                 f"--jobs 8 — {what} is not worker-count stable")
+    if deterministic_part(one) != deterministic_part(eight):
+        sys.exit(f"error: {name} JSON differs between --jobs 1 and "
+                 f"--jobs 8 — {what} is not worker-count stable")
+    return one
+
+
+def archive_report(out_path, report):
+    """Keep a timestamped copy next to the combined file so successive
+    runs build a local history (BENCH_<utc>.json, never overwritten)."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    base, ext = os.path.splitext(out_path)
+    archive = f"{base}_{stamp}{ext or '.json'}"
+    n = 1
+    while os.path.exists(archive):  # same-second rerun
+        archive = f"{base}_{stamp}-{n}{ext or '.json'}"
+        n += 1
+    with open(archive, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    return archive
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build",
@@ -118,6 +168,10 @@ def main():
     ap.add_argument("--montecarlo-check", action="store_true",
                     help="also run bench_montecarlo --quick at --jobs 1 "
                          "and 8 and fail unless the quantile tables are "
+                         "byte-identical")
+    ap.add_argument("--fleet-check", action="store_true",
+                    help="also run bench_fleet --quick at --jobs 1 and 8 "
+                         "and fail unless the fleet cells are "
                          "byte-identical")
     ap.add_argument("--fastpath-check", action="store_true",
                     help="also run the serial attack-matrix workload with "
@@ -234,25 +288,8 @@ def main():
               f"({ratio:.2f}x, identical output)")
 
     if args.montecarlo_check:
-        binary = os.path.join(bench_dir, "bench_montecarlo")
-        workload = ["--quick"]
-
-        def deterministic_part(result):
-            # Everything except the host-timing keys (and "jobs", which
-            # names the worker count and differs by construction).
-            return {k: v for k, v in result.items()
-                    if k not in ("jobs", "wall_ms", "events_per_sec")}
-
-        one, one_out = run_bench(binary, workload + ["--jobs", "1"])
-        eight, eight_out = run_bench(binary, workload + ["--jobs", "8"])
-        if strip_bench_lines(one_out) != strip_bench_lines(eight_out):
-            sys.exit("error: bench_montecarlo stdout differs between "
-                     "--jobs 1 and --jobs 8 — streaming-quantile merge "
-                     "is not worker-count stable")
-        if deterministic_part(one) != deterministic_part(eight):
-            sys.exit("error: bench_montecarlo JSON differs between "
-                     "--jobs 1 and --jobs 8 — streaming-quantile merge "
-                     "is not worker-count stable")
+        one = check_jobs_stable(bench_dir, "bench_montecarlo", ["--quick"],
+                                "streaming-quantile merge")
         report["montecarlo_check"] = {
             "workload": "bench_montecarlo --quick",
             "trials": one["trials"],
@@ -262,10 +299,24 @@ def main():
         print(f"[run_bench] montecarlo-check: {one['trials']} trials, "
               f"jobs 1 vs 8 identical (tables + JSON)")
 
+    if args.fleet_check:
+        one = check_jobs_stable(bench_dir, "bench_fleet", ["--quick"],
+                                "the fleet sweep")
+        report["fleet_check"] = {
+            "workload": "bench_fleet --quick",
+            "trials": one["trials"],
+            "jobs_compared": [1, 8],
+            "output_identical": True,
+        }
+        print(f"[run_bench] fleet-check: {one['trials']} trials, "
+              f"jobs 1 vs 8 identical (tables + JSON)")
+
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
-    print(f"[run_bench] wrote {args.out} ({len(report['benches'])} benches)")
+    archive = archive_report(args.out, report)
+    print(f"[run_bench] wrote {args.out} ({len(report['benches'])} benches), "
+          f"archived {archive}")
 
 
 if __name__ == "__main__":
