@@ -17,15 +17,24 @@
 //                      pipeline listeners (default table is unchanged)
 //   --pipeline-stats   print per-listener dispatch/stop counters per
 //                      defense suite after the matrix
+//   --profile=<name>   run every cell under that controller pipeline
+//                      profile (floodlight/pox/opendaylight/onos);
+//                      unknown names exit 2. Announced via a [bench]
+//                      line only, so golden gates stay byte-clean.
+//   --check            attach the runtime invariant checker to every
+//                      trial and fail on any violation (CI smoke)
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "bench_harness.hpp"
 #include "bench_util.hpp"
+#include "ctrl/profiles.hpp"
 #include "obs/observability.hpp"
 #include "scenario/experiments.hpp"
 #include "scenario/trial_arena.hpp"
@@ -35,6 +44,24 @@ using namespace tmg;
 using namespace tmg::bench;
 using scenario::DefenseSuite;
 using scenario::LinkAttackKind;
+
+namespace {
+
+// Strict resolution, same contract as parse_trials_or_die: an unknown
+// profile name is a usage error, not a silent default.
+ctrl::ControllerProfile parse_profile_or_die(const std::string& value) {
+  auto profile = ctrl::profile_by_name(value);
+  if (!profile) {
+    std::string names;
+    for (const auto& n : ctrl::profile_cli_names()) names += " " + n;
+    std::fprintf(stderr, "error: unknown --profile '%s' (valid:%s)\n",
+                 value.c_str(), names.c_str());
+    std::exit(2);
+  }
+  return *profile;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   banner("Sec. V-A", "Link fabrication attack/defense matrix");
@@ -55,10 +82,18 @@ int main(int argc, char** argv) {
 
   bool stacked = false;
   bool show_pipeline = false;
+  bool check_invariants = false;
+  std::optional<ctrl::ControllerProfile> profile;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--stacked") stacked = true;
     if (arg == "--pipeline-stats") show_pipeline = true;
+    if (arg == "--check") check_invariants = true;
+    if (arg.rfind("--profile=", 0) == 0) {
+      profile = parse_profile_or_die(arg.substr(10));
+    } else if (arg == "--profile" && i + 1 < argc) {
+      profile = parse_profile_or_die(argv[++i]);
+    }
   }
   if (stacked) suites.push_back(DefenseSuite::Stacked);
   const std::size_t n_suites = suites.size();
@@ -92,8 +127,10 @@ int main(int argc, char** argv) {
         cfg.seed = trial == 0 ? 42 : scenario::TrialRunner::trial_seed(42, trial);
         // Benches measure the simulator, not the audit battery: the
         // invariant checker is a read-only post-event hook, so skipping
-        // it changes wall clock only (tests keep it on).
-        cfg.check_invariants = false;
+        // it changes wall clock only (tests keep it on; the CI
+        // profile-matrix leg turns it back on with --check).
+        cfg.check_invariants = check_invariants;
+        cfg.profile = profile;
         cfg.arena = arenas[scenario::TrialRunner::worker_slot()].get();
         return scenario::run_link_attack(cfg);
       });
@@ -172,6 +209,22 @@ int main(int argc, char** argv) {
     pstats.print();
   }
 
+  if (profile) {
+    // [bench] lines are stripped by the golden/fastpath gates, so the
+    // profile announcement never perturbs byte-identity checks.
+    std::printf("[bench] profile=%s\n", profile->name.c_str());
+  }
+  std::uint64_t inv_sweeps = 0, inv_violations = 0;
+  if (check_invariants) {
+    for (const auto& out : outcomes) {
+      inv_sweeps += out.invariant_sweeps;
+      inv_violations += out.invariant_violations;
+    }
+    std::printf("[bench] invariants: sweeps=%llu violations=%llu\n",
+                static_cast<unsigned long long>(inv_sweeps),
+                static_cast<unsigned long long>(inv_violations));
+  }
+
   BenchResult result;
   result.bench = "attack_matrix";
   result.trials = total;
@@ -192,5 +245,6 @@ int main(int argc, char** argv) {
     (void)scenario::run_link_attack(cfg);
     result.obs_metrics_json = obs.metrics_json(obs.final_time());
   }
-  return report_bench(opts, result) ? 0 : 1;
+  if (!report_bench(opts, result)) return 1;
+  return check_invariants && inv_violations != 0 ? 1 : 0;
 }

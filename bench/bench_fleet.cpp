@@ -33,6 +33,7 @@
 #include "bench_harness.hpp"
 #include "bench_util.hpp"
 #include "ctrl/host_table.hpp"
+#include "ctrl/profiles.hpp"
 #include "scenario/fleet.hpp"
 #include "scenario/trial_arena.hpp"
 #include "scenario/trial_runner.hpp"
@@ -153,6 +154,10 @@ struct Cell {
   std::string label;
   topo::GeneratorConfig gen;
   bool background = true;
+  /// Controller pipeline profile override; unset = testbed default
+  /// (Floodlight). The ONOS cell races the hijack against
+  /// probe-before-move migration on the same fabric.
+  std::optional<ctrl::ControllerProfile> profile;
 };
 
 std::string fmt_d(double v) {
@@ -228,6 +233,11 @@ int main(int argc, char** argv) {
     c.label = "fat-tree k=4";
     c.background = true;
     cells.push_back(c);
+    c.label = "fat-tree k=4 onos";
+    c.gen.k = 4;
+    c.profile = ctrl::onos_profile();
+    cells.push_back(c);
+    c.profile.reset();
     c.label = "fat-tree k=8";
     c.gen.k = 8;
     cells.push_back(c);
@@ -259,6 +269,7 @@ int main(int argc, char** argv) {
           cfg.topology = cell.gen;
           cfg.seed = scenario::TrialRunner::trial_seed(42, i);
           cfg.background_on = cell.background;
+          cfg.profile = cell.profile;
           cfg.settle_window = sim::Duration::seconds(3);
           cfg.check_invariants = false;
           cfg.arena = arenas[scenario::TrialRunner::worker_slot()].get();
@@ -273,6 +284,7 @@ int main(int argc, char** argv) {
           cfg.kind = scenario::LinkAttackKind::ClassicRelay;
           cfg.seed = scenario::TrialRunner::trial_seed(43, i);
           cfg.background_on = cell.background;
+          cfg.profile = cell.profile;
           cfg.benign_window = sim::Duration::seconds(4);
           cfg.attack_window = sim::Duration::seconds(34);
           cfg.check_invariants = false;
@@ -309,6 +321,10 @@ int main(int argc, char** argv) {
     cells_json += ", \"switches\": " + std::to_string(shape.switch_count());
     cells_json += ", \"background\": ";
     cells_json += cells[c].background ? "true" : "false";
+    cells_json += ", \"profile\": \"" +
+                  (cells[c].profile ? cells[c].profile->name
+                                    : std::string{"Floodlight"}) +
+                  "\"";
     cells_json += ", \"hijack\": {\"trials\": " + std::to_string(h.trials);
     cells_json += ", \"succeeded\": " + std::to_string(h.succeeded);
     cells_json += ", \"hosts_tracked\": " + std::to_string(h.hosts_tracked);

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
 
   LinkAttackConfig cfg;
   cfg.seed = 42;
+  cfg.profile = g_args.profile;
   cfg.collect_pipeline_stats = g_args.pipeline_stats;
 
   cfg.kind = LinkAttackKind::ClassicRelay;

@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
     HijackConfig cfg;
     cfg.seed = 7;
     cfg.suite = suites[i];
+    cfg.profile = g_args.profile;
     cfg.collect_pipeline_stats = g_args.pipeline_stats;
     return run_hijack(cfg);
   });
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
     HijackConfig cfg;
     cfg.seed = 7;
     cfg.suite = DefenseSuite::TopoGuardAndSphinx;
+    cfg.profile = g_args.profile;
     cfg.obs = obs.get();
     const HijackOutcome observed = run_hijack(cfg);
     std::printf("\n[obs] re-ran the '%s' trial observed (hijack %s)\n",

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   opts.controller.authenticate_lldp = true;
   opts.controller.lldp_timestamps = true;
   examples::apply_check_flag(opts, args);
+  examples::apply_profile_flag(opts, args);
   scenario::Fig9Testbed f = scenario::make_fig9_testbed(opts);
   ctrl::Controller& ctrl = f.tb->controller();
   scenario::install_suite(ctrl, scenario::DefenseSuite::Stacked);

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   // The controller must sign LLDP and seal departure timestamps —
   // fig9_options enables both. The invariant checker is opt-in here.
   scenario::TestbedOptions opts = scenario::fig9_options();
+  examples::apply_profile_flag(opts, args);
   opts.check_invariants = args.check;
   scenario::Fig9Testbed f = scenario::make_fig9_testbed(opts);
   const defense::TopoGuardPlus tgp =

@@ -18,17 +18,26 @@
 //                      trace_chrome.json into DIR at the end.
 //   --trace-out=FILE   attach the observability layer and write the
 //                      span/instant trace (JSONL) to FILE.
+//   --profile=NAME     run under that controller pipeline profile
+//                      (floodlight / pox / opendaylight / onos —
+//                      layout, dispatch discipline, timers, and
+//                      migration policy all follow the profile). An
+//                      unknown name is a usage error: exit 2 with the
+//                      valid names listed, never a silent default.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "check/invariants.hpp"
 #include "ctrl/controller.hpp"
+#include "ctrl/profiles.hpp"
 #include "obs/observability.hpp"
 #include "scenario/testbed.hpp"
 
@@ -42,12 +51,35 @@ struct ExampleArgs {
   std::vector<std::string> disable_modules;  // --modules=-Name
   std::string obs_out;    // --obs-out=DIR (empty: disabled)
   std::string trace_out;  // --trace-out=FILE (empty: disabled)
+  std::optional<ctrl::ControllerProfile> profile;  // --profile=NAME
 
   /// Either observability flag present?
   [[nodiscard]] bool obs_enabled() const {
     return !obs_out.empty() || !trace_out.empty();
   }
 };
+
+/// Strict --profile value resolution (same convention as the bench
+/// harness's parse_jobs_value/parse_trials_or_die pair): the testable
+/// half returns nullopt on an unknown name, the _or_die wrapper turns
+/// that into exit 2 with the valid names listed.
+inline std::optional<ctrl::ControllerProfile> parse_profile_value(
+    const std::string& value) {
+  return ctrl::profile_by_name(value);
+}
+
+inline ctrl::ControllerProfile parse_profile_or_die(
+    const std::string& value) {
+  auto profile = parse_profile_value(value);
+  if (!profile) {
+    std::string names;
+    for (const auto& n : ctrl::profile_cli_names()) names += " " + n;
+    std::fprintf(stderr, "error: unknown --profile '%s' (valid:%s)\n",
+                 value.c_str(), names.c_str());
+    std::exit(2);
+  }
+  return *profile;
+}
 
 /// Parse the shared example flags. Unknown arguments are ignored so
 /// individual examples can layer their own.
@@ -63,6 +95,8 @@ inline ExampleArgs parse_example_args(int argc, char** argv) {
       args.obs_out = arg + 10;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       args.trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+      args.profile = parse_profile_or_die(arg + 10);
     } else if (std::strncmp(arg, "--modules=", 10) == 0) {
       // Comma-separated list of "list", "+Name" or "-Name" tokens.
       std::string rest = arg + 10;
@@ -93,6 +127,12 @@ inline ExampleArgs parse_example_args(int argc, char** argv) {
 inline void apply_check_flag(scenario::TestbedOptions& opts,
                              const ExampleArgs& args) {
   if (args.check) opts.check_invariants = true;
+}
+
+/// Apply `--profile=` to testbed options built by an example.
+inline void apply_profile_flag(scenario::TestbedOptions& opts,
+                               const ExampleArgs& args) {
+  if (args.profile) opts.controller.profile = *args.profile;
 }
 
 /// Apply `--modules=` to a controller whose defenses are installed:

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
 
   scenario::TestbedOptions opts;
   examples::apply_check_flag(opts, args);
+  examples::apply_profile_flag(opts, args);
   scenario::Testbed tb{opts};
   tb.add_switch(0x1);
   tb.add_switch(0x2);

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   scenario::TestbedOptions opts;
   opts.seed = 7;
   examples::apply_check_flag(opts, args);
+  examples::apply_profile_flag(opts, args);
   scenario::Testbed tb{opts};
   tb.add_switch(0x1);
   tb.add_switch(0x2);

@@ -234,6 +234,65 @@ void InvariantChecker::check_pipeline(std::vector<std::string>& out) {
                       "' is not registered");
     }
   }
+
+  // The chain must match the active profile's slot table: every fixed
+  // listener at its layout slot (the verdict gate only when the layout
+  // keeps one), every defense adapter in the band progression with the
+  // profile's subscription mask.
+  const ctrl::ControllerProfile& profile = ctrl_.config().profile;
+  const ctrl::PipelineLayout& layout = profile.layout;
+  const auto stats = ctrl_.pipeline().stats();
+  const auto slot_of = [&](const std::string& name) -> const auto* {
+    for (const auto& s : stats) {
+      if (s.name == name) return &s;
+    }
+    return static_cast<const ctrl::MessagePipeline::ListenerStats*>(nullptr);
+  };
+  const auto expect_slot = [&](const char* name, int slot) {
+    const auto* s = slot_of(name);
+    if (s == nullptr) {
+      report(out, std::string{"pipeline: profile "} + profile.name +
+                      ": listener '" + name + "' missing from the chain");
+    } else if (s->priority != slot) {
+      report(out, std::string{"pipeline: profile "} + profile.name +
+                      ": listener '" + name + "' at priority " +
+                      std::to_string(s->priority) + ", layout says " +
+                      std::to_string(slot));
+    }
+  };
+  expect_slot("controller-core", layout.core);
+  expect_slot(ctrl::kLinkDiscoveryServiceName, layout.link_discovery);
+  expect_slot(ctrl::kHostTrackingServiceName, layout.host_tracking);
+  expect_slot(ctrl::kRoutingServiceName, layout.routing);
+  if (layout.verdict_gate >= 0) {
+    expect_slot("verdict-gate", layout.verdict_gate);
+  } else if (slot_of("verdict-gate") != nullptr) {
+    report(out, std::string{"pipeline: profile "} + profile.name +
+                    ": layout omits the verdict gate but one is installed");
+  }
+  const auto& modules = ctrl_.defense_modules();
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const auto* s = slot_of(modules[i]->name());
+    const int slot = layout.defense_base +
+                     layout.defense_step * static_cast<int>(i);
+    if (s == nullptr) {
+      report(out, std::string{"pipeline: profile "} + profile.name +
+                      ": defense '" + modules[i]->name() +
+                      "' missing from the chain");
+      continue;
+    }
+    if (s->priority != slot) {
+      report(out, std::string{"pipeline: profile "} + profile.name +
+                      ": defense '" + modules[i]->name() + "' at priority " +
+                      std::to_string(s->priority) + ", band slot is " +
+                      std::to_string(slot));
+    }
+    if (s->subscriptions != profile.defense_subscriptions) {
+      report(out, std::string{"pipeline: profile "} + profile.name +
+                      ": defense '" + modules[i]->name() +
+                      "' subscription mask diverges from the profile");
+    }
+  }
 }
 
 std::vector<std::string> InvariantChecker::run_checks() {

@@ -30,6 +30,15 @@ void validate_config(const ControllerConfig& c) {
              "ControllerConfig: profile.lldp_interval must be positive");
   TMG_ASSERT(c.profile.link_timeout.count_nanos() > 0,
              "ControllerConfig: profile.link_timeout must be positive");
+  TMG_ASSERT(c.profile.migration_probe_timeout.count_nanos() > 0,
+             "ControllerConfig: profile.migration_probe_timeout must be "
+             "positive");
+  const PipelineLayout& l = c.profile.layout;
+  TMG_ASSERT(l.core >= 0, "PipelineLayout: core slot must exist");
+  TMG_ASSERT(l.link_discovery >= 0 && l.host_tracking >= 0 && l.routing >= 0,
+             "PipelineLayout: service slots must exist");
+  TMG_ASSERT(l.defense_base >= 0 && l.defense_step > 0,
+             "PipelineLayout: defense band must be a positive progression");
 }
 
 }  // namespace
@@ -121,19 +130,17 @@ namespace {
 /// Adapts a DefenseModule's typed hooks onto the listener interface.
 /// Always returns Continue: defenses influence the dispatch only
 /// through the accumulated context verdict (the gate stops the chain),
-/// so sibling defenses never shadow each other.
+/// so sibling defenses never shadow each other. The subscription mask
+/// is profile data (ControllerProfile::defense_subscriptions).
 class DefenseListenerAdapter final : public MessageListener {
  public:
-  explicit DefenseListenerAdapter(DefenseModule& module) : module_{module} {}
+  DefenseListenerAdapter(DefenseModule& module, std::uint32_t subscriptions)
+      : module_{module}, subscriptions_{subscriptions} {}
 
   [[nodiscard]] std::string name() const override { return module_.name(); }
 
   [[nodiscard]] std::uint32_t subscriptions() const override {
-    // Everything except EchoReply/FlowRemoved, which the core consumes.
-    return MessageType::PacketIn | MessageType::PortStatus |
-           MessageType::FlowStats | MessageType::PortStats |
-           MessageType::LldpObservation | MessageType::HostEvent |
-           MessageType::LinkRemoved | MessageType::FlowModOut;
+    return subscriptions_;
   }
 
   Disposition on_message(const PipelineMessage& msg,
@@ -174,6 +181,7 @@ class DefenseListenerAdapter final : public MessageListener {
   }
 
   DefenseModule& module_;
+  std::uint32_t subscriptions_;
 };
 
 }  // namespace
@@ -194,11 +202,16 @@ Controller::Controller(sim::EventLoop& loop, sim::Rng rng,
   services_.provide(kHostTrackingServiceName, hosts_.get());
   services_.provide(kRoutingServiceName, routing_.get());
 
-  pipeline_.add_owned(kPriorityCore, std::make_unique<CoreListener>(*this));
-  pipeline_.add_owned(kPriorityVerdictGate, std::make_unique<VerdictGate>());
-  pipeline_.add(kPriorityLinkDiscovery, *links_);
-  pipeline_.add(kPriorityHostTracking, *hosts_);
-  pipeline_.add(kPriorityRouting, *routing_);
+  // The chain is assembled from the profile's slot table; a negative
+  // slot omits that listener (OpenDaylight runs without a verdict gate).
+  const PipelineLayout& layout = config_.profile.layout;
+  pipeline_.add_owned(layout.core, std::make_unique<CoreListener>(*this));
+  if (layout.verdict_gate >= 0) {
+    pipeline_.add_owned(layout.verdict_gate, std::make_unique<VerdictGate>());
+  }
+  pipeline_.add(layout.link_discovery, *links_);
+  pipeline_.add(layout.host_tracking, *hosts_);
+  pipeline_.add(layout.routing, *routing_);
 }
 
 Controller::~Controller() = default;
@@ -224,11 +237,13 @@ DefenseModule& Controller::add_defense(std::unique_ptr<DefenseModule> module) {
   TMG_ASSERT(module != nullptr, "add_defense: null module");
   modules_.push_back(std::move(module));
   DefenseModule& ref = *modules_.back();
+  const PipelineLayout& layout = config_.profile.layout;
   const int priority =
-      kPriorityDefenseBase +
-      kPriorityDefenseStep * static_cast<int>(modules_.size() - 1);
+      layout.defense_base +
+      layout.defense_step * static_cast<int>(modules_.size() - 1);
   pipeline_.add_owned(priority,
-                      std::make_unique<DefenseListenerAdapter>(ref));
+                      std::make_unique<DefenseListenerAdapter>(
+                          ref, config_.profile.defense_subscriptions));
   return ref;
 }
 
@@ -376,6 +391,14 @@ void Controller::request_port_stats(of::Dpid dpid) {
 void Controller::probe_reachability(of::Location loc, net::MacAddress dst_mac,
                                     net::Ipv4Address dst_ip,
                                     std::function<void(bool)> done) {
+  probe_reachability(loc, dst_mac, dst_ip, std::move(done),
+                     config_.host_probe_timeout);
+}
+
+void Controller::probe_reachability(of::Location loc, net::MacAddress dst_mac,
+                                    net::Ipv4Address dst_ip,
+                                    std::function<void(bool)> done,
+                                    sim::Duration timeout) {
   const std::uint16_t ident = next_probe_ident_++;
   net::Packet probe =
       net::make_icmp_echo(mac(), ip(), dst_mac, dst_ip, ident, 1);
@@ -387,7 +410,7 @@ void Controller::probe_reachability(of::Location loc, net::MacAddress dst_mac,
     obs_->trace().annotate(pending.span, "loc", loc.to_string());
   }
   pending.timeout =
-      loop_.schedule_after(config_.host_probe_timeout, [this, ident] {
+      loop_.schedule_after(timeout, [this, ident] {
         auto it = pending_probes_.find(ident);
         if (it == pending_probes_.end()) return;
         auto cb = std::move(it->second.done);
@@ -420,11 +443,22 @@ void Controller::finish_probe_span(obs::SpanId span, bool reachable) {
 }
 
 Verdict Controller::notify_host_event(const HostEvent& ev) {
-  return pipeline_.dispatch(PipelineMessage::from(ev));
+  const Verdict v = pipeline_.dispatch(PipelineMessage::from(ev));
+  // Broadcast-observe controllers (OpenDaylight) treat defense verdicts
+  // as advisory: every subscriber has seen the event and any alerts are
+  // raised, but the service commit is never suppressed.
+  if (config_.profile.discipline == DispatchDiscipline::BroadcastObserve) {
+    return Verdict::Allow;
+  }
+  return v;
 }
 
 Verdict Controller::notify_lldp_observation(const LldpObservation& obs) {
-  return pipeline_.dispatch(PipelineMessage::from(obs));
+  const Verdict v = pipeline_.dispatch(PipelineMessage::from(obs));
+  if (config_.profile.discipline == DispatchDiscipline::BroadcastObserve) {
+    return Verdict::Allow;
+  }
+  return v;
 }
 
 void Controller::notify_link_removed(const topo::Link& link) {

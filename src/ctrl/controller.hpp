@@ -40,16 +40,11 @@ class LinkDiscoveryService;
 class HostTrackingService;
 class RoutingService;
 
-// Pipeline priorities (DESIGN.md §9 has the full table). Lower runs
-// first; defense module N installs at kPriorityDefenseBase +
-// N * kPriorityDefenseStep, preserving installation order.
-inline constexpr int kPriorityCore = 0;
-inline constexpr int kPriorityDefenseBase = 100;
-inline constexpr int kPriorityDefenseStep = 10;
-inline constexpr int kPriorityVerdictGate = 900;
-inline constexpr int kPriorityLinkDiscovery = 1000;
-inline constexpr int kPriorityHostTracking = 1100;
-inline constexpr int kPriorityRouting = 1200;
+// Pipeline priorities live in the profile's PipelineLayout (DESIGN.md
+// §13 has the full table): lower runs first, and defense module N
+// installs at layout.defense_base + N * layout.defense_step,
+// preserving installation order. The constructor assembles the chain
+// from config.profile instead of hard-coded slots.
 
 struct ControllerConfig {
   ControllerProfile profile = floodlight_profile();
@@ -148,6 +143,13 @@ class Controller {
   void probe_reachability(of::Location loc, net::MacAddress dst_mac,
                           net::Ipv4Address dst_ip,
                           std::function<void(bool reachable)> done);
+
+  /// Same, with an explicit timeout (the host tracker's probe-before-
+  /// move policy waits config().profile.migration_probe_timeout).
+  void probe_reachability(of::Location loc, net::MacAddress dst_mac,
+                          net::Ipv4Address dst_ip,
+                          std::function<void(bool reachable)> done,
+                          sim::Duration timeout);
 
   // --- Tracing ---
 

@@ -75,26 +75,73 @@ void HostTrackingService::handle_packet_in(const of::PacketIn& pi) {
 
   // Location change: a migration (legitimate or hijack — the controller
   // cannot tell; that ambiguity is the attack surface).
+  const net::Ipv4Address move_ip =
+      src_ip != net::Ipv4Address::any() ? src_ip : rec.ip;
+
+  if (ctrl_.config().profile.migration == MigrationPolicy::ProbeBeforeMove) {
+    // ONOS semantics: verify the old attachment point before rebinding.
+    // One probe per MAC is in flight at a time; further sightings at
+    // the contested location are dropped until the probe resolves.
+    if (pending_moves_.count(pkt.src_mac) != 0) return;
+    pending_moves_.emplace(pkt.src_mac, PendingMove{rec.loc, loc, move_ip});
+    const net::MacAddress mac = pkt.src_mac;
+    ctrl_.probe_reachability(
+        rec.loc, pkt.src_mac, rec.ip,
+        [this, mac](bool reachable) { finish_move(mac, reachable); },
+        ctrl_.config().profile.migration_probe_timeout);
+    return;
+  }
+
+  commit_move(rec, loc, move_ip);
+}
+
+void HostTrackingService::finish_move(net::MacAddress mac,
+                                      bool old_loc_reachable) {
+  const auto it = pending_moves_.find(mac);
+  if (it == pending_moves_.end()) return;
+  const PendingMove pending = it->second;
+  pending_moves_.erase(it);
+  HostRecord* rec = hosts_.find(mac);
+  // The binding may have vanished or rebound while the probe was in
+  // flight; a verdict about a stale old location is meaningless.
+  if (rec == nullptr || !(rec->loc == pending.old_loc)) return;
+  if (old_loc_reachable) {
+    // The original attachment point still answers: whoever claimed the
+    // identity elsewhere does not get the binding (blocks the naive
+    // pre-claim hijack while the victim is alive).
+    ++moves_rejected_;
+    ctrl_.trace_event(trace::EventKind::HostMoveRejected,
+                      mac.to_string() + " " + pending.old_loc.to_string() +
+                          " -/-> " + pending.new_loc.to_string(),
+                      pending.new_loc);
+    return;
+  }
+  commit_move(*rec, pending.new_loc, pending.ip);
+}
+
+void HostTrackingService::commit_move(HostRecord& rec, of::Location new_loc,
+                                      net::Ipv4Address ip) {
+  const sim::SimTime now = ctrl_.loop().now();
   HostEvent ev;
   ev.kind = HostEvent::Kind::Moved;
-  ev.mac = pkt.src_mac;
-  ev.ip = src_ip != net::Ipv4Address::any() ? src_ip : rec.ip;
+  ev.mac = rec.mac;
+  ev.ip = ip;
   ev.old_loc = rec.loc;
-  ev.new_loc = loc;
+  ev.new_loc = new_loc;
   ev.old_last_seen = rec.last_seen;
   if (ctrl_.notify_host_event(ev) == Verdict::Block) {
     ++blocked_;
-    ctrl_.trace_event(trace::EventKind::HostBlocked,
-                      pkt.src_mac.to_string(), loc);
+    ctrl_.trace_event(trace::EventKind::HostBlocked, rec.mac.to_string(),
+                      new_loc);
     return;
   }
   ctrl_.trace_event(trace::EventKind::HostMoved,
-                    pkt.src_mac.to_string() + " " + rec.loc.to_string() +
-                        " -> " + loc.to_string(),
-                    loc);
-  rec.loc = loc;
+                    rec.mac.to_string() + " " + rec.loc.to_string() + " -> " +
+                        new_loc.to_string(),
+                    new_loc);
+  rec.loc = new_loc;
   rec.last_seen = now;
-  if (src_ip != net::Ipv4Address::any()) rec.ip = src_ip;
+  if (ip != net::Ipv4Address::any()) rec.ip = ip;
   ++migrations_;
   routing_service().on_host_moved(ev);
 }

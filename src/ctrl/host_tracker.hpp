@@ -10,6 +10,7 @@
 // nothing, and enumeration is only exposed as a MAC-sorted snapshot.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -29,7 +30,7 @@ class HostTrackingService final : public MessageListener {
  public:
   explicit HostTrackingService(Controller& ctrl);
 
-  // --- MessageListener (registered at kPriorityHostTracking) ---
+  // --- MessageListener (registered at profile layout.host_tracking) ---
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::uint32_t subscriptions() const override;
   Disposition on_message(const PipelineMessage& msg,
@@ -60,18 +61,45 @@ class HostTrackingService final : public MessageListener {
   [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
   /// Number of host events suppressed by a defense verdict.
   [[nodiscard]] std::uint64_t blocked_events() const { return blocked_; }
+  /// Number of moves rejected because the old attachment point answered
+  /// a probe-before-move reachability check (ONOS migration policy).
+  [[nodiscard]] std::uint64_t moves_rejected() const {
+    return moves_rejected_;
+  }
+  /// Moves currently awaiting a probe-before-move verdict.
+  [[nodiscard]] std::size_t pending_moves() const {
+    return pending_moves_.size();
+  }
 
  private:
+  /// A sighting at a new location held back while the old attachment
+  /// point is probed (MigrationPolicy::ProbeBeforeMove). Further
+  /// sightings of the same MAC are ignored until the probe resolves.
+  struct PendingMove {
+    of::Location old_loc;
+    of::Location new_loc;
+    net::Ipv4Address ip;
+  };
+
   static net::Ipv4Address source_ip_of(const net::Packet& pkt);
   /// Peer service, resolved through the registry on first use (the
   /// registry is populated after the services are constructed).
   [[nodiscard]] RoutingService& routing_service();
+  /// Probe resolution: a reachable old location rejects the move; an
+  /// unanswered probe dispatches the Moved event and commits.
+  void finish_move(net::MacAddress mac, bool old_loc_reachable);
+  /// Dispatch the Moved event through the pipeline and rebind `rec`.
+  void commit_move(HostRecord& rec, of::Location new_loc,
+                   net::Ipv4Address ip);
 
   Controller& ctrl_;
   RoutingService* routing_ = nullptr;  // lazily cached registry lookup
   HostTable hosts_;
+  // std::map for deterministic iteration/erasure order across trials.
+  std::map<net::MacAddress, PendingMove> pending_moves_;
   std::uint64_t migrations_ = 0;
   std::uint64_t blocked_ = 0;
+  std::uint64_t moves_rejected_ = 0;
 };
 
 }  // namespace tmg::ctrl

@@ -27,10 +27,15 @@ Disposition LinkDiscoveryService::on_message(const PipelineMessage& msg,
     handle_lldp_packet_in(*msg.packet_in);
     return Disposition::Stop;  // LLDP never reaches host tracking/routing
   }
-  if (msg.type == MessageType::PortStatus &&
-      msg.port_status->reason == of::PortStatus::Reason::Down) {
-    handle_port_down(of::Location{msg.port_status->dpid,
-                                  msg.port_status->port});
+  if (msg.type == MessageType::PortStatus) {
+    if (msg.port_status->reason == of::PortStatus::Reason::Down) {
+      handle_port_down(of::Location{msg.port_status->dpid,
+                                    msg.port_status->port});
+    } else if (ctrl_.config().profile.probe_on_port_up) {
+      // Event-triggered discovery (ONOS / sOFTDP): a port coming up is
+      // probed immediately instead of waiting out the periodic round.
+      emit_port(msg.port_status->dpid, msg.port_status->port);
+    }
   }
   return Disposition::Continue;
 }
@@ -48,35 +53,38 @@ net::LldpPacket LinkDiscoveryService::construct_lldp(
   return lldp;
 }
 
-void LinkDiscoveryService::emit_round() {
+void LinkDiscoveryService::emit_port(of::Dpid dpid, of::PortNo port) {
   const sim::SimTime now = ctrl_.loop().now();
   obs::Observability* obs = ctrl_.observability();
+  const std::uint64_t nonce = next_nonce_++;
+  net::LldpPacket lldp = construct_lldp(dpid, port, nonce, now);
+  auto [slot, first] = outstanding_.try_emplace(of::Location{dpid, port});
+  // Superseding a probe that was never answered retires it to the
+  // "expired" bucket (LLDP conservation; see lldp_accounting()).
+  if (!first && !slot->second.matched) {
+    ++expired_;
+    if (obs != nullptr && slot->second.span != 0) {
+      obs->trace().annotate(slot->second.span, "outcome", "expired");
+      obs->trace().end_span(slot->second.span, now);
+    }
+  }
+  obs::SpanId span = 0;
+  if (obs != nullptr) {
+    span = obs->trace().begin_span(now, "lldp", "rtt");
+    obs->trace().annotate(span, "src", of::Location{dpid, port}.to_string());
+  }
+  slot->second = Emission{nonce, now, false, span};
+  ++emissions_;
+  ctrl_.send_packet_out(
+      dpid, port,
+      net::make_lldp_frame(net::MacAddress::lldp_multicast(),
+                           std::move(lldp)));
+}
+
+void LinkDiscoveryService::emit_round() {
   for (const of::Dpid dpid : ctrl_.switch_dpids()) {
     for (const of::PortNo port : ctrl_.switch_ports(dpid)) {
-      const std::uint64_t nonce = next_nonce_++;
-      net::LldpPacket lldp = construct_lldp(dpid, port, nonce, now);
-      auto [slot, first] = outstanding_.try_emplace(of::Location{dpid, port});
-      // Superseding a probe that was never answered retires it to the
-      // "expired" bucket (LLDP conservation; see lldp_accounting()).
-      if (!first && !slot->second.matched) {
-        ++expired_;
-        if (obs != nullptr && slot->second.span != 0) {
-          obs->trace().annotate(slot->second.span, "outcome", "expired");
-          obs->trace().end_span(slot->second.span, now);
-        }
-      }
-      obs::SpanId span = 0;
-      if (obs != nullptr) {
-        span = obs->trace().begin_span(now, "lldp", "rtt");
-        obs->trace().annotate(span,
-                              "src", of::Location{dpid, port}.to_string());
-      }
-      slot->second = Emission{nonce, now, false, span};
-      ++emissions_;
-      ctrl_.send_packet_out(
-          dpid, port,
-          net::make_lldp_frame(net::MacAddress::lldp_multicast(),
-                               std::move(lldp)));
+      emit_port(dpid, port);
     }
   }
   ctrl_.loop().post_after(ctrl_.config().profile.lldp_interval,

@@ -32,11 +32,13 @@ class LinkDiscoveryService final : public MessageListener {
   /// Start periodic LLDP rounds and the link-timeout sweep.
   void start();
 
-  // --- MessageListener (registered at kPriorityLinkDiscovery) ---
+  // --- MessageListener (registered at profile layout.link_discovery) ---
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::uint32_t subscriptions() const override;
   /// LLDP Packet-Ins are consumed here (Stop); Port-Down status drops
-  /// every link with that endpoint and lets the chain continue.
+  /// every link with that endpoint and lets the chain continue. With
+  /// the profile's probe_on_port_up knob, Port-Up triggers an immediate
+  /// LLDP emission on that port (event-triggered discovery).
   Disposition on_message(const PipelineMessage& msg,
                          DispatchContext& ctx) override;
 
@@ -56,6 +58,11 @@ class LinkDiscoveryService final : public MessageListener {
 
   /// Emit one full LLDP round immediately (also runs periodically).
   void emit_round();
+
+  /// Emit a single LLDP probe on one (switch, port) — the unit of work
+  /// emit_round loops over, also fired directly on Port-Up when the
+  /// profile enables probe_on_port_up.
+  void emit_port(of::Dpid dpid, of::PortNo port);
 
   struct LinkState {
     topo::Link link;

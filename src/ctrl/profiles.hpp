@@ -1,29 +1,117 @@
-// Per-controller discovery timing profiles (paper Table III).
+// Per-controller pipeline profiles (paper Table III + Sec. VII).
+//
+// A ControllerProfile is the complete data description of how one
+// controller family processes topology-relevant messages: the listener
+// slots and priority bands its MessagePipeline is assembled from, the
+// dispatch discipline (ordered-with-stop vs broadcast-observe), the
+// discovery/timeout timers from Table III, the host-migration policy
+// (immediate rebind vs ONOS's probe-before-move), and discovery
+// strategy knobs (event-triggered port probing, sOFTDP-style). The
+// Controller constructor reads the profile instead of hard-coding any
+// of this, so swapping profiles swaps the whole processing model while
+// keeping the default Floodlight chain byte-identical.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "ctrl/message_pipeline.hpp"
 #include "sim/time.hpp"
 
 namespace tmg::ctrl {
 
+/// Pipeline slot table (DESIGN.md §13). Lower runs first; defense
+/// module N installs at defense_base + N * defense_step, preserving
+/// installation order. A negative slot compiles the listener out of the
+/// chain entirely (OpenDaylight has no verdict gate: defenses observe
+/// and alert but never suppress a service commit).
+struct PipelineLayout {
+  int core = 0;
+  int defense_base = 100;
+  int defense_step = 10;
+  int verdict_gate = 900;
+  int link_discovery = 1000;
+  int host_tracking = 1100;
+  int routing = 1200;
+};
+
+/// How the chain treats listener verdicts (DESIGN.md §13).
+enum class DispatchDiscipline {
+  /// Floodlight IOFMessageListener model: the chain runs in priority
+  /// order and a Stop (or a Block verdict at the gate) ends dispatch.
+  OrderedStop,
+  /// OpenDaylight MD-SAL notification model: every subscriber observes
+  /// every message; defense verdicts are advisory (alert-only) and the
+  /// derived-event dispatch result is always Allow.
+  BroadcastObserve,
+};
+
+/// What the host tracker does when a known MAC shows up at a new
+/// attachment point (paper Sec. III-A.2 / Sec. VII).
+enum class MigrationPolicy {
+  /// Floodlight/POX DeviceManager: rebind on first sighting.
+  Immediate,
+  /// ONOS HostLocationProvider with host move tracking: probe the old
+  /// attachment point first; only an unanswered probe commits the move.
+  ProbeBeforeMove,
+};
+
 struct ControllerProfile {
   std::string name;
+
+  // --- Discovery timers (paper Table III) ---
   /// Period between LLDP emission rounds.
   sim::Duration lldp_interval;
   /// A link is dropped from the topology if not re-verified within this.
   sim::Duration link_timeout;
+
+  // --- Pipeline shape ---
+  PipelineLayout layout;
+  DispatchDiscipline discipline = DispatchDiscipline::OrderedStop;
+  /// Subscription mask handed to every installed defense adapter.
+  /// Everything except EchoReply/FlowRemoved, which the core consumes.
+  std::uint32_t defense_subscriptions =
+      MessageType::PacketIn | MessageType::PortStatus |
+      MessageType::FlowStats | MessageType::PortStats |
+      MessageType::LldpObservation | MessageType::HostEvent |
+      MessageType::LinkRemoved | MessageType::FlowModOut;
+
+  // --- Host-migration policy ---
+  MigrationPolicy migration = MigrationPolicy::Immediate;
+  /// How long a probe-before-move reachability probe waits before the
+  /// old attachment point is declared vacated (ProbeBeforeMove only).
+  sim::Duration migration_probe_timeout = sim::Duration::millis(300);
+
+  // --- Discovery strategy ---
+  /// Re-probe a port with LLDP as soon as it reports Up, instead of
+  /// waiting for the next periodic round (ONOS; sOFTDP-style
+  /// event-triggered discovery).
+  bool probe_on_port_up = false;
 };
 
-/// Floodlight: 15s discovery, 35s timeout.
+/// Floodlight: 15s discovery, 35s timeout, ordered chain with verdict
+/// gate, immediate host rebind. This is the repo default; every golden
+/// output is pinned against it.
 ControllerProfile floodlight_profile();
-/// POX: 5s discovery, 10s timeout.
+/// POX: 5s discovery, 10s timeout; same dispatch shape as Floodlight.
 ControllerProfile pox_profile();
-/// OpenDaylight: 5s discovery, 15s timeout.
+/// OpenDaylight: 5s discovery, 15s timeout; broadcast-observe dispatch
+/// with no verdict gate (defenses alert but never block).
 ControllerProfile opendaylight_profile();
+/// ONOS: 3s discovery, 10s timeout, probe-before-move host migration,
+/// event-triggered port probing.
+ControllerProfile onos_profile();
 
-/// All Table III rows, in the paper's order.
+/// All profile rows, Table III order first, then ONOS.
 std::vector<ControllerProfile> all_profiles();
+
+/// CLI keys accepted by profile_by_name, in all_profiles() order.
+std::vector<std::string> profile_cli_names();
+
+/// Resolve a CLI key ("floodlight", "pox", "opendaylight", "onos") to
+/// its profile; nullopt for an unknown key. Matching is exact.
+std::optional<ControllerProfile> profile_by_name(const std::string& name);
 
 }  // namespace tmg::ctrl

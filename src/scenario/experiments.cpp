@@ -120,6 +120,7 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
     TestbedOptions o = fig9_options(config.seed);
     o.controller.authenticate_lldp = opts.controller.authenticate_lldp;
     o.controller.lldp_timestamps = opts.controller.lldp_timestamps;
+    if (config.profile) o.controller.profile = *config.profile;
     // Keep start() from auto-attaching the audit battery when the
     // caller opted out (benches); see the explicit enable below.
     o.check_invariants = config.check_invariants;

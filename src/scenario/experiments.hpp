@@ -123,6 +123,9 @@ struct LinkAttackConfig {
   /// event loop). Reusing an arena is observationally neutral — see
   /// trial_arena.hpp.
   TrialArena* arena = nullptr;
+  /// Controller pipeline profile (see HijackConfig::profile). Unset
+  /// keeps the testbed default (Floodlight).
+  std::optional<ctrl::ControllerProfile> profile;
 };
 
 LinkAttackOutcome run_link_attack(const LinkAttackConfig& config);
@@ -153,9 +156,13 @@ struct HijackConfig {
   bool check_invariants = true;
   /// Per-worker arena to run in (see LinkAttackConfig).
   TrialArena* arena = nullptr;
-  /// Controller discovery/timeout profile (paper Table III). Unset
-  /// keeps the testbed default; bench_montecarlo sweeps all_profiles()
-  /// to map how each controller's cadence shifts the race windows.
+  /// Controller pipeline profile: Table III timers plus the listener
+  /// layout, dispatch discipline, host-migration policy, and discovery
+  /// strategy of one controller family (profiles.hpp). Unset keeps the
+  /// testbed default (Floodlight); bench_montecarlo sweeps
+  /// all_profiles() to map how each controller's cadence *and*
+  /// processing model shift the race windows (ONOS's probe-before-move
+  /// delays or rejects the rebind entirely).
   std::optional<ctrl::ControllerProfile> profile;
 };
 

@@ -16,6 +16,7 @@ const char* to_string(EventKind kind) {
     case EventKind::LinkRemoved: return "LINK_REMOVED";
     case EventKind::HostNew: return "HOST_NEW";
     case EventKind::HostMoved: return "HOST_MOVED";
+    case EventKind::HostMoveRejected: return "HOST_MOVE_REJECTED";
     case EventKind::HostBlocked: return "HOST_BLOCKED";
     case EventKind::Alert: return "ALERT";
     case EventKind::EchoRtt: return "ECHO_RTT";

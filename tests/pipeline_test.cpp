@@ -238,21 +238,22 @@ TEST(ServiceRegistry, TypeMismatchFailsTheAssertion) {
 // Controller wiring
 // ---------------------------------------------------------------------
 
-TEST(ControllerPipeline, CoreChainUsesTheDocumentedPriorities) {
+TEST(ControllerPipeline, CoreChainUsesTheProfileLayout) {
   sim::EventLoop loop;
   Controller ctrl{loop, sim::Rng{1}, ControllerConfig{}};
+  const PipelineLayout layout = ctrl.config().profile.layout;
   const auto stats = ctrl.pipeline_stats();
   ASSERT_EQ(stats.size(), 5u);
   EXPECT_EQ(stats[0].name, "controller-core");
-  EXPECT_EQ(stats[0].priority, kPriorityCore);
+  EXPECT_EQ(stats[0].priority, layout.core);
   EXPECT_EQ(stats[1].name, "verdict-gate");
-  EXPECT_EQ(stats[1].priority, kPriorityVerdictGate);
+  EXPECT_EQ(stats[1].priority, layout.verdict_gate);
   EXPECT_EQ(stats[2].name, kLinkDiscoveryServiceName);
-  EXPECT_EQ(stats[2].priority, kPriorityLinkDiscovery);
+  EXPECT_EQ(stats[2].priority, layout.link_discovery);
   EXPECT_EQ(stats[3].name, kHostTrackingServiceName);
-  EXPECT_EQ(stats[3].priority, kPriorityHostTracking);
+  EXPECT_EQ(stats[3].priority, layout.host_tracking);
   EXPECT_EQ(stats[4].name, kRoutingServiceName);
-  EXPECT_EQ(stats[4].priority, kPriorityRouting);
+  EXPECT_EQ(stats[4].priority, layout.routing);
   EXPECT_TRUE(ctrl.pipeline().audit().empty());
 
   // The three core services are registered under their canonical names.

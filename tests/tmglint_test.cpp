@@ -4,9 +4,10 @@
 //
 //   * the real source tree is clean (findings in src/ get fixed or
 //     deliberately annotated in the same change that introduces them);
-//   * the checked-in pipeline_spec.txt equals BOTH the statically
-//     extracted chain and the chain a live Controller actually builds
-//     (names, priorities, subscription masks — band entries expanded).
+//   * every checked-in pipeline_spec_<profile>.txt equals BOTH the
+//     statically extracted chain for that profile and the chain a live
+//     Controller actually builds under it (names, priorities,
+//     subscription masks — band entries expanded).
 //
 // TMGLINT_FIXTURES and TMG_SOURCE_ROOT are compile definitions set in
 // tests/CMakeLists.txt.
@@ -26,6 +27,7 @@
 #include "analyzer.hpp"
 #include "ctrl/controller.hpp"
 #include "ctrl/message_pipeline.hpp"
+#include "ctrl/profiles.hpp"
 #include "defense/sphinx.hpp"
 #include "defense/topoguard.hpp"
 #include "sim/event_loop.hpp"
@@ -220,9 +222,14 @@ TEST(SuppressionAudit, LiveDirectivesPassStaleOnesFail) {
 TEST(PipelineFixtures, GoodWiringMatchesItsSpec) {
   const SourceTree tree = load_source_tree(fixture("pipeline_good"));
   std::vector<Finding> findings;
-  const PipelineSpec extracted = run_pipeline_pass(
+  const std::vector<ProfileSpec> specs = run_pipeline_pass(
       tree, fixture("pipeline_good") + "/pipeline_spec.txt", false, findings);
   EXPECT_TRUE(findings.empty()) << render_report(findings);
+  // No <key>_profile() functions in the fixture: legacy single-spec
+  // mode extracts exactly one keyless chain.
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs.front().key, "");
+  const PipelineSpec& extracted = specs.front().spec;
   ASSERT_EQ(extracted.entries.size(), 3u);
   EXPECT_EQ(to_line(extracted.entries[0]), "0 core PacketIn");
   EXPECT_EQ(to_line(extracted.entries[1]),
@@ -291,17 +298,36 @@ TEST(RealTree, ReportIsByteIdenticalAcrossRuns) {
   const AnalysisResult a = analyze(real_tree_options());
   const AnalysisResult b = analyze(real_tree_options());
   EXPECT_EQ(render_report(a.findings), render_report(b.findings));
-  EXPECT_EQ(emit_pipeline_spec(a.extracted), emit_pipeline_spec(b.extracted));
+  ASSERT_EQ(a.extracted.size(), b.extracted.size());
+  for (std::size_t i = 0; i < a.extracted.size(); ++i) {
+    EXPECT_EQ(a.extracted[i].key, b.extracted[i].key);
+    EXPECT_EQ(emit_pipeline_spec(a.extracted[i].spec, a.extracted[i].key),
+              emit_pipeline_spec(b.extracted[i].spec, b.extracted[i].key));
+  }
 }
 
-TEST(RealTree, EmittedSpecEqualsCheckedInFile) {
+TEST(RealTree, ExtractsOneSpecPerProfile) {
   const AnalysisResult result = analyze(real_tree_options());
-  std::ifstream in(std::string{TMG_SOURCE_ROOT} +
-                   "/tools/tmglint/pipeline_spec.txt");
-  ASSERT_TRUE(in.good());
-  std::ostringstream file;
-  file << in.rdbuf();
-  EXPECT_EQ(emit_pipeline_spec(result.extracted), file.str());
+  std::vector<std::string> keys;
+  for (const auto& ps : result.extracted) keys.push_back(ps.key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"floodlight", "pox",
+                                            "opendaylight", "onos"}));
+}
+
+TEST(RealTree, EmittedSpecEqualsCheckedInFilePerProfile) {
+  const AnalysisResult result = analyze(real_tree_options());
+  ASSERT_FALSE(result.extracted.empty());
+  for (const auto& ps : result.extracted) {
+    ASSERT_FALSE(ps.key.empty());
+    const std::string path = std::string{TMG_SOURCE_ROOT} +
+                             "/tools/tmglint/pipeline_spec_" + ps.key +
+                             ".txt";
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::ostringstream file;
+    file << in.rdbuf();
+    EXPECT_EQ(emit_pipeline_spec(ps.spec, ps.key), file.str()) << path;
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -332,57 +358,67 @@ std::uint32_t mask_from_spec_subs(const std::vector<std::string>& subs) {
 }
 
 TEST(RealTree, SpecMatchesRuntimeChain) {
-  // The statically extracted spec, with the defense band expanded for
-  // two installed modules, must equal the live chain.
-  std::string error;
-  const auto spec = parse_pipeline_spec(
-      std::string{TMG_SOURCE_ROOT} + "/tools/tmglint/pipeline_spec.txt",
-      &error);
-  ASSERT_TRUE(spec.has_value()) << error;
+  // Per profile: the statically extracted spec, with the defense band
+  // expanded for two installed modules, must equal the live chain a
+  // Controller running that profile actually builds (OpenDaylight's
+  // chain has no verdict gate; the others carry the full slot table).
+  for (const std::string& key : ctrl::profile_cli_names()) {
+    SCOPED_TRACE("profile " + key);
+    std::string error;
+    const auto spec = parse_pipeline_spec(
+        std::string{TMG_SOURCE_ROOT} + "/tools/tmglint/pipeline_spec_" + key +
+            ".txt",
+        &error);
+    ASSERT_TRUE(spec.has_value()) << error;
 
-  sim::EventLoop loop;
-  ctrl::Controller controller{loop, sim::Rng{1}, ctrl::ControllerConfig{}};
-  controller.add_defense(std::make_unique<defense::TopoGuard>(controller));
-  controller.add_defense(std::make_unique<defense::Sphinx>(controller));
-  const auto stats = controller.pipeline().stats();
+    sim::EventLoop loop;
+    ctrl::ControllerConfig config;
+    config.profile = *ctrl::profile_by_name(key);
+    ctrl::Controller controller{loop, sim::Rng{1}, config};
+    controller.add_defense(std::make_unique<defense::TopoGuard>(controller));
+    controller.add_defense(std::make_unique<defense::Sphinx>(controller));
+    const auto stats = controller.pipeline().stats();
 
-  // Expand the spec into the expected runtime chain: a band entry
-  // `B+SN` becomes one listener per installed module at B, B+S, ...
-  struct Expected {
-    int priority;
-    std::string name;  // empty = dynamic, matches anything
-    std::uint32_t mask;
-  };
-  std::vector<Expected> expected;
-  constexpr int kInstalledDefenses = 2;
-  for (const auto& e : spec->entries) {
-    const std::uint32_t mask = mask_from_spec_subs(e.subs);
-    const auto plus = e.priority.find('+');
-    if (plus == std::string::npos) {
-      expected.push_back(
-          {std::stoi(e.priority), e.name == "<dynamic>" ? "" : e.name, mask});
-      continue;
+    // Expand the spec into the expected runtime chain: a band entry
+    // `B+SN` becomes one listener per installed module at B, B+S, ...
+    struct Expected {
+      int priority;
+      std::string name;  // empty = dynamic, matches anything
+      std::uint32_t mask;
+    };
+    std::vector<Expected> expected;
+    constexpr int kInstalledDefenses = 2;
+    for (const auto& e : spec->entries) {
+      const std::uint32_t mask = mask_from_spec_subs(e.subs);
+      const auto plus = e.priority.find('+');
+      if (plus == std::string::npos) {
+        expected.push_back({std::stoi(e.priority),
+                            e.name == "<dynamic>" ? "" : e.name, mask});
+        continue;
+      }
+      const int base = std::stoi(e.priority.substr(0, plus));
+      const int step = std::stoi(e.priority.substr(plus + 1));  // "10N"
+      for (int n = 0; n < kInstalledDefenses; ++n) {
+        expected.push_back(
+            {base + step * n, e.name == "<dynamic>" ? "" : e.name, mask});
+      }
     }
-    const int base = std::stoi(e.priority.substr(0, plus));
-    const int step = std::stoi(e.priority.substr(plus + 1));  // "10N"
-    for (int n = 0; n < kInstalledDefenses; ++n) {
-      expected.push_back(
-          {base + step * n, e.name == "<dynamic>" ? "" : e.name, mask});
-    }
-  }
-  std::sort(expected.begin(), expected.end(),
-            [](const Expected& a, const Expected& b) {
-              return std::tie(a.priority, a.name) < std::tie(b.priority, b.name);
-            });
+    std::sort(
+        expected.begin(), expected.end(),
+        [](const Expected& a, const Expected& b) {
+          return std::tie(a.priority, a.name) < std::tie(b.priority, b.name);
+        });
 
-  ASSERT_EQ(stats.size(), expected.size());
-  for (std::size_t i = 0; i < expected.size(); ++i) {
-    EXPECT_EQ(stats[i].priority, expected[i].priority) << "chain[" << i << "]";
-    if (!expected[i].name.empty()) {
-      EXPECT_EQ(stats[i].name, expected[i].name) << "chain[" << i << "]";
+    ASSERT_EQ(stats.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(stats[i].priority, expected[i].priority)
+          << "chain[" << i << "]";
+      if (!expected[i].name.empty()) {
+        EXPECT_EQ(stats[i].name, expected[i].name) << "chain[" << i << "]";
+      }
+      EXPECT_EQ(stats[i].subscriptions, expected[i].mask)
+          << "chain[" << i << "] (" << stats[i].name << ")";
     }
-    EXPECT_EQ(stats[i].subscriptions, expected[i].mask)
-        << "chain[" << i << "] (" << stats[i].name << ")";
   }
 }
 

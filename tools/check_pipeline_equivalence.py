@@ -15,6 +15,17 @@ The refactor's correctness contract (DESIGN.md §9) has two halves:
      worker counts must produce identical output, including the
      per-listener dispatch counters (`--pipeline-stats`).
 
+The per-controller profile layer adds two more:
+
+  3. Floodlight-profile golden equivalence -- `--profile=floodlight`
+     spells out the default, so its table must stay byte-identical to
+     the profile-less golden (the profile plumbing itself may not
+     perturb the default chain).
+
+  4. Per-profile determinism -- every profile (including ONOS's
+     probe-before-move migration and OpenDaylight's gate-less
+     broadcast chain) must produce identical tables at --jobs 1 vs 8.
+
 Usage: check_pipeline_equivalence.py <bench_attack_matrix> <golden_dir>
 
 Exit status: 0 all checks pass, 1 a diff was found, 2 setup error.
@@ -95,6 +106,21 @@ def main() -> int:
     first = run_bench(binary, *stacked, "--jobs", "4")
     second = run_bench(binary, *stacked, "--jobs", "8")
     ok &= show_diff("stacked --jobs 4 vs --jobs 8", first, second)
+
+    print("pipeline equivalence: --profile=floodlight is the default")
+    golden = golden_dir / "attack_matrix_single_defense.txt"
+    want = golden.read_text(encoding="utf-8").splitlines()
+    got = run_bench(binary, "--trials", "1", "--jobs", "1",
+                    "--profile=floodlight")
+    ok &= show_diff("floodlight profile vs golden", want, got)
+
+    print("pipeline equivalence: per-profile determinism across worker "
+          "counts")
+    for profile in ["floodlight", "pox", "opendaylight", "onos"]:
+        flags = ["--trials", "2", f"--profile={profile}"]
+        first = run_bench(binary, *flags, "--jobs", "1")
+        second = run_bench(binary, *flags, "--jobs", "8")
+        ok &= show_diff(f"{profile} --jobs 1 vs --jobs 8", first, second)
 
     if not ok:
         print("pipeline equivalence: FAILED -- the listener chain changed "

@@ -14,9 +14,11 @@
 //                  rejection.
 //   pipeline     — MessagePipeline wiring: every registration in
 //                  src/ctrl + src/defense is statically extracted
-//                  (priority constants folded, listener names resolved
-//                  through name() bodies) and diffed against the
-//                  checked-in tools/tmglint/pipeline_spec.txt.
+//                  (PipelineLayout slots and priority constants folded,
+//                  listener names resolved through name() bodies),
+//                  instantiated once per harvested `<key>_profile()`
+//                  layout, and diffed against the checked-in
+//                  tools/tmglint/pipeline_spec_<key>.txt files.
 //
 // A suppression audit runs whenever every suppressable pass ran: any
 // `allow(<rule>)` that suppressed nothing is itself a finding.
@@ -38,7 +40,10 @@ struct Options {
   std::string root;
   /// Empty = all passes.
   std::set<Pass> passes;
-  /// Defaults to <root>/tools/tmglint/pipeline_spec.txt.
+  /// Defaults to <root>/tools/tmglint/pipeline_spec.txt. Per-profile
+  /// spec files live next to it as pipeline_spec_<key>.txt; the path
+  /// itself is only read in legacy single-spec mode (fixture trees with
+  /// no profile functions).
   std::string spec_path;
   /// Extract the pipeline spec without diffing it (--emit-pipeline-spec).
   bool skip_spec_diff = false;
@@ -49,7 +54,9 @@ struct Options {
 
 struct AnalysisResult {
   std::vector<Finding> findings;  // sorted
-  PipelineSpec extracted;         // pipeline pass output (if it ran)
+  /// Pipeline pass output (if it ran): one spec per harvested profile,
+  /// or a single keyless spec in legacy single-spec mode.
+  std::vector<ProfileSpec> extracted;
   bool pipeline_ran = false;
 };
 
@@ -62,10 +69,9 @@ void run_determinism_pass(const SourceTree& tree,
                           std::vector<Finding>& findings);
 void run_lifetime_pass(const SourceTree& tree, std::vector<Finding>& findings);
 void run_layering_pass(const SourceTree& tree, std::vector<Finding>& findings);
-[[nodiscard]] PipelineSpec run_pipeline_pass(const SourceTree& tree,
-                                             const std::string& spec_path,
-                                             bool skip_spec_diff,
-                                             std::vector<Finding>& findings);
+[[nodiscard]] std::vector<ProfileSpec> run_pipeline_pass(
+    const SourceTree& tree, const std::string& spec_path, bool skip_spec_diff,
+    std::vector<Finding>& findings);
 /// Report allow()/skip-file directives that suppressed nothing. Must
 /// run after the suppressable passes (they set the consumption flags).
 void run_suppression_audit(const SourceTree& tree,

@@ -1,15 +1,19 @@
 // tmglint CLI.
 //
 //   tmglint --root <repo> [--pass <p>]... [--spec <file>]
-//           [--emit-pipeline-spec] [--audit | --no-audit]
+//           [--emit-pipeline-spec [--profile <key>]]
+//           [--audit | --no-audit]
 //
 // Passes: determinism, lifetime, layering, pipeline (default: all four
 // plus the suppression audit). Exit 0 clean, 1 findings, 2 usage or
 // I/O error.
 //
-// --emit-pipeline-spec prints the extracted chain in the checked-in
-// spec format and exits; redirect it over
-// tools/tmglint/pipeline_spec.txt after a deliberate wiring change.
+// --emit-pipeline-spec prints the extracted chain(s) in the checked-in
+// spec format and exits. With --profile <key> only that profile's
+// chain is printed; redirect it over
+// tools/tmglint/pipeline_spec_<key>.txt after a deliberate wiring
+// change. Without --profile every extracted spec is printed, each
+// under its own header.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -24,8 +28,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --root <repo> [--pass "
       "determinism|lifetime|layering|pipeline]...\n"
-      "          [--spec <file>] [--emit-pipeline-spec] [--audit | "
-      "--no-audit]\n",
+      "          [--spec <file>] [--emit-pipeline-spec [--profile <key>]]\n"
+      "          [--audit | --no-audit]\n",
       argv0);
   return 2;
 }
@@ -37,12 +41,15 @@ int main(int argc, char** argv) {
   tmg::tmglint::Options opts;
   opts.root = ".";
   bool emit_spec = false;
+  std::string emit_profile;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       opts.root = argv[++i];
     } else if (arg == "--spec" && i + 1 < argc) {
       opts.spec_path = argv[++i];
+    } else if (arg == "--profile" && i + 1 < argc) {
+      emit_profile = argv[++i];
     } else if (arg == "--pass" && i + 1 < argc) {
       const std::string p = argv[++i];
       if (p == "determinism") {
@@ -73,13 +80,27 @@ int main(int argc, char** argv) {
     opts.passes = {Pass::Pipeline};
     opts.skip_spec_diff = true;
     opts.audit_override = 0;
+  } else if (!emit_profile.empty()) {
+    std::fprintf(stderr,
+                 "tmglint: --profile only applies to --emit-pipeline-spec\n");
+    return usage(argv[0]);
   }
 
   try {
     const tmg::tmglint::AnalysisResult result = tmg::tmglint::analyze(opts);
     if (emit_spec) {
-      const std::string out =
-          tmg::tmglint::emit_pipeline_spec(result.extracted);
+      std::string out;
+      bool matched = emit_profile.empty();
+      for (const auto& ps : result.extracted) {
+        if (!emit_profile.empty() && ps.key != emit_profile) continue;
+        matched = true;
+        out += tmg::tmglint::emit_pipeline_spec(ps.spec, ps.key);
+      }
+      if (!matched) {
+        std::fprintf(stderr, "tmglint: no extracted profile named '%s'\n",
+                     emit_profile.c_str());
+        return 2;
+      }
       std::fwrite(out.data(), 1, out.size(), stdout);
       // Extraction problems (unresolvable registrations) still fail.
       return result.findings.empty() ? 0 : 1;

@@ -1,17 +1,21 @@
 // tmglint: pipeline wiring spec.
 //
-// The spec file (tools/tmglint/pipeline_spec.txt) is the checked-in
-// source of truth for the controller's listener chain: one line per
-// registration, `<priority> <name> <subscriptions>`, in dispatch order.
-// Priorities are either integers or a band expression `B+SN` (base B,
-// step S per installed module — the defense band); names are either
-// literal listener names or `<dynamic>` for adapters whose name is a
-// runtime value; subscriptions are `|`-joined MessageType identifiers
-// in sorted order, `-` when none could be extracted.
+// The spec files (tools/tmglint/pipeline_spec_<profile>.txt, one per
+// ControllerProfile) are the checked-in source of truth for the
+// controller's listener chain: one line per registration,
+// `<priority> <name> <subscriptions>`, in dispatch order. Priorities
+// are either integers or a band expression `B+SN` (base B, step S per
+// installed module — the defense band); names are either literal
+// listener names or `<dynamic>` for adapters whose name is a runtime
+// value; subscriptions are `|`-joined MessageType identifiers in
+// sorted order, `-` when none could be extracted.
 //
-// The pipeline pass reconstructs the same structure from the sources
-// and diffs the two; tests/tmglint_test.cpp additionally diffs the spec
-// against the chain a live MessagePipeline reports at runtime.
+// The pipeline pass reconstructs the same structure from the sources —
+// instantiating the PipelineLayout slot table once per harvested
+// `<key>_profile()` override set, dropping negative (compiled-out)
+// slots — and diffs each against its file; tests/tmglint_test.cpp
+// additionally diffs every spec against the chain a live
+// MessagePipeline reports at runtime under that profile.
 #pragma once
 
 #include <optional>
@@ -34,11 +38,24 @@ struct PipelineSpec {
   std::vector<SpecEntry> entries;  // dispatch order
 };
 
+/// One instantiated chain: the layout of `<key>_profile()` applied to
+/// the registration sites. `key` is the profile's CLI name; empty in
+/// legacy single-spec mode (trees with no profile functions — the
+/// fixtures — extract exactly one keyless spec).
+struct ProfileSpec {
+  std::string key;
+  PipelineSpec spec;
+};
+
 /// Render one entry as a spec line.
 [[nodiscard]] std::string to_line(const SpecEntry& e);
 
-/// Canonical file contents (header comment + one line per entry).
-[[nodiscard]] std::string emit_pipeline_spec(const PipelineSpec& spec);
+/// Canonical file contents (header comment + one line per entry). A
+/// non-empty `profile_key` names the profile in the header and points
+/// the regeneration command at that profile's spec file.
+[[nodiscard]] std::string emit_pipeline_spec(const PipelineSpec& spec,
+                                             const std::string& profile_key =
+                                                 "");
 
 /// Parse a spec file. Returns nullopt (with *error set) on I/O or
 /// syntax problems.
