@@ -244,6 +244,7 @@ int main(int argc, char** argv) {
     cfg.obs = &obs;
     (void)scenario::run_link_attack(cfg);
     result.obs_metrics_json = obs.metrics_json(obs.final_time());
+    if (!write_obs_artifacts(opts, obs)) return 1;
   }
   if (!report_bench(opts, result)) return 1;
   return check_invariants && inv_violations != 0 ? 1 : 0;

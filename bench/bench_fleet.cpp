@@ -24,6 +24,9 @@
 //   --trials N   trials per (cell, attack) (default 4; --quick 2)
 //   --jobs N     worker threads (0 = hardware)
 //   --json PATH  bench record + "fleet" cell tables
+//   --obs        observed re-run of the first cell's hijack ("obs" key)
+//   --obs-out / --trace-out
+//                export that run's metrics JSON / trace JSONL to files
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -34,6 +37,7 @@
 #include "bench_util.hpp"
 #include "ctrl/host_table.hpp"
 #include "ctrl/profiles.hpp"
+#include "obs/observability.hpp"
 #include "scenario/fleet.hpp"
 #include "scenario/trial_arena.hpp"
 #include "scenario/trial_runner.hpp"
@@ -370,5 +374,23 @@ int main(int argc, char** argv) {
   result.extra_json = "{\"trials_per_cell\": " + std::to_string(per_cell) +
                       ", \"host_table\": " + host_table_json +
                       ", \"cells\": " + cells_json + "}";
+  if (opts.obs) {
+    // Observed re-run of the first cell's hijack trial (seed 42), kept
+    // out of the timed sweep above. Its metrics land under "obs" in
+    // the JSON result; --obs-out and --trace-out export the snapshot /
+    // trace for tools/train_profile.
+    obs::Observability obs;
+    scenario::FleetHijackConfig cfg;
+    cfg.topology = cells.front().gen;
+    cfg.seed = scenario::TrialRunner::trial_seed(42, 0);
+    cfg.background_on = cells.front().background;
+    cfg.profile = cells.front().profile;
+    cfg.settle_window = sim::Duration::seconds(3);
+    cfg.check_invariants = false;
+    cfg.obs = &obs;
+    (void)scenario::run_fleet_hijack(cfg);
+    result.obs_metrics_json = obs.metrics_json(obs.final_time());
+    if (!write_obs_artifacts(opts, obs)) return 1;
+  }
   return report_bench(opts, result) ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <optional>
 
+#include "obs/observability.hpp"
 #include "scenario/trial_runner.hpp"
 #include "sim/fastpath.hpp"
 #include "sim/thread_pool.hpp"
@@ -52,12 +53,45 @@ HarnessOptions parse_harness_args(int argc, char** argv) {
       opts.json_path = argv[i + 1];
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       opts.json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--obs-out") == 0 && i + 1 < argc) {
+      opts.obs_out_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--obs-out=", 10) == 0) {
+      opts.obs_out_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      opts.trace_out_path = argv[i + 1];
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      opts.trace_out_path = argv[i] + 12;
     }
+  }
+  // The export flags only make sense with the observability layer
+  // attached, so they imply --obs.
+  if (!opts.obs_out_path.empty() || !opts.trace_out_path.empty()) {
+    opts.obs = true;
   }
   // Applied here so every bench honours the flag without plumbing it
   // through its workload; worker threads inherit the process-global.
   if (opts.no_fastpath) sim::set_fastpath_enabled(false);
   return opts;
+}
+
+bool write_obs_artifacts(const HarnessOptions& opts, obs::Observability& obs) {
+  bool ok = true;
+  if (!opts.obs_out_path.empty()) {
+    if (!obs::write_text_file(opts.obs_out_path,
+                              obs.metrics_json(obs.final_time()))) {
+      std::fprintf(stderr, "[bench] cannot write %s\n",
+                   opts.obs_out_path.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.trace_out_path.empty()) {
+    if (!obs::write_text_file(opts.trace_out_path, obs.trace().to_jsonl())) {
+      std::fprintf(stderr, "[bench] cannot write %s\n",
+                   opts.trace_out_path.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 WallTimer::WallTimer()

@@ -10,6 +10,12 @@
 //   --obs           attach the observability layer to a representative
 //                   trial and embed its metrics snapshot under "obs" in
 //                   the JSON result (benches that support it)
+//   --obs-out PATH  also write that metrics snapshot to PATH as a
+//                   standalone JSON file (implies --obs)
+//   --trace-out PATH
+//                   also write the observed trial's trace log to PATH as
+//                   JSONL (implies --obs). tools/train_profile consumes
+//                   these exports to learn behavior profiles.
 //   --no-fastpath   disable the algorithmic fast paths (path cache,
 //                   indexed flow tables, incremental statistics) and run
 //                   the naive reference algorithms instead. Simulated
@@ -31,6 +37,10 @@
 
 #include "scenario/trial_runner.hpp"
 
+namespace tmg::obs {
+class Observability;
+}  // namespace tmg::obs
+
 namespace tmg::bench {
 
 struct HarnessOptions {
@@ -41,6 +51,8 @@ struct HarnessOptions {
   bool obs = false;            // --obs: collect an observability snapshot
   bool legacy_runner = false;  // --legacy-runner: per-trial task baseline
   std::string json_path;
+  std::string obs_out_path;    // --obs-out: metrics snapshot file
+  std::string trace_out_path;  // --trace-out: trace JSONL export file
 
   /// TrialRunner options for this bench invocation.
   [[nodiscard]] scenario::TrialRunnerOptions runner_options() const {
@@ -59,6 +71,12 @@ struct HarnessOptions {
 /// Parse the shared flags (unknown arguments are ignored so benches can
 /// layer their own).
 HarnessOptions parse_harness_args(int argc, char** argv);
+
+/// Write the --obs-out / --trace-out artifacts from an observed run:
+/// the final-time metrics snapshot and the trace JSONL export. No-op
+/// for paths not requested; returns false if any write failed (after
+/// printing a diagnostic).
+bool write_obs_artifacts(const HarnessOptions& opts, obs::Observability& obs);
 
 /// Monotonic stopwatch, started at construction.
 class WallTimer {

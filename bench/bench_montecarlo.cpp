@@ -17,6 +17,9 @@
 //   --trials N   trials per cell (default 1000; --quick 50)
 //   --jobs N     worker threads (0 = hardware)
 //   --json PATH  bench record + "montecarlo" quantile tables
+//   --obs        observed re-run of a representative trial ("obs" key)
+//   --obs-out / --trace-out
+//                export that run's metrics JSON / trace JSONL to files
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -26,6 +29,7 @@
 #include "bench_harness.hpp"
 #include "bench_util.hpp"
 #include "ctrl/profiles.hpp"
+#include "obs/observability.hpp"
 #include "scenario/experiments.hpp"
 #include "scenario/trial_arena.hpp"
 #include "scenario/trial_runner.hpp"
@@ -236,5 +240,21 @@ int main(int argc, char** argv) {
   result.extra_key = "montecarlo";
   result.extra_json = "{\"trials_per_cell\": " + std::to_string(per_cell) +
                       ", \"cells\": " + cells_json + "}";
+  if (opts.obs) {
+    // Observed re-run of one representative trial (first profile,
+    // undefended, seed 42), kept out of the timed sweep above. Its
+    // metrics land under "obs" in the JSON result; --obs-out and
+    // --trace-out export the snapshot / trace for tools/train_profile.
+    obs::Observability obs;
+    scenario::HijackConfig cfg;
+    cfg.suite = scenario::DefenseSuite::None;
+    cfg.profile = profiles.front();
+    cfg.seed = 42;
+    cfg.check_invariants = false;
+    cfg.obs = &obs;
+    (void)scenario::run_hijack(cfg);
+    result.obs_metrics_json = obs.metrics_json(obs.final_time());
+    if (!write_obs_artifacts(opts, obs)) return 1;
+  }
   return report_bench(opts, result) ? 0 : 1;
 }

@@ -270,6 +270,12 @@ void InvariantChecker::check_pipeline(std::vector<std::string>& out) {
     report(out, std::string{"pipeline: profile "} + profile.name +
                     ": layout omits the verdict gate but one is installed");
   }
+  if (layout.anomaly_ids >= 0) {
+    expect_slot("anomaly-ids", layout.anomaly_ids);
+  } else if (slot_of("anomaly-ids") != nullptr) {
+    report(out, std::string{"pipeline: profile "} + profile.name +
+                    ": layout omits the anomaly IDS but one is installed");
+  }
   const auto& modules = ctrl_.defense_modules();
   for (std::size_t i = 0; i < modules.size(); ++i) {
     const auto* s = slot_of(modules[i]->name());

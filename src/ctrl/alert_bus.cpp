@@ -26,6 +26,7 @@ const char* to_string(AlertType t) {
     case AlertType::ArpInspectionViolation: return "ARP_INSPECTION_VIOLATION";
     case AlertType::ActiveProbeViolation: return "ACTIVE_PROBE_VIOLATION";
     case AlertType::InvariantViolation: return "INVARIANT_VIOLATION";
+    case AlertType::AnomalyDeviation: return "ANOMALY_DEVIATION";
   }
   return "UNKNOWN";
 }

@@ -44,6 +44,10 @@ enum class AlertType {
   // Runtime invariant checker (src/check): simulator self-consistency,
   // not an attack signal. Any occurrence means corrupted internal state.
   InvariantViolation,
+  // Trace-profile anomaly IDS (src/ids): the live control-plane event
+  // stream deviated from the trained BehaviorProfile (unseen transition,
+  // rate-envelope breach, duration outlier, LLDP source violation).
+  AnomalyDeviation,
 };
 
 /// Human-readable name of an alert type.

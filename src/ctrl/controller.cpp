@@ -184,6 +184,60 @@ class DefenseListenerAdapter final : public MessageListener {
   std::uint32_t subscriptions_;
 };
 
+/// Adapts the controller's (optional, borrowed) anomaly detector onto
+/// the chain. Registered unconditionally at layout.anomaly_ids so the
+/// chain shape is profile data, not detector presence; with no detector
+/// attached every dispatch is a subscription-masked no-op. Verdicts
+/// accumulate exactly like the defense band's — whether the Block ever
+/// bites is the gate's (and the dispatch discipline's) business.
+class AnomalyListenerAdapter final : public MessageListener {
+ public:
+  explicit AnomalyListenerAdapter(const Controller& c) : c_{c} {}
+
+  [[nodiscard]] std::string name() const override { return "anomaly-ids"; }
+
+  [[nodiscard]] std::uint32_t subscriptions() const override {
+    return MessageType::PacketIn | MessageType::PortStatus |
+           MessageType::LldpObservation | MessageType::HostEvent |
+           MessageType::LinkRemoved | MessageType::FlowModOut;
+  }
+
+  Disposition on_message(const PipelineMessage& msg,
+                         DispatchContext& ctx) override {
+    DefenseModule* det = c_.anomaly_detector();
+    if (det == nullptr) return Disposition::Continue;
+    switch (msg.type) {
+      case MessageType::PacketIn:
+        accumulate(det->on_packet_in(*msg.packet_in), ctx);
+        break;
+      case MessageType::PortStatus:
+        det->on_port_status(*msg.port_status);
+        break;
+      case MessageType::LldpObservation:
+        accumulate(det->on_lldp_observation(*msg.lldp_observation), ctx);
+        break;
+      case MessageType::HostEvent:
+        accumulate(det->on_host_event(*msg.host_event), ctx);
+        break;
+      case MessageType::LinkRemoved:
+        det->on_link_removed(*msg.link_removed);
+        break;
+      case MessageType::FlowModOut:
+        det->on_flow_mod(msg.dpid, *msg.flow_mod);
+        break;
+      default: break;
+    }
+    return Disposition::Continue;
+  }
+
+ private:
+  static void accumulate(Verdict v, DispatchContext& ctx) {
+    if (v == Verdict::Block) ctx.verdict = Verdict::Block;
+  }
+
+  const Controller& c_;
+};
+
 }  // namespace
 
 Controller::Controller(sim::EventLoop& loop, sim::Rng rng,
@@ -206,6 +260,10 @@ Controller::Controller(sim::EventLoop& loop, sim::Rng rng,
   // slot omits that listener (OpenDaylight runs without a verdict gate).
   const PipelineLayout& layout = config_.profile.layout;
   pipeline_.add_owned(layout.core, std::make_unique<CoreListener>(*this));
+  if (layout.anomaly_ids >= 0) {
+    pipeline_.add_owned(layout.anomaly_ids,
+                        std::make_unique<AnomalyListenerAdapter>(*this));
+  }
   if (layout.verdict_gate >= 0) {
     pipeline_.add_owned(layout.verdict_gate, std::make_unique<VerdictGate>());
   }
@@ -342,11 +400,18 @@ void Controller::set_observability(obs::Observability* obs) {
     m.gauge("lldp.invalid_signature")
         .set(static_cast<double>(acc.invalid_signature));
     m.gauge("lldp.links").set(static_cast<double>(links_->link_states().size()));
+    const bool timing = pipeline_.timing();
     for (const auto& s : pipeline_.stats()) {
       m.gauge("pipeline.listener_dispatches{listener=" + s.name + "}")
           .set(static_cast<double>(s.dispatches));
       m.gauge("pipeline.listener_stops{listener=" + s.name + "}")
           .set(static_cast<double>(s.stops));
+      // Host wall-clock, so only exported when timing was explicitly
+      // opted in — the default snapshot stays byte-deterministic.
+      if (timing) {
+        m.gauge("pipeline.listener_wall_ms{listener=" + s.name + "}")
+            .set(s.wall_ms);
+      }
     }
   });
 }

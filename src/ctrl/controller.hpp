@@ -100,6 +100,16 @@ class Controller {
   defense_modules() const {
     return modules_;
   }
+
+  /// Attach the trace-profile anomaly detector (borrowed; nullptr
+  /// detaches, the default). The "anomaly-ids" chain slot
+  /// (layout.anomaly_ids) is always registered; without a detector it
+  /// forwards nothing, so an undetected run is bit-identical to the
+  /// pre-IDS controller. Unlike add_defense the detector sits *after*
+  /// the defense band — it scores the same pre-commit stream but never
+  /// shadows a hand-written defense's verdict.
+  void set_anomaly_detector(DefenseModule* detector) { anomaly_ = detector; }
+  [[nodiscard]] DefenseModule* anomaly_detector() const { return anomaly_; }
   [[nodiscard]] sim::EventLoop& loop() { return loop_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
@@ -223,6 +233,7 @@ class Controller {
   std::uint32_t next_flow_stats_xid_ = 1;
   std::uint32_t next_port_stats_xid_ = 1;
   std::map<std::uint16_t, PendingProbe> pending_probes_;
+  DefenseModule* anomaly_ = nullptr;
   trace::Tracer* tracer_ = nullptr;
   obs::Observability* obs_ = nullptr;
   stats::Histogram* obs_echo_rtt_ = nullptr;  // "ctrl.echo_rtt_ms"

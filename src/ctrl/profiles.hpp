@@ -31,6 +31,10 @@ struct PipelineLayout {
   int core = 0;
   int defense_base = 100;
   int defense_step = 10;
+  /// Trace-profile anomaly IDS: after the defense band (it scores the
+  /// same pre-commit event stream the defenses see) and before the
+  /// verdict gate (so a veto-enabled detector can still block).
+  int anomaly_ids = 800;
   int verdict_gate = 900;
   int link_discovery = 1000;
   int host_tracking = 1100;

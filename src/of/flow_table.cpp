@@ -6,6 +6,15 @@
 
 namespace tmg::of {
 
+namespace {
+
+/// The match explicitly pins the LLDP ethertype (override-path gate).
+bool pins_lldp(const FlowMatch& m) {
+  return m.ethertype.has_value() && *m.ethertype == net::EtherType::Lldp;
+}
+
+}  // namespace
+
 std::optional<sim::SimTime> FlowTable::deadline_of(const FlowEntry& e) {
   std::optional<sim::SimTime> d;
   if (e.hard_timeout > sim::Duration::zero()) {
@@ -56,6 +65,9 @@ void FlowTable::ensure_index() const {
 void FlowTable::add(FlowEntry entry, sim::SimTime now) {
   entry.installed_at = now;
   entry.last_matched_at = now;
+  // Replacements pair on an equal match, so the gate only moves on
+  // a genuine insert (both paths below).
+  const bool lldp = pins_lldp(entry.match);
   if (!sim::fastpath_enabled()) {
     // Replace an existing identical (match, priority) rule, as OpenFlow
     // does.
@@ -69,6 +81,7 @@ void FlowTable::add(FlowEntry entry, sim::SimTime now) {
         entries_.begin(), entries_.end(),
         [&](const FlowEntry& e) { return e.priority < entry.priority; });
     entries_.insert(pos, std::move(entry));
+    if (lldp) ++lldp_rules_;
     return;
   }
 
@@ -108,7 +121,25 @@ void FlowTable::add(FlowEntry entry, sim::SimTime now) {
   ids_.insert(ids_.begin() + offset, id);
   bucket_no_.insert(bucket_no_.begin() + offset, intern_bucket(entry.match));
   entries_.insert(pos, std::move(entry));
+  if (lldp) ++lldp_rules_;
   index_dirty_ = true;
+}
+
+FlowEntry* FlowTable::lookup_lldp_override(const net::Packet& pkt,
+                                           PortNo in_port, sim::SimTime now) {
+  if (lldp_rules_ == 0) return nullptr;
+  // Linear in priority order: override rules are an attack-path rarity,
+  // so this never needs (and must not perturb) the dst-MAC fast path —
+  // LLDP multicast frames have no bucket of their own.
+  for (auto& e : entries_) {
+    if (!pins_lldp(e.match)) continue;
+    if (!e.match.matches(pkt, in_port)) continue;
+    ++e.packet_count;
+    e.byte_count += pkt.wire_size();
+    e.last_matched_at = now;  // idle deadline moves later; heap is lazy
+    return &e;
+  }
+  return nullptr;
 }
 
 std::vector<FlowEntry> FlowTable::remove_matching(const FlowMatch& match) {
@@ -123,6 +154,7 @@ std::vector<FlowEntry> FlowTable::remove_matching(const FlowMatch& match) {
         ++it;
       }
     }
+    if (pins_lldp(match)) lldp_rules_ -= removed.size();
     return removed;
   }
 
@@ -160,6 +192,7 @@ std::vector<FlowEntry> FlowTable::remove_matching(const FlowMatch& match) {
   entries_.resize(out);
   ids_.resize(out);
   bucket_no_.resize(out);
+  if (pins_lldp(match)) lldp_rules_ -= removed.size();
   index_dirty_ = true;
   return removed;
 }
@@ -223,6 +256,7 @@ std::vector<ExpiredEntry> FlowTable::expire(sim::SimTime now) {
       const bool idle = it->idle_timeout > sim::Duration::zero() &&
                         now - it->last_matched_at >= it->idle_timeout;
       if (hard || idle) {
+        if (pins_lldp(it->match)) --lldp_rules_;
         expired.push_back(ExpiredEntry{
             *it, hard ? FlowRemoved::Reason::HardTimeout
                       : FlowRemoved::Reason::IdleTimeout});
@@ -259,6 +293,7 @@ std::vector<ExpiredEntry> FlowTable::expire(sim::SimTime now) {
   victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
   expired.reserve(victims.size());
   for (const std::uint32_t pos : victims) {
+    if (pins_lldp(entries_[pos].match)) --lldp_rules_;
     expired.push_back(ExpiredEntry{entries_[pos], reason_for(entries_[pos])});
   }
   std::size_t out = 0;
@@ -284,6 +319,7 @@ std::vector<ExpiredEntry> FlowTable::expire(sim::SimTime now) {
 
 void FlowTable::clear() {
   entries_.clear();
+  lldp_rules_ = 0;
   ids_.clear();
   expiry_heap_.clear();
   bucket_of_.clear();
@@ -299,6 +335,13 @@ std::vector<std::string> FlowTable::audit() const {
       issues.push_back("flow table not priority-sorted at position " +
                        std::to_string(i));
     }
+  }
+  const std::size_t lldp_actual = static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const FlowEntry& e) { return pins_lldp(e.match); }));
+  if (lldp_actual != lldp_rules_) {
+    issues.push_back("lldp rule gate " + std::to_string(lldp_rules_) +
+                     " != recount " + std::to_string(lldp_actual));
   }
   if (!sim::fastpath_enabled()) {
     std::sort(issues.begin(), issues.end());

@@ -72,6 +72,18 @@ class FlowTable {
   /// counters and last-match time. Returns nullptr on table miss.
   FlowEntry* lookup(const net::Packet& pkt, PortNo in_port, sim::SimTime now);
 
+  /// Highest-priority entry that matches the packet AND explicitly pins
+  /// match.ethertype to LLDP; counters update only on such a hit.
+  /// Entries with a wildcard or different ethertype are invisible here,
+  /// so pre-existing rules can never start capturing LLDP — only a rule
+  /// deliberately installed against 0x88cc overrides the controller
+  /// punt (the flow-rule-relay attack surface; see Switch::on_rx).
+  FlowEntry* lookup_lldp_override(const net::Packet& pkt, PortNo in_port,
+                                  sim::SimTime now);
+
+  /// Cheap gate for the override path: any entry pinned to LLDP?
+  [[nodiscard]] bool has_lldp_rule() const { return lldp_rules_ > 0; }
+
   /// Remove and return entries whose idle/hard timeout elapsed at `now`.
   std::vector<ExpiredEntry> expire(sim::SimTime now);
 
@@ -121,6 +133,8 @@ class FlowTable {
 
   // Kept sorted by descending priority (stable for equal priorities).
   std::vector<FlowEntry> entries_;
+  // Live entries with match.ethertype == LLDP (override-path gate).
+  std::size_t lldp_rules_ = 0;
   // Stable id per table slot, parallel to entries_ (heap references ids,
   // not positions, because positions shift on erase).
   std::vector<std::uint64_t> ids_;

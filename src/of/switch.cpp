@@ -124,9 +124,19 @@ void Switch::on_rx(PortNo port, const net::Packet& pkt) {
   ++p.stats.rx_packets;
   p.stats.rx_bytes += pkt.wire_size();
 
-  // LLDP always goes to the controller (Floodlight pre-installs this
-  // punt rule as part of link discovery).
+  // LLDP goes to the controller (Floodlight pre-installs this punt rule
+  // as part of link discovery) — unless a flow entry explicitly pinned
+  // to the LLDP ethertype outranks the punt, mirroring hardware
+  // OpenFlow switches where the discovery punt is just another rule an
+  // operator (or an attacker with Flow-Mod reach) can shadow. Benign
+  // forwarding rules never pin 0x88cc, so absent such a rule this is
+  // byte-identical to the unconditional punt.
   if (pkt.is_lldp()) {
+    if (FlowEntry* entry = table_.lookup_lldp_override(pkt, port,
+                                                       loop_.now())) {
+      apply_action(pkt, port, entry->action);
+      return;
+    }
     send_packet_in(port, pkt, PacketIn::Reason::Action);
     return;
   }

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "attack/alert_flood.hpp"
+#include "attack/flow_rule_relay.hpp"
 #include "attack/link_fabrication.hpp"
 #include "attack/port_amnesia.hpp"
 #include "ctrl/host_tracker.hpp"
@@ -33,6 +34,7 @@ const char* to_string(LinkAttackKind k) {
     case LinkAttackKind::OobAmnesia: return "oob-port-amnesia";
     case LinkAttackKind::OobAmnesiaNaive: return "oob-port-amnesia-naive";
     case LinkAttackKind::InBandAmnesia: return "inband-port-amnesia";
+    case LinkAttackKind::FlowRuleRelay: return "flowrule-relay";
   }
   return "?";
 }
@@ -112,6 +114,34 @@ DefenseHandles install_suite(ctrl::Controller& ctrl, DefenseSuite suite,
 // Link fabrication / port amnesia
 // ---------------------------------------------------------------------
 
+namespace {
+
+/// Install the anomaly IDS into the controller's always-present
+/// "anomaly-ids" chain slot, in Train mode (trainer set) or Detect mode
+/// (profile set). Returns nullptr when the config asked for neither.
+/// The caller owns the service and must detach it (set_anomaly_detector
+/// (nullptr)) before it is destroyed.
+std::unique_ptr<ids::ProfileAnomalyService> install_anomaly_ids(
+    Testbed& tb, const ids::BehaviorProfile* profile,
+    ids::ProfileTrainer* trainer, bool veto, obs::Observability* obs) {
+  if (profile == nullptr && trainer == nullptr) return nullptr;
+  ids::AnomalyConfig cfg;
+  cfg.veto = veto;
+  auto svc = std::make_unique<ids::ProfileAnomalyService>(tb.loop(), cfg);
+  if (trainer != nullptr) {
+    svc->set_trainer(trainer);
+    trainer->begin_trial();  // the driver's harvest calls end_trial()
+  } else {
+    svc->set_profile(profile);
+  }
+  svc->set_alert_bus(&tb.controller().alerts());
+  svc->set_observability(obs);
+  tb.controller().set_anomaly_detector(svc.get());
+  return svc;
+}
+
+}  // namespace
+
 LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
   TestbedOptions opts = suite_options(config.suite, config.seed);
   // The Fig. 9 testbed is the paper's evaluation network for all link
@@ -136,14 +166,28 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
     f.tb->enable_invariant_checker(handles.topoguard);
   }
   if (config.obs != nullptr) f.tb->set_observability(config.obs);
+  const std::unique_ptr<ids::ProfileAnomalyService> anomaly =
+      install_anomaly_ids(*f.tb, config.anomaly_profile,
+                          config.anomaly_trainer, config.anomaly_veto,
+                          config.obs);
 
   LinkAttackOutcome out;
   ctrl::Controller& ctrl = f.tb->controller();
   sim::EventLoop& loop = f.tb->loop();
 
-  // Poll the fabricated link while the sim runs.
+  // Poll the fabricated link while the sim runs. The flow-rule relay
+  // fabricates a switch-to-switch link between the relay's neighbors
+  // (0x3's rules splice 0x2 port 10 to 0x4 port 11); the host-based
+  // relays fabricate the attacker-to-attacker access link.
+  const auto fabricated_present = [&]() {
+    if (config.kind == LinkAttackKind::FlowRuleRelay) {
+      return ctrl.topology().has_link(of::Location{0x2, 10},
+                                      of::Location{0x4, 11});
+    }
+    return f.fabricated_link_present();
+  };
   const std::function<void()> poll = [&]() {
-    if (f.fabricated_link_present()) out.link_registered = true;
+    if (fabricated_present()) out.link_registered = true;
     loop.post_after(Duration::millis(500),
                         [&poll] { poll(); });
   };
@@ -177,11 +221,13 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
                                 to_string(config.kind));
   }
 
-  // Launch the attack.
+  // Launch the attack (skipped entirely on clean-baseline runs).
   std::unique_ptr<attack::ClassicLinkFabrication> classic;
   std::unique_ptr<attack::PortAmnesiaAttack> amnesia;
+  std::unique_ptr<attack::FlowRuleRelay> flowrule;
   switch (config.kind) {
     case LinkAttackKind::ClassicRelay: {
+      if (!config.attack_enabled) break;
       attack::ClassicLinkFabrication::Config cc;
       classic = std::make_unique<attack::ClassicLinkFabrication>(
           loop, *f.attacker_a, *f.attacker_b, *f.oob, cc);
@@ -191,6 +237,7 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
     case LinkAttackKind::OobAmnesia:
     case LinkAttackKind::OobAmnesiaNaive:
     case LinkAttackKind::InBandAmnesia: {
+      if (!config.attack_enabled) break;
       attack::PortAmnesiaAttack::Config ac;
       ac.mode = config.kind == LinkAttackKind::InBandAmnesia
                     ? attack::PortAmnesiaAttack::Mode::InBand
@@ -207,6 +254,15 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
       amnesia->start();
       break;
     }
+    case LinkAttackKind::FlowRuleRelay: {
+      if (!config.attack_enabled) break;
+      // The relay switch is 0x3: its port 11 faces 0x2 (port 10), its
+      // port 10 faces 0x4 (port 11) — the FlowRuleRelay defaults.
+      flowrule = std::make_unique<attack::FlowRuleRelay>(
+          f.tb->control_channel(0x3), attack::FlowRuleRelay::Config{});
+      flowrule->start();
+      break;
+    }
   }
 
   // Give the fabricated link two LLDP rounds to register, then resume
@@ -215,7 +271,7 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
   benign_traffic = true;
   f.tb->run_for(config.attack_window - Duration::seconds(32));
 
-  out.link_present_at_end = f.fabricated_link_present();
+  out.link_present_at_end = fabricated_present();
   if (classic) {
     out.lldp_relayed = classic->lldp_relayed();
     out.transit_bridged = classic->transit_bridged();
@@ -225,12 +281,27 @@ LinkAttackOutcome run_link_attack(const LinkAttackConfig& config) {
     out.transit_bridged = amnesia->transit_bridged();
     out.flaps = amnesia->flaps();
   }
+  if (flowrule) {
+    // The injected rules' own counters say how many LLDP frames the
+    // switch spliced past the controller.
+    for (const auto& e : f.tb->get_switch(0x3).flow_table().entries()) {
+      if (e.cookie == attack::FlowRuleRelay::Config{}.cookie) {
+        out.lldp_relayed += e.packet_count;
+      }
+    }
+  }
   out.mitm_traffic = out.transit_bridged > 0;
   out.alerts_total = ctrl.alerts().count();
   out.alerts_topoguard = ctrl.alerts().count_from("TopoGuard");
   out.alerts_sphinx = ctrl.alerts().count_from("SPHINX");
   out.alerts_cmm = ctrl.alerts().count_from("CMM");
   out.alerts_lli = ctrl.alerts().count_from("LLI");
+  out.alerts_anomaly = ctrl.alerts().count_from("AnomalyIDS");
+  if (anomaly) {
+    out.anomaly = anomaly->counters();
+    if (config.anomaly_trainer != nullptr) config.anomaly_trainer->end_trial();
+    ctrl.set_anomaly_detector(nullptr);
+  }
   if (check::InvariantChecker* checker = f.tb->invariant_checker()) {
     checker->final_check();
     out.invariant_sweeps = checker->checks_run();
@@ -304,6 +375,10 @@ HijackOutcome run_hijack(const HijackConfig& config) {
     f.tb->enable_invariant_checker(handles.topoguard);
   }
   if (config.obs != nullptr) f.tb->set_observability(config.obs);
+  const std::unique_ptr<ids::ProfileAnomalyService> anomaly =
+      install_anomaly_ids(*f.tb, config.anomaly_profile,
+                          config.anomaly_trainer, config.anomaly_veto,
+                          config.obs);
 
   HijackOutcome out;
 
@@ -352,7 +427,7 @@ HijackOutcome run_hijack(const HijackConfig& config) {
   };
   loop.post_after(Duration::zero(), [&peer_ping] { peer_ping(); });
 
-  attack.start();
+  if (config.attack_enabled) attack.start();
   f.tb->run_for(Duration::seconds(2));  // MAC acquisition + steady probing
 
   // The victim begins a legitimate move at a random phase of the probe
@@ -363,11 +438,14 @@ HijackOutcome run_hijack(const HijackConfig& config) {
   f.tb->run_for(phase);
 
   const SimTime victim_down = loop.now();
-  if (config.obs != nullptr) {
+  if (config.obs != nullptr && config.attack_enabled) {
     // The reference instant every Fig. 5-8 race window is measured from.
     config.obs->trace().instant(victim_down, "scenario", "victim.down");
   }
-  if (config.victim_rejoins) {
+  if (!config.attack_enabled) {
+    // Clean baseline: the victim never migrates; keep the timeline's
+    // total duration identical so training covers the same sim span.
+  } else if (config.victim_rejoins) {
     migrate_host(*f.tb, *f.victim, *f.migration_target,
                  config.victim_downtime);
     // On rejoin the victim announces itself (DHCP/ARP chatter).
@@ -404,6 +482,12 @@ HijackOutcome run_hijack(const HijackConfig& config) {
         (*tl.interface_up_as_victim - *tl.victim_declared_down).to_millis_f();
   }
   out.alerts = ctrl.alerts().alerts();
+  out.alerts_anomaly = ctrl.alerts().count_from("AnomalyIDS");
+  if (anomaly) {
+    out.anomaly = anomaly->counters();
+    if (config.anomaly_trainer != nullptr) config.anomaly_trainer->end_trial();
+    ctrl.set_anomaly_detector(nullptr);
+  }
   if (check::InvariantChecker* checker = f.tb->invariant_checker()) {
     checker->final_check();
     out.invariant_sweeps = checker->checks_run();

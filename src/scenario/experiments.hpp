@@ -15,6 +15,7 @@
 #include "ctrl/profiles.hpp"
 #include "defense/secure_binding.hpp"
 #include "defense/topoguard_plus.hpp"
+#include "ids/profile_anomaly.hpp"
 #include "scenario/fig1_testbed.hpp"
 #include "scenario/fig2_testbed.hpp"
 #include "scenario/fig9_testbed.hpp"
@@ -70,6 +71,8 @@ enum class LinkAttackKind {
   OobAmnesia,       // out-of-band, prepositioned flap (CMM-evasive)
   OobAmnesiaNaive,  // out-of-band, flap during propagation (Fig. 1 flow)
   InBandAmnesia,    // covert in-band relay with context switching
+  FlowRuleRelay,    // LLDP-splicing flow rules on a transit switch,
+                    // no hosts involved (attack::FlowRuleRelay)
 };
 const char* to_string(LinkAttackKind k);
 
@@ -86,6 +89,9 @@ struct LinkAttackOutcome {
   std::size_t alerts_sphinx = 0;
   std::size_t alerts_cmm = 0;
   std::size_t alerts_lli = 0;
+  std::size_t alerts_anomaly = 0;  // ProfileAnomalyService raises
+  /// Anomaly IDS deviation totals (zero-initialized when no IDS ran).
+  ids::AnomalyCounters anomaly;
   /// Runtime invariant checker (src/check): battery runs and violations
   /// over the whole experiment. Violations indicate a simulator bug.
   std::uint64_t invariant_sweeps = 0;
@@ -126,6 +132,17 @@ struct LinkAttackConfig {
   /// Controller pipeline profile (see HijackConfig::profile). Unset
   /// keeps the testbed default (Floodlight).
   std::optional<ctrl::ControllerProfile> profile;
+  /// Run the full scenario timeline WITHOUT launching the attack
+  /// (clean-baseline runs: anomaly training and false-alert scoring).
+  bool attack_enabled = true;
+  /// Detect mode: install a ProfileAnomalyService scoring against this
+  /// trained baseline (borrowed; shared read-only across trials).
+  const ids::BehaviorProfile* anomaly_profile = nullptr;
+  /// Train mode: install the IDS forwarding its featurization into this
+  /// trainer (borrowed; overrides anomaly_profile). Serial runs only.
+  ids::ProfileTrainer* anomaly_trainer = nullptr;
+  /// Let the IDS veto (only bites under OrderedStop profiles).
+  bool anomaly_veto = false;
 };
 
 LinkAttackOutcome run_link_attack(const LinkAttackConfig& config);
@@ -164,6 +181,13 @@ struct HijackConfig {
   /// processing model shift the race windows (ONOS's probe-before-move
   /// delays or rejects the rebind entirely).
   std::optional<ctrl::ControllerProfile> profile;
+  /// Run the scenario without probing or hijacking (clean baseline for
+  /// anomaly training / false-alert scoring; victim stays up).
+  bool attack_enabled = true;
+  /// Anomaly IDS hooks (see LinkAttackConfig).
+  const ids::BehaviorProfile* anomaly_profile = nullptr;
+  ids::ProfileTrainer* anomaly_trainer = nullptr;
+  bool anomaly_veto = false;
 };
 
 struct HijackOutcome {
@@ -177,6 +201,9 @@ struct HijackOutcome {
   std::optional<double> ident_change_ms;               // Fig. 4 component
   std::size_t alerts_before_rejoin = 0;
   std::size_t alerts_after_rejoin = 0;
+  std::size_t alerts_anomaly = 0;  // ProfileAnomalyService raises
+  /// Anomaly IDS deviation totals (zero-initialized when no IDS ran).
+  ids::AnomalyCounters anomaly;
   /// Full alert log (diagnostics and the alert-flood experiment).
   std::vector<ctrl::Alert> alerts;
   /// Runtime invariant checker counters (see LinkAttackOutcome).

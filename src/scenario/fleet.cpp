@@ -1,9 +1,11 @@
 #include "scenario/fleet.hpp"
 
 #include <algorithm>
+#include <map>
 #include <memory>
 #include <string>
 
+#include "attack/flow_rule_relay.hpp"
 #include "attack/link_fabrication.hpp"
 #include "attack/port_amnesia.hpp"
 #include "attack/port_probing.hpp"
@@ -329,9 +331,54 @@ FleetLinkAttackOutcome run_fleet_link_attack(
 
   FleetLinkAttackOutcome out;
 
-  // Poll the fabricated link while the sim runs.
+  // Flow-rule relay target: the attacker's edge switch when it has two
+  // fabric links, else the lowest-dpid switch that does (links_view()
+  // is sorted, so the choice is deterministic). Splicing the relay's
+  // first two inter-switch ports makes discovery fabricate a direct
+  // link between their far ends.
+  of::Dpid relay_dpid = 0;
+  attack::FlowRuleRelay::Config relay_cfg;
+  of::Location fab_a;
+  of::Location fab_b;
+  if (config.kind == LinkAttackKind::FlowRuleRelay) {
+    std::map<of::Dpid, std::vector<topo::Link>> incident;
+    for (const topo::Link& l : f.topo.graph.links_view()) {
+      incident[l.a.dpid].push_back(l);
+      incident[l.b.dpid].push_back(l);
+    }
+    if (incident[f.attacker_loc.dpid].size() >= 2) {
+      relay_dpid = f.attacker_loc.dpid;
+    } else {
+      for (const auto& [dpid, links] : incident) {
+        if (links.size() >= 2) {
+          relay_dpid = dpid;
+          break;
+        }
+      }
+    }
+    TMG_ASSERT(relay_dpid != 0,
+               "fleet flow-rule relay: no switch with two fabric links");
+    const topo::Link& left = incident[relay_dpid][0];
+    const topo::Link& right = incident[relay_dpid][1];
+    relay_cfg.left_port =
+        left.a.dpid == relay_dpid ? left.a.port : left.b.port;
+    fab_a = left.a.dpid == relay_dpid ? left.b : left.a;
+    relay_cfg.right_port =
+        right.a.dpid == relay_dpid ? right.a.port : right.b.port;
+    fab_b = right.a.dpid == relay_dpid ? right.b : right.a;
+  }
+
+  // Poll the fabricated link while the sim runs. The flow-rule relay
+  // fabricates the link between its spliced ports' far ends; the
+  // host-based relays fabricate the attacker-to-attacker access link.
+  const auto fabricated_present = [&]() {
+    if (config.kind == LinkAttackKind::FlowRuleRelay) {
+      return ctrl.topology().has_link(fab_a, fab_b);
+    }
+    return f.fabricated_link_present();
+  };
   const std::function<void()> poll = [&]() {
-    if (f.fabricated_link_present()) out.link_registered = true;
+    if (fabricated_present()) out.link_registered = true;
     loop.post_after(Duration::millis(500), [&poll] { poll(); });
   };
 
@@ -364,7 +411,14 @@ FleetLinkAttackOutcome run_fleet_link_attack(
 
   std::unique_ptr<attack::ClassicLinkFabrication> classic;
   std::unique_ptr<attack::PortAmnesiaAttack> amnesia;
+  std::unique_ptr<attack::FlowRuleRelay> flowrule;
   switch (config.kind) {
+    case LinkAttackKind::FlowRuleRelay: {
+      flowrule = std::make_unique<attack::FlowRuleRelay>(
+          f.tb->control_channel(relay_dpid), relay_cfg);
+      flowrule->start();
+      break;
+    }
     case LinkAttackKind::ClassicRelay: {
       attack::ClassicLinkFabrication::Config cc;
       classic = std::make_unique<attack::ClassicLinkFabrication>(
@@ -396,7 +450,7 @@ FleetLinkAttackOutcome run_fleet_link_attack(
   f.tb->run_for(config.attack_window);
   bg.stop();
 
-  out.link_present_at_end = f.fabricated_link_present();
+  out.link_present_at_end = fabricated_present();
   if (classic) {
     out.lldp_relayed = classic->lldp_relayed();
     out.transit_bridged = classic->transit_bridged();

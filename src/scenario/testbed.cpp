@@ -88,6 +88,10 @@ of::Switch& Testbed::get_switch(of::Dpid dpid) {
   return *switches_.at(dpid).sw;
 }
 
+of::ControlChannel& Testbed::control_channel(of::Dpid dpid) {
+  return *switches_.at(dpid).channel;
+}
+
 of::DataLink& Testbed::connect_switches(of::Dpid a, of::PortNo pa, of::Dpid b,
                                         of::PortNo pb) {
   auto link =

@@ -73,6 +73,12 @@ class Testbed {
   of::Switch& add_switch(of::Dpid dpid);
   [[nodiscard]] of::Switch& get_switch(of::Dpid dpid);
 
+  /// The switch's control channel. Attack models with Flow-Mod reach
+  /// (compromised app / southbound MITM, e.g. attack::FlowRuleRelay)
+  /// inject rules here; the switch cannot tell them from controller
+  /// traffic.
+  [[nodiscard]] of::ControlChannel& control_channel(of::Dpid dpid);
+
   /// Inter-switch wire using the dataplane (micro-burst) latency model.
   of::DataLink& connect_switches(of::Dpid a, of::PortNo pa, of::Dpid b,
                                  of::PortNo pb);

@@ -186,6 +186,24 @@ TEST(FleetLinkAttack, ClassicRelayFabricatesLinkOnUndefendedFleet) {
   EXPECT_EQ(out.invariant_violations, 0u);
 }
 
+TEST(FleetLinkAttack, FlowRuleRelayFabricatesLinkOnFleetFabric) {
+  net::reset_trace_ids();
+  FleetLinkAttackConfig cfg;
+  cfg.topology.k = 4;
+  cfg.kind = LinkAttackKind::FlowRuleRelay;
+  cfg.suite = DefenseSuite::None;
+  cfg.seed = 5;
+  cfg.benign_window = Duration::seconds(4);
+  cfg.attack_window = Duration::seconds(34);
+  const FleetLinkAttackOutcome out = run_fleet_link_attack(cfg);
+  // The spliced edge switch launders genuine LLDP between its two
+  // uplinks, so discovery registers a direct aggregation-to-aggregation
+  // link that does not exist in the generated fabric.
+  EXPECT_TRUE(out.link_registered);
+  EXPECT_TRUE(out.link_present_at_end);
+  EXPECT_EQ(out.invariant_violations, 0u);
+}
+
 TEST(FleetLinkAttack, TopoGuardDetectsRelayOnFleet) {
   net::reset_trace_ids();
   FleetLinkAttackConfig cfg;

@@ -17,11 +17,13 @@
 #include <utility>
 #include <vector>
 
+#include "check/assert.hpp"
 #include "ctrl/message_pipeline.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observability.hpp"
 #include "obs/trace_log.hpp"
 #include "scenario/experiments.hpp"
+#include "scenario/fig1_testbed.hpp"
 #include "scenario/trial_runner.hpp"
 #include "sim/time.hpp"
 
@@ -96,6 +98,80 @@ TEST(MetricsRegistry, ExportsAreByteStable) {
   // Keys export in sorted order regardless of registration order.
   EXPECT_LT(json1.find("a.first"), json1.find("b.second"));
   EXPECT_NE(json1.find("\"at_ns\": 5000000"), std::string::npos);
+}
+
+TEST(MetricsRegistry, EmptySnapshotIsWellFormed) {
+  obs::MetricsRegistry reg;
+  EXPECT_EQ(reg.size(), 0u);
+  const std::string json = reg.to_json(sim::SimTime::zero());
+  // All three sections present (empty), stable across calls.
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_EQ(json, reg.to_json(sim::SimTime::zero()));
+  const std::string csv = reg.to_csv(sim::SimTime::zero());
+  EXPECT_NE(csv.find("# at_ns=0"), std::string::npos);
+  EXPECT_EQ(csv, reg.to_csv(sim::SimTime::zero()));
+}
+
+TEST(MetricsRegistry, EmptyHistogramExportsZeroTotal) {
+  obs::MetricsRegistry reg;
+  (void)reg.histogram("h.empty", 0.0, 10.0, 4);
+  const std::string json = reg.to_json(sim::SimTime::zero());
+  EXPECT_NE(json.find("h.empty"), std::string::npos);
+  EXPECT_NE(json.find("\"total\": 0"), std::string::npos);
+  const std::string csv = reg.to_csv(sim::SimTime::zero());
+  EXPECT_NE(csv.find("histogram,h.empty,total,0"), std::string::npos);
+}
+
+TEST(MetricsRegistry, DuplicateHistogramRegistration) {
+  obs::MetricsRegistry reg;
+  stats::Histogram& h = reg.histogram("d.hist", 0.0, 8.0, 4);
+  // Same buckets: find-or-create returns the same instance, and the
+  // registry does not grow.
+  EXPECT_EQ(&h, &reg.histogram("d.hist", 0.0, 8.0, 4));
+  EXPECT_EQ(reg.size(), 1u);
+
+  // Different buckets under the same name: contract violation, reported
+  // through the assertion handler (the original layout survives).
+  int failures = 0;
+  check::FailureHandler previous = check::set_failure_handler(
+      [&](const char*, int, const char*, const std::string&) { ++failures; });
+  (void)reg.histogram("d.hist", 0.0, 99.0, 7);
+  check::set_failure_handler(std::move(previous));
+  EXPECT_EQ(failures, 1);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, ExportOrderIndependentOfRegistrationOrder) {
+  const auto build = [](bool reversed) {
+    obs::MetricsRegistry reg;
+    const auto fill = [&reg](int step) {
+      switch (step) {
+        case 0:
+          reg.counter("c.one").add(1);
+          break;
+        case 1:
+          reg.counter("c.two").add(2);
+          break;
+        case 2:
+          reg.gauge("g.one").set(0.5);
+          break;
+        case 3:
+          reg.histogram("h.one", 0.0, 4.0, 2).add(1.0);
+          break;
+        default:
+          break;
+      }
+    };
+    for (int i = 0; i < 4; ++i) fill(reversed ? 3 - i : i);
+    return std::make_pair(reg.to_json(sim::SimTime::zero()),
+                          reg.to_csv(sim::SimTime::zero()));
+  };
+  const auto [json_fwd, csv_fwd] = build(false);
+  const auto [json_rev, csv_rev] = build(true);
+  EXPECT_EQ(json_fwd, json_rev);
+  EXPECT_EQ(csv_fwd, csv_rev);
 }
 
 // ---------------------------------------------------------------------
@@ -232,6 +308,34 @@ TEST(MessagePipeline, TrialsStartFromZeroedCountersAtJobs8) {
     // Identical configs => identical counters; trial 0 is the baseline.
     EXPECT_EQ(serial[i], serial[0]) << "trial " << i;
   }
+}
+
+// set_timing() is the opt-in wall-clock switch: with it on, the
+// controller's collector surfaces per-listener wall_ms gauges in the
+// obs snapshot; with it off (the default), no host-clock value ever
+// reaches the export, keeping snapshots byte-deterministic.
+TEST(MessagePipeline, TimingCountersSurfaceInObsSnapshot) {
+  const auto snapshot = [](bool timing) {
+    obs::Observability obs;
+    scenario::Fig1Testbed f = scenario::make_fig1_testbed({});
+    f.tb->set_observability(&obs);
+    f.tb->controller().pipeline().set_timing(timing);
+    f.tb->start();
+    f.tb->run_for(sim::Duration::seconds(5));
+    obs.finalize(f.tb->loop().now());
+    return obs.metrics_json(obs.final_time());
+  };
+
+  const std::string with_timing = snapshot(true);
+  EXPECT_NE(with_timing.find("pipeline.listener_wall_ms{listener="),
+            std::string::npos);
+  // The untimed companions are present either way.
+  EXPECT_NE(with_timing.find("pipeline.listener_dispatches{listener="),
+            std::string::npos);
+
+  const std::string without_timing = snapshot(false);
+  EXPECT_EQ(without_timing.find("pipeline.listener_wall_ms"),
+            std::string::npos);
 }
 
 // ---------------------------------------------------------------------

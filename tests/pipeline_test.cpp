@@ -243,17 +243,19 @@ TEST(ControllerPipeline, CoreChainUsesTheProfileLayout) {
   Controller ctrl{loop, sim::Rng{1}, ControllerConfig{}};
   const PipelineLayout layout = ctrl.config().profile.layout;
   const auto stats = ctrl.pipeline_stats();
-  ASSERT_EQ(stats.size(), 5u);
+  ASSERT_EQ(stats.size(), 6u);
   EXPECT_EQ(stats[0].name, "controller-core");
   EXPECT_EQ(stats[0].priority, layout.core);
-  EXPECT_EQ(stats[1].name, "verdict-gate");
-  EXPECT_EQ(stats[1].priority, layout.verdict_gate);
-  EXPECT_EQ(stats[2].name, kLinkDiscoveryServiceName);
-  EXPECT_EQ(stats[2].priority, layout.link_discovery);
-  EXPECT_EQ(stats[3].name, kHostTrackingServiceName);
-  EXPECT_EQ(stats[3].priority, layout.host_tracking);
-  EXPECT_EQ(stats[4].name, kRoutingServiceName);
-  EXPECT_EQ(stats[4].priority, layout.routing);
+  EXPECT_EQ(stats[1].name, "anomaly-ids");
+  EXPECT_EQ(stats[1].priority, layout.anomaly_ids);
+  EXPECT_EQ(stats[2].name, "verdict-gate");
+  EXPECT_EQ(stats[2].priority, layout.verdict_gate);
+  EXPECT_EQ(stats[3].name, kLinkDiscoveryServiceName);
+  EXPECT_EQ(stats[3].priority, layout.link_discovery);
+  EXPECT_EQ(stats[4].name, kHostTrackingServiceName);
+  EXPECT_EQ(stats[4].priority, layout.host_tracking);
+  EXPECT_EQ(stats[5].name, kRoutingServiceName);
+  EXPECT_EQ(stats[5].priority, layout.routing);
   EXPECT_TRUE(ctrl.pipeline().audit().empty());
 
   // The three core services are registered under their canonical names.
@@ -290,7 +292,8 @@ TEST(StackedSuite, TwoRunsAreIdentical) {
             dispatch_fingerprint(b.pipeline_stats));
   // The stacked chain really is the full stack.
   const auto names = dispatch_fingerprint(a.pipeline_stats);
-  ASSERT_EQ(names.size(), 10u);  // core, 4 defenses, observer, gate, 3 services
+  // core, 4 defenses, observer, anomaly slot, gate, 3 services
+  ASSERT_EQ(names.size(), 11u);
   EXPECT_EQ(names[1].first, "TopoGuard");
   EXPECT_EQ(names[2].first, "SPHINX");
   EXPECT_EQ(names[3].first, "CMM");

@@ -278,6 +278,39 @@ TEST(LayeringFixtures, UpwardPeerObsAndCycleAllFlagged) {
   EXPECT_GE(cycles, 1);
 }
 
+// The anomaly-IDS edges (DESIGN.md §14): ids -> obs and ids -> stats
+// are one-way. The good tree includes both directions ids is allowed;
+// the bad tree closes the loop (obs -> ids), which must surface as an
+// obs-leak rank violation AND a file-level include cycle.
+TEST(LayeringFixtures, IdsObsEdgeIsOneWay) {
+  const SourceTree good = load_source_tree(fixture("layering_good"));
+  std::vector<Finding> good_findings;
+  run_layering_pass(good, good_findings);
+  for (const auto& f : good_findings) {
+    EXPECT_NE(f.file, "src/ids/profile.hpp") << f.message;
+  }
+
+  const SourceTree bad = load_source_tree(fixture("layering_bad"));
+  std::vector<Finding> findings;
+  run_layering_pass(bad, findings);
+  sort_findings(findings);
+  const auto keys = keyed(findings);
+  // obs reaching back into ids: rank violation on the obs file.
+  EXPECT_EQ(keys.count({"src/obs/export.hpp", "layering"}), 1u);
+  // The legal direction alone raises nothing with the "layering" rule;
+  // the closed loop is reported as an include cycle through the pair.
+  EXPECT_EQ(keys.count({"src/ids/profile.hpp", "layering"}), 0u);
+  bool ids_obs_cycle = false;
+  for (const auto& f : findings) {
+    if (f.rule == "include-cycle" &&
+        f.message.find("src/ids/profile.hpp") != std::string::npos &&
+        f.message.find("src/obs/export.hpp") != std::string::npos) {
+      ids_obs_cycle = true;
+    }
+  }
+  EXPECT_TRUE(ids_obs_cycle) << render_report(findings);
+}
+
 // ---------------------------------------------------------------------
 // The real tree
 // ---------------------------------------------------------------------

@@ -20,6 +20,13 @@ Every run also archives an identical timestamped copy next to --out
 (BENCH_<utcstamp>.json) so successive runs accumulate a comparable
 local history; the archives are never overwritten.
 
+--history merges those archives (plus the current run) into a
+"trajectory" block in the combined file — per-bench wall_ms and
+events_per_sec over time, keyed by the archive stamp — and warns on
+any bench whose wall clock regressed more than 10% against the
+previous comparable archive (same trials and jobs). Warnings are
+advisory: wall clock is host time, so the exit status never changes.
+
 --speedup runs the 200-trial attack-matrix workload
 (bench_attack_matrix --trials 10) across a jobs sweep (1, 2, 4, 8) and
 records the whole scaling curve plus the host's CPU count. The tables
@@ -49,16 +56,21 @@ Usage:
     python3 tools/run_bench.py [--quick] [--jobs N] [--build-dir build]
                                [--out BENCH.json] [--speedup]
                                [--fastpath-check] [--montecarlo-check]
-                               [--fleet-check]
+                               [--fleet-check] [--history]
 """
 
 import argparse
+import glob
 import json
 import os
 import subprocess
 import sys
 import tempfile
 from datetime import datetime, timezone
+
+# --history flags a bench whose wall clock grew past this factor of the
+# previous comparable archive's.
+REGRESSION_FACTOR = 1.10
 
 # Benches that implement the harness flags. Order is the report order.
 BENCHES = [
@@ -77,6 +89,7 @@ BENCHES = [
     "bench_ablation_channel",
     "bench_montecarlo",
     "bench_fleet",
+    "bench_anomaly",
 ]
 
 # The jobs sweep recorded by --speedup. Points above the host's core
@@ -151,6 +164,65 @@ def archive_report(out_path, report):
     return archive
 
 
+def collect_history(out_path):
+    """Parse every BENCH_<stamp>.json archive next to `out_path` into
+    trajectory points (stamp-sorted; the filename stamp is UTC, so
+    lexical order is chronological). Unreadable archives are skipped
+    with a note, never fatal."""
+    base, ext = os.path.splitext(out_path)
+    points = []
+    for path in sorted(glob.glob(f"{base}_*{ext or '.json'}")):
+        stamp = os.path.basename(path)[len(os.path.basename(base)) + 1:]
+        stamp = stamp[:-len(ext or ".json")]
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"[run_bench] history: skipping {path}: {e}")
+            continue
+        benches = {}
+        for b in data.get("benches", []):
+            if not isinstance(b, dict) or "bench" not in b:
+                continue
+            benches[b["bench"]] = {
+                "trials": b.get("trials"),
+                "jobs": b.get("jobs"),
+                "wall_ms": b.get("wall_ms"),
+                "events_per_sec": b.get("events_per_sec"),
+            }
+        points.append({"stamp": stamp, "archive": os.path.basename(path),
+                       "benches": benches})
+    return points
+
+
+def history_regressions(points):
+    """Compare each bench's latest point against the most recent earlier
+    archive with the same {trials, jobs} shape; return warning lines for
+    >10% wall-clock growth."""
+    if len(points) < 2:
+        return []
+    latest = points[-1]
+    warnings = []
+    for name, cur in sorted(latest["benches"].items()):
+        if not cur.get("wall_ms"):
+            continue
+        for earlier in reversed(points[:-1]):
+            prev = earlier["benches"].get(name)
+            if not prev or not prev.get("wall_ms"):
+                continue
+            if (prev["trials"], prev["jobs"]) != (cur["trials"],
+                                                  cur["jobs"]):
+                continue
+            if cur["wall_ms"] > prev["wall_ms"] * REGRESSION_FACTOR:
+                pct = 100.0 * (cur["wall_ms"] / prev["wall_ms"] - 1.0)
+                warnings.append(
+                    f"{name}: wall {prev['wall_ms']:.0f} ms "
+                    f"({earlier['stamp']}) -> {cur['wall_ms']:.0f} ms "
+                    f"(+{pct:.0f}%)")
+            break
+    return warnings
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--build-dir", default="build",
@@ -173,6 +245,10 @@ def main():
                     help="also run bench_fleet --quick at --jobs 1 and 8 "
                          "and fail unless the fleet cells are "
                          "byte-identical")
+    ap.add_argument("--history", action="store_true",
+                    help="merge the BENCH_<utc>.json archives into a "
+                         "trajectory block and warn on >10%% wall-clock "
+                         "regressions against the previous comparable run")
     ap.add_argument("--fastpath-check", action="store_true",
                     help="also run the serial attack-matrix workload with "
                          "and without --no-fastpath and fail unless the "
@@ -311,10 +387,24 @@ def main():
         print(f"[run_bench] fleet-check: {one['trials']} trials, "
               f"jobs 1 vs 8 identical (tables + JSON)")
 
+    # Archive before assembling the trajectory so the current run is the
+    # history's final point (the combined file alone gets the block; the
+    # archives stay pure per-run records).
+    archive = archive_report(args.out, report)
+    if args.history:
+        points = collect_history(args.out)
+        warnings = history_regressions(points)
+        report["trajectory"] = {
+            "points": points,
+            "regression_factor": REGRESSION_FACTOR,
+            "regressions": warnings,
+        }
+        print(f"[run_bench] history: {len(points)} archived run(s)")
+        for w in warnings:
+            print(f"[run_bench] warning: {w}")
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
-    archive = archive_report(args.out, report)
     print(f"[run_bench] wrote {args.out} ({len(report['benches'])} benches), "
           f"archived {archive}")
 

@@ -1,0 +1,8 @@
+// fixture: the legal half of the ids <-> obs cycle — ids may include
+// the floating obs leaf...
+#include "obs/export.hpp"
+namespace fx::ids {
+struct Profile {
+  int events = 0;
+};
+}  // namespace fx::ids

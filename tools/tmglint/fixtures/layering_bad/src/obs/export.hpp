@@ -1,0 +1,9 @@
+// fixture: ...but obs including ids back is both an obs-leak rank
+// violation and a file-level include cycle. Pins that instrumenting
+// the IDS can never quietly become circular.
+#include "ids/profile.hpp"
+namespace fx::obs {
+struct Export {
+  int snapshots = 0;
+};
+}  // namespace fx::obs

@@ -1,0 +1,10 @@
+// fixture: the anomaly-IDS edges — ids (layer 7) may include the
+// floating obs leaf and the stats layer below it.
+#include "obs/metrics.hpp"
+#include "stats/quantile.hpp"
+namespace fx::ids {
+struct Profile {
+  fx::obs::Metrics metrics;
+  fx::stats::Quantile q;
+};
+}  // namespace fx::ids

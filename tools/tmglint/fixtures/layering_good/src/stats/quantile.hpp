@@ -1,0 +1,6 @@
+// fixture: a stats-layer leaf (rank 1), includable from ids.
+namespace fx::stats {
+struct Quantile {
+  double q = 0.5;
+};
+}  // namespace fx::stats

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Train an anomaly-IDS behavior profile from clean-run trace exports.
+
+Thin wrapper over the C++ trainer (build/tools/train_profile): collects
+TraceLog JSONL exports — written by the benches' --trace-out flag — and
+emits the tmg-behavior-profile-v1 JSON the online IDS scores against.
+
+Typical flow (README "Anomaly IDS quickstart"):
+
+    build/bench/bench_montecarlo --quick --trace-out clean.jsonl
+    python3 tools/train_profile.py clean.jsonl --out profile.json
+    python3 tools/check_trace_schema.py --profile profile.json
+
+The binary is deterministic: the same traces in the same order yield a
+byte-identical profile. This wrapper only locates the binary, forwards
+arguments, and checks the output parses as JSON.
+
+Usage:
+    python3 tools/train_profile.py [--build-dir build] [--out PATH]
+                                   TRACE.jsonl [TRACE.jsonl ...]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("traces", nargs="+", metavar="TRACE.jsonl",
+                    help="TraceLog JSONL exports, one clean trial each "
+                         "(training order = argument order)")
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory holding tools/train_profile")
+    ap.add_argument("--out", default="",
+                    help="profile output path (default: stdout)")
+    args = ap.parse_args()
+
+    binary = os.path.join(args.build_dir, "tools", "train_profile")
+    if not os.path.exists(binary):
+        sys.exit(f"error: {binary} not found — build the tree first "
+                 f"(cmake -B {args.build_dir} -S . && "
+                 f"cmake --build {args.build_dir} -j)")
+    for path in args.traces:
+        if not os.path.exists(path):
+            sys.exit(f"error: trace file {path} not found")
+
+    cmd = [binary] + (["--out", args.out] if args.out else []) + args.traces
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        sys.exit(proc.returncode)
+
+    profile_text = proc.stdout
+    if args.out:
+        with open(args.out) as f:
+            profile_text = f.read()
+    try:
+        profile = json.loads(profile_text)
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: trainer emitted invalid JSON: {e}")
+    if profile.get("format") != "tmg-behavior-profile-v1":
+        sys.exit("error: trainer output is not a tmg-behavior-profile-v1 "
+                 "document")
+    if not args.out:
+        sys.stdout.write(proc.stdout)
+    print(f"[train_profile] profile: {profile['trials']} trials, "
+          f"{profile['events']} events, {len(profile['ports'])} ports",
+          file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()
